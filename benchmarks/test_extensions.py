@@ -1,0 +1,221 @@
+"""Benches for the extension systems built beyond the paper's core.
+
+* ABL-zkpmode — interactive multi-verifier Schnorr vs Fiat-Shamir NIZK
+  keying: identical security goal, measurably fewer rounds and messages.
+* ABL-topology — the framework's communication time across network
+  shapes (the paper's random graph vs star/ring/grid/complete).
+* EXT-anonmsg — the anonymous-collection substrate: linear rounds,
+  quadratic ciphertext traffic.
+* EXT-twoparty — the DGK two-party comparison the multiparty protocol
+  generalizes: linear cost in the bit width, one round trip.
+"""
+
+import pytest
+
+from benchmarks.harness import format_series_table, write_result
+from repro.anonmsg.collection import run_anonymous_collection
+from repro.core.framework import FrameworkConfig, GroupRankingFramework
+from repro.core.gain import AttributeSchema, InitiatorInput, ParticipantInput
+from repro.groups.dl import DLGroup
+from repro.groups.params import make_test_group
+from repro.math.rng import SeededRNG
+from repro.netsim.simulator import LinkConfig
+from repro.netsim.topology import (
+    complete_topology,
+    grid_topology,
+    paper_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.netsim.transport import replay_transcript
+from repro.twoparty.dgk import millionaires_problem
+
+
+def run_framework(n=5, seed=3, **config_kwargs):
+    schema = AttributeSchema(
+        names=("a", "b", "c", "d"), num_equal=2, value_bits=6, weight_bits=4
+    )
+    initiator = InitiatorInput.create(schema, [10, 20, 0, 0], [1, 2, 3, 4])
+    rng = SeededRNG(seed)
+    inputs = [
+        ParticipantInput.create(schema, [rng.randrange(64) for _ in range(4)])
+        for _ in range(n)
+    ]
+    config = FrameworkConfig(
+        group=make_test_group(48, seed=5), schema=schema,
+        num_participants=n, k=2, rho_bits=6, **config_kwargs,
+    )
+    framework = GroupRankingFramework(config, initiator, inputs, rng=SeededRNG(seed))
+    return framework, framework.run()
+
+
+def test_abl_zkp_mode(benchmark):
+    rows = {"rounds": [], "messages": [], "zkp bits": []}
+    for mode in ("interactive", "fiat-shamir"):
+        _, result = run_framework(zkp_mode=mode)
+        zkp_bits = sum(
+            entry.size_bits
+            for entry in result.transcript
+            if entry.tag.startswith("zkp") or entry.tag == "pk-share"
+        )
+        rows["rounds"].append(float(result.rounds))
+        rows["messages"].append(float(len(result.transcript)))
+        rows["zkp bits"].append(float(zkp_bits))
+    table = format_series_table(
+        "ABL-zkpmode: interactive Schnorr vs Fiat-Shamir keying (n=5)",
+        "mode", ["inter", "nizk"], rows,
+    )
+    print("\n" + table)
+    write_result("abl_zkpmode", table)
+    benchmark(lambda: run_framework(zkp_mode="fiat-shamir"))
+    # NIZK strictly reduces rounds and messages.
+    assert rows["rounds"][1] < rows["rounds"][0]
+    assert rows["messages"][1] < rows["messages"][0]
+
+
+def test_abl_topology_sensitivity(benchmark):
+    """Same protocol transcript, different networks: congestion topology
+    matters, completeness is the lower bound."""
+    n = 5
+    _, result = run_framework(n=n)
+    link = LinkConfig(bandwidth_bps=2_000_000, latency_s=0.050)
+    topologies = {
+        "paper-80": paper_topology(SeededRNG(1)),
+        "complete": complete_topology(16),
+        "grid-4x4": grid_topology(4, 4),
+        "star-16": star_topology(16),
+        "ring-16": ring_topology(16),
+    }
+    times = {}
+    for name, topology in topologies.items():
+        topology.place_parties(list(range(n + 1)), SeededRNG(2))
+        times[name] = replay_transcript(result.transcript, topology, link).total_time_s
+    table = format_series_table(
+        "ABL-topology: framework communication time (s) by network shape (n=5)",
+        "idx", [0], {name: [value] for name, value in sorted(times.items())},
+    )
+    print("\n" + table)
+    write_result("abl_topology", table)
+    benchmark(lambda: replay_transcript(result.transcript, topologies["complete"], link))
+    assert times["complete"] <= min(times[name] for name in times if name != "complete")
+    assert times["ring-16"] > times["complete"]
+
+
+@pytest.fixture(scope="module")
+def anon_group():
+    return DLGroup.random(48, rng=SeededRNG(55))
+
+
+def test_ext_anonymous_collection(benchmark, anon_group):
+    ns = [3, 5, 7, 9]
+    rounds, bits = [], []
+    for n in ns:
+        result = run_anonymous_collection(
+            anon_group, list(range(1, n + 1)), rng=SeededRNG(5)
+        )
+        assert result.messages == list(range(1, n + 1))
+        rounds.append(float(result.rounds))
+        bits.append(float(result.transcript.total_bits))
+    table = format_series_table(
+        "EXT-anonmsg: anonymous collection cost vs members",
+        "n", ns, {"rounds": rounds, "total bits": bits},
+    )
+    print("\n" + table)
+    write_result("ext_anonmsg", table)
+    benchmark(lambda: run_anonymous_collection(anon_group, [1, 2, 3],
+                                               rng=SeededRNG(6)))
+    # Rounds linear (chain), traffic ~quadratic (n ciphertexts × n hops).
+    assert rounds[-1] - rounds[-2] == rounds[1] - rounds[0]
+    assert bits[-1] / bits[0] > (ns[-1] / ns[0]) ** 1.5
+
+
+def test_ext_unlinkable_sort(benchmark, anon_group):
+    """EXT-sort: the standalone contribution-(3) protocol vs party count.
+
+    Linear rounds, ~cubic total traffic (the chain moves n sets of
+    w(n-1) ciphertexts across n hops) — and exactly competition ranks.
+    """
+    from repro.core.sorting_protocol import unlinkable_sort
+
+    ns = [3, 5, 7, 9]
+    rounds, megabits = [], []
+    for n in ns:
+        values = [(7 * i + 3) % 16 for i in range(n)]
+        result = unlinkable_sort(anon_group, values, 4, rng=SeededRNG(21))
+        assert result.ranks == result.expected_ranks(values)
+        rounds.append(float(result.rounds))
+        megabits.append(result.transcript.total_bits / 1e6)
+    table = format_series_table(
+        "EXT-sort: unlinkable multiparty sorting cost vs n (4-bit values)",
+        "n", ns, {"rounds": rounds, "Mbit": megabits},
+    )
+    print("\n" + table)
+    write_result("ext_unlinkable_sort", table)
+    benchmark(lambda: unlinkable_sort(anon_group, [3, 1, 2], 4, rng=SeededRNG(22)))
+    assert rounds[-1] - rounds[-2] == rounds[1] - rounds[0]  # linear rounds
+    assert megabits[-1] / megabits[0] > (ns[-1] / ns[0]) ** 2  # superquadratic
+
+
+def test_ext_head_to_head_frameworks(benchmark):
+    """EXT-headtohead: the two complete systems on identical inputs.
+
+    Same phase 1, different phase 2: the paper's unlinkable chain vs the
+    SS ranking — rounds, messages and the leak, side by side.
+    """
+    from repro.baselines.ss_framework import SSGroupRankingFramework
+
+    schema = AttributeSchema(
+        names=("a", "b", "c", "d"), num_equal=2, value_bits=6, weight_bits=4
+    )
+    initiator = InitiatorInput.create(schema, [10, 20, 0, 0], [1, 2, 3, 4])
+    rng = SeededRNG(61)
+    inputs = [
+        ParticipantInput.create(schema, [rng.randrange(64) for _ in range(4)])
+        for _ in range(4)
+    ]
+    config = FrameworkConfig(
+        group=make_test_group(48, seed=5), schema=schema,
+        num_participants=4, k=2, rho_bits=6,
+    )
+    ours = GroupRankingFramework(config, initiator, inputs, rng=SeededRNG(62)).run()
+    baseline = SSGroupRankingFramework(
+        schema, initiator, inputs, k=2, rho_bits=6, rng=SeededRNG(63)
+    ).run()
+    rows = {
+        "rounds": [float(ours.rounds), float(baseline.rounds)],
+        "messages": [float(len(ours.transcript)), float(len(baseline.transcript))],
+        "ranks public to all": [0.0, float(len(baseline.public_ranking))],
+    }
+    table = format_series_table(
+        "EXT-headtohead: ours (row 0) vs SS baseline (row 1), n=4, same inputs",
+        "sys", [0, 1], rows,
+    )
+    print("\n" + table)
+    write_result("ext_head_to_head", table)
+    benchmark(lambda: GroupRankingFramework(
+        config, initiator, inputs, rng=SeededRNG(64)
+    ).run())
+    assert ours.ranks == baseline.ranks          # same functionality ...
+    assert baseline.rounds > 20 * ours.rounds    # ... vastly more rounds ...
+    assert rows["ranks public to all"][1] == 4   # ... and the leak.
+
+
+def test_ext_two_party_comparison(benchmark, anon_group):
+    widths = [8, 16, 32, 64]
+    exps = []
+    for width in widths:
+        result, stats = millionaires_problem(
+            anon_group, 3, (1 << width) - 5, width, SeededRNG(7)
+        )
+        assert result is True
+        exps.append(float(stats["exponentiations"]))
+    table = format_series_table(
+        "EXT-twoparty: DGK comparison cost vs bit width",
+        "bits", widths, {"exponentiations": exps},
+    )
+    print("\n" + table)
+    write_result("ext_twoparty", table)
+    benchmark(lambda: millionaires_problem(anon_group, 3, 12, 8, SeededRNG(8)))
+    # Linear in the width.
+    ratios = [b / a for a, b in zip(exps, exps[1:])]
+    assert all(1.6 < ratio < 2.4 for ratio in ratios), ratios

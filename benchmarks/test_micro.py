@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the cryptographic primitives.
+
+Useful on their own (where does the time actually go?) and as the raw
+material the cost model calibrates from.
+"""
+
+import pytest
+
+from repro.crypto.bitenc import BitwiseElGamal
+from repro.crypto.elgamal import ExponentialElGamal
+from repro.crypto.zkp import MultiVerifierSchnorrProof
+from repro.core.comparison import HomomorphicComparator
+from repro.dotproduct.ioannidis import DotProductProtocol
+from repro.groups.curves import get_curve
+from repro.groups.dl import DLGroup
+from repro.math.primes import random_prime
+from repro.math.rng import SeededRNG
+from repro.sharing.arithmetic import SSContext
+from repro.sharing.comparison import less_than
+from repro.sorting.networks import batcher_odd_even
+
+
+@pytest.fixture(scope="module")
+def dl1024():
+    return DLGroup.standard(1024)
+
+
+@pytest.fixture(scope="module")
+def p160():
+    return get_curve("secp160r1")
+
+
+class TestGroupOps:
+    def test_dl1024_exponentiation(self, benchmark, dl1024):
+        rng = SeededRNG(1)
+        base = dl1024.random_element(rng)
+        exponent = dl1024.random_exponent(rng)
+        benchmark(lambda: dl1024.exp(base, exponent))
+
+    def test_secp160r1_scalar_mult(self, benchmark, p160):
+        rng = SeededRNG(2)
+        base = p160.random_element(rng)
+        scalar = p160.random_exponent(rng)
+        benchmark(lambda: p160.exp(base, scalar))
+
+    def test_dl1024_multiplication(self, benchmark, dl1024):
+        rng = SeededRNG(3)
+        a, b = dl1024.random_element(rng), dl1024.random_element(rng)
+        benchmark(lambda: dl1024.mul(a, b))
+
+    def test_secp160r1_point_add(self, benchmark, p160):
+        rng = SeededRNG(4)
+        a, b = p160.random_element(rng), p160.random_element(rng)
+        benchmark(lambda: p160.mul(a, b))
+
+
+class TestSchemes:
+    def test_exponential_elgamal_encrypt_p160(self, benchmark, p160):
+        rng = SeededRNG(5)
+        scheme = ExponentialElGamal(p160)
+        keypair = scheme.generate_keypair(rng)
+        benchmark(lambda: scheme.encrypt(1, keypair.public, rng))
+
+    def test_bitwise_encrypt_66_bits_p160(self, benchmark, p160):
+        rng = SeededRNG(6)
+        scheme = BitwiseElGamal(p160)
+        keypair = scheme.scheme.generate_keypair(rng)
+        benchmark(lambda: scheme.encrypt(0x2FFFFFFFFFFFFFFF, 66, keypair.public, rng))
+
+    def test_homomorphic_comparison_66_bits_p160(self, benchmark, p160):
+        rng = SeededRNG(7)
+        bitenc = BitwiseElGamal(p160)
+        keypair = bitenc.scheme.generate_keypair(rng)
+        other = bitenc.encrypt(0x1234567890ABCDEF, 66, keypair.public, rng)
+        comparator = HomomorphicComparator(p160)
+        benchmark(lambda: comparator.encrypted_taus(0x0FEDCBA098765432, other))
+
+    def test_schnorr_multi_verifier_proof(self, benchmark, p160):
+        rng = SeededRNG(8)
+        zkp = MultiVerifierSchnorrProof(p160)
+        secret = p160.random_exponent(rng)
+        verifier_rngs = [SeededRNG(i) for i in range(10)]
+        benchmark(lambda: zkp.prove_multi(secret, rng, verifier_rngs))
+
+
+class TestSubstrates:
+    def test_dot_product_m10(self, benchmark):
+        field = random_prime(96, SeededRNG(9))
+        protocol = DotProductProtocol(field)
+        rng = SeededRNG(10)
+        w = [rng.randrange(1 << 15) for _ in range(14)]
+        v = [rng.randrange(1 << 15) for _ in range(14)]
+        benchmark(lambda: protocol.run_locally(w, v, 7, rng))
+
+    def test_ss_multiplication_n25(self, benchmark):
+        prime = random_prime(76, SeededRNG(11))
+        context = SSContext(parties=25, prime=prime, rng=SeededRNG(12))
+        a, b = context.share(123), context.share(456)
+        benchmark(lambda: context.multiply(a, b))
+
+    def test_ss_comparison_n5(self, benchmark):
+        prime = random_prime(24, SeededRNG(13))
+        context = SSContext(parties=5, prime=prime, rng=SeededRNG(14))
+        a, b = context.share(100), context.share(200)
+        benchmark(lambda: less_than(context, a, b))
+
+    def test_batcher_network_generation_n128(self, benchmark):
+        benchmark(lambda: batcher_odd_even(128))

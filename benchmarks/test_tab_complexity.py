@@ -1,0 +1,88 @@
+"""TAB-VIB: regenerate the Section VI-B complexity comparison.
+
+The paper's efficiency section compares, per participant:
+
+* computation — ours ``O(l²n + ln²λ)`` group multiplications vs the
+  comparison-based SS sort's ``O(l·t·n²(log n)²)`` (→ ``O(l·n³(log n)²)``
+  at ``t = n/2``) integer multiplications;
+* rounds — ours ``O(n)`` vs Jónsson's ``O((279l+5)·n(log n)²)``;
+* communication — ours ``O(l·S_c·n²)`` bits.
+
+This bench prints the concrete numbers at the paper's operating point
+and checks the claimed asymptotic relationships numerically.
+"""
+
+import pytest
+
+from benchmarks.harness import PAPER_DEFAULTS, counting_run, growth_exponent, write_result
+from repro.analysis.complexity import (
+    framework_participant_bits,
+    framework_participant_cost,
+    framework_round_count,
+    ss_framework_participant_bits,
+    ss_framework_participant_cost,
+    ss_framework_round_count,
+)
+from repro.core.gain import beta_bit_length
+
+L = beta_bit_length(PAPER_DEFAULTS["m"], PAPER_DEFAULTS["d1"],
+                    PAPER_DEFAULTS["d2"], PAPER_DEFAULTS["h"])
+LAMBDA = 160  # ECC-160 exponent size, the paper's headline instantiation
+
+
+def build_table():
+    rows = []
+    header = (
+        f"{'n':>4} | {'ours mults':>14} | {'SS mults':>16} | "
+        f"{'ours rounds':>11} | {'SS rounds':>12} | {'ours Mbit':>10}"
+    )
+    rows.append("TAB-VIB: Section VI-B complexity comparison "
+                f"(l={L}, λ={LAMBDA}, S_c=2·161 bits)")
+    rows.append("-" * len(header))
+    rows.append(header)
+    rows.append("-" * len(header))
+    ns = [10, 25, 50, 100]
+    data = {}
+    for n in ns:
+        ours = framework_participant_cost(n, L, LAMBDA).total
+        ss = ss_framework_participant_cost(n, L)
+        ours_rounds = framework_round_count(n)
+        ss_rounds = ss_framework_round_count(n, L)
+        bits = framework_participant_bits(n, L, 2 * 161)
+        data[n] = (ours, ss, ours_rounds, ss_rounds, bits)
+        rows.append(
+            f"{n:>4} | {ours:14.3e} | {ss:16.3e} | "
+            f"{ours_rounds:>11} | {ss_rounds:12.3e} | {bits/1e6:10.2f}"
+        )
+    rows.append("-" * len(header))
+    return "\n".join(rows), data
+
+
+def test_tab_vib(benchmark):
+    table, data = build_table()
+    print("\n" + table)
+    write_result("tab_complexity", table)
+    benchmark(lambda: framework_participant_cost(25, L, LAMBDA).total)
+
+    ns = sorted(data)
+    # Our computation: ~quadratic; SS: ~cubic (plus polylog).
+    ours_order = growth_exponent(ns, [data[n][0] for n in ns])
+    ss_order = growth_exponent(ns, [data[n][1] for n in ns])
+    assert 1.7 < ours_order < 2.3, ours_order
+    assert 2.7 < ss_order < 4.0, ss_order
+    # Rounds: ours linear; SS explodes by orders of magnitude.
+    assert all(data[n][3] / data[n][2] > 1e4 for n in ns)
+    # Communication: ~quadratic in n.
+    bits_order = growth_exponent(ns, [data[n][4] for n in ns])
+    assert 1.7 < bits_order < 2.3, bits_order
+
+
+def test_model_matches_measured_counts(benchmark):
+    """The closed-form model must track real measured counts within a
+    modest constant factor at the paper's operating point."""
+    params = {k: v for k, v in PAPER_DEFAULTS.items() if k != "n"}
+    run = counting_run(n=10, **params)
+    measured = run.max_participant_ops.equivalent_multiplications
+    modeled = framework_participant_cost(10, run.beta_bits, 1023).total
+    benchmark(lambda: framework_participant_cost(10, run.beta_bits, 1023).total)
+    assert 0.3 < measured / modeled < 3.0, (measured, modeled)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Anonymous survey collection — the substrate behind the shuffle.
+
+The framework's identity-unlinkable sorting borrows the anonymous group
+messaging idea (Brickell-Shmatikov).  This example runs that primitive
+on its own: employees submit salary figures to an auditor, who receives
+the exact multiset but cannot tell whose number is whose — the batch is
+peeled, re-randomized and re-shuffled at every member hop.
+
+    python examples/anonymous_survey.py
+"""
+
+from repro.anonmsg import run_anonymous_collection
+from repro.groups.dl import DLGroup
+from repro.math.rng import SeededRNG
+
+
+def main() -> None:
+    group = DLGroup.random(48, rng=SeededRNG(1))
+    salaries = {
+        "avery": 72_000,
+        "blair": 58_500,
+        "casey": 97_000,
+        "drew": 58_500,
+        "ellis": 120_000,
+    }
+    print(f"{len(salaries)} employees submit salaries anonymously "
+          f"(group: {group.name}).\n")
+
+    result = run_anonymous_collection(
+        group, list(salaries.values()), rng=SeededRNG(2026)
+    )
+
+    print("What the auditor receives (sorted multiset, unlinkable):")
+    for value in result.messages:
+        print(f"  {value:>9,}")
+
+    assert result.messages == sorted(salaries.values())
+    print(f"\nProtocol: {result.rounds} rounds, "
+          f"{len(result.transcript)} messages, "
+          f"{result.transcript.total_bits / 8_000:.1f} kB.")
+    print("Every member hop peeled one encryption layer, re-randomized the "
+          "batch,\nand re-shuffled it — so even n-2 colluding members cannot "
+          "link a salary\nto its owner. This is the exact mechanism the "
+          "ranking framework's step 8 uses.")
+
+
+if __name__ == "__main__":
+    main()

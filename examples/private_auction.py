@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Sealed-bid ranking with the standalone unlinkable sorting protocol.
+
+The paper notes its multiparty sorting protocol "is of independent
+interest to the study of the SMP sorting problem".  Here it runs on its
+own, outside the group-ranking framework: bidders rank their sealed bids
+without any auctioneer and without revealing a single bid — each bidder
+learns only her own standing, and nobody can link standings to bidders.
+
+Also contrasts the two baselines on the same inputs:
+
+* the SS sorting-network baseline (everyone learns the *whole*
+  permutation — the leak the unlinkable protocol removes);
+* the probabilistic top-k protocol (finds the winners only, and fails
+  honestly on ties).
+
+    python examples/private_auction.py
+"""
+
+from repro.core.sorting_protocol import unlinkable_sort
+from repro.groups.dl import DLGroup
+from repro.math.primes import next_prime
+from repro.math.rng import SeededRNG
+from repro.sharing.arithmetic import SSContext
+from repro.sorting.ss_sort import ss_sort_with_ranks
+from repro.sorting.topk import probabilistic_top_k
+
+BIDS = {
+    "north_mill": 410,
+    "quarry_co": 385,
+    "red_gate": 455,
+    "stonebridge": 390,
+    "tillford": 430,
+}
+WIDTH = 10  # bids are 10-bit integers
+
+
+def main() -> None:
+    names = list(BIDS)
+    values = list(BIDS.values())
+
+    print(f"{len(BIDS)} sealed bids, ranked without an auctioneer.\n")
+
+    group = DLGroup.random(48, rng=SeededRNG(1))
+    result = unlinkable_sort(group, values, WIDTH, rng=SeededRNG(2026))
+    print("Unlinkable multiparty sort — each bidder privately learns only "
+          "her own standing:")
+    for party_id, rank in sorted(result.ranks.items(), key=lambda kv: kv[1]):
+        print(f"  {names[party_id - 1]:>12}: rank {rank}   "
+              "(known to this bidder alone)")
+    print(f"  cost: {result.rounds} rounds, "
+          f"{result.transcript.total_bits / 8_000:.0f} kB\n")
+
+    field = next_prime(4 * (1 << WIDTH) + 17)
+    ss = ss_sort_with_ranks(
+        SSContext(parties=len(values), prime=field, rng=SeededRNG(3)), values
+    )
+    print("SS sorting-network baseline — correct, but the opened index "
+          "lanes hand EVERYONE the full ranking:")
+    print(f"  public outcome: "
+          f"{ {names[p - 1]: r for p, r in sorted(ss.ranks.items())} }\n")
+
+    topk = probabilistic_top_k(
+        SSContext(parties=len(values), prime=field, rng=SeededRNG(4)),
+        values, k=2, value_bound=1 << WIDTH,
+    )
+    print("Probabilistic top-k baseline — finds the two winners only:")
+    print(f"  succeeded={topk.succeeded}, winners="
+          f"{[names[m - 1] for m in topk.members]}, probes={topk.probes}")
+
+    assert result.ranks == result.expected_ranks(values)
+    assert ss.ranks == result.ranks
+    print("\nAll three agree on the winners; only the unlinkable protocol "
+          "kept losers' standings private.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Watch the paper's security lemmas hold — and break under ablation.
+
+Runs the executable security games of :mod:`repro.analysis.games`:
+
+1. IND-CPA against modified ElGamal (honest vs randomness-reusing);
+2. the gain-hiding game (Definition 5) against the zero-position and
+   τ-dictionary attacks, with the framework intact and with its two
+   defenses (shuffle permutation / exponent rerandomization) ablated.
+
+Advantages near 0 mean the adversary is reduced to coin flips; near 1
+mean she wins every time.
+
+    python examples/security_games.py
+"""
+
+from repro.analysis.games import (
+    FrameworkGame,
+    broken_encryptor_factory,
+    estimate_advantage,
+    ind_cpa_game,
+    tau_dictionary_attack,
+    zero_position_attack,
+)
+from repro.core.gain import AttributeSchema, InitiatorInput, ParticipantInput
+from repro.groups.params import make_test_group
+from repro.math.rng import SeededRNG
+
+TRIALS = 20
+
+
+def framework_advantage(attack, trials=TRIALS, **flags):
+    schema = AttributeSchema(names=("a", "b", "c"), num_equal=1,
+                             value_bits=5, weight_bits=3)
+    initiator = InitiatorInput.create(schema, [10, 0, 0], [2, 3, 1])
+    game = FrameworkGame(
+        schema=schema,
+        initiator_input=initiator,
+        adversary_inputs={
+            2: ParticipantInput.create(schema, [9, 5, 0]),
+            3: ParticipantInput.create(schema, [12, 30, 31]),
+        },
+        honest_ids=[1],
+        candidates=(
+            ParticipantInput.create(schema, [10, 4, 2]),
+            ParticipantInput.create(schema, [10, 31, 19]),
+        ),
+        **flags,
+    )
+    counter = [0]
+
+    def trial(b, rng):
+        counter[0] += 1
+        framework, _ = game.run(b, seed=counter[0])
+        return attack(game, framework, adversary_id=2, honest_id=1, rng=rng)
+
+    return estimate_advantage(trial, trials, SeededRNG(9))
+
+
+def main() -> None:
+    group = make_test_group(40)
+
+    print("IND-CPA game against modified (exponential) ElGamal:")
+    honest = ind_cpa_game(group, trials=60, rng=SeededRNG(1))
+    broken = ind_cpa_game(group, encryptor=broken_encryptor_factory(),
+                          trials=60, rng=SeededRNG(2))
+    print(f"  honest encryptor:             advantage = {honest:+.3f}  (≈ 0)")
+    print(f"  randomness-reusing encryptor: advantage = {broken:+.3f}  (≈ 1)\n")
+
+    print("Gain-hiding game (Definition 5), zero-position attack:")
+    print(f"  full framework:       advantage = "
+          f"{framework_advantage(zero_position_attack):+.3f}  (≈ 0: Lemma 3 holds)")
+    print(f"  permutation ablated:  advantage = "
+          f"{framework_advantage(zero_position_attack, permute=False):+.3f}"
+          "  (≈ 1: the shuffle is load-bearing)\n")
+
+    print("Gain-hiding game, τ-dictionary attack:")
+    print(f"  full framework:          advantage = "
+          f"{framework_advantage(tau_dictionary_attack):+.3f}  (≈ 0)")
+    print(f"  rerandomization ablated: advantage = "
+          f"{framework_advantage(tau_dictionary_attack, rerandomize=False):+.3f}"
+          "  (≈ 1: rerandomization is load-bearing)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Dependency-free ASCII line charts for the benchmark figures.
+
+The paper's evaluation is figures; the benches regenerate the *series*
+and, with this module, also render them as terminal plots so a bench
+run visually mirrors Fig. 2/Fig. 3 (log-scale y, one mark per series).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def render_chart(
+    title: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    log_y: bool = True,
+) -> str:
+    """Render one chart; returns a multi-line string.
+
+    ``series`` maps label -> y values (same length as ``xs``).  Values
+    must be positive when ``log_y`` (the default, matching the paper's
+    wide dynamic ranges).
+    """
+    if not xs or not series:
+        raise ValueError("need at least one x value and one series")
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {label!r} length mismatch")
+        if log_y and any(y <= 0 for y in ys):
+            raise ValueError(f"series {label!r} has non-positive values (log scale)")
+
+    def transform(value: float) -> float:
+        return math.log10(value) if log_y else value
+
+    all_y = [transform(y) for ys in series.values() for y in ys]
+    y_low, y_high = min(all_y), max(all_y)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(xs), max(xs)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, ys) in enumerate(sorted(series.items())):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in zip(xs, ys):
+            column = round((x - x_low) / (x_high - x_low) * (width - 1))
+            row = round(
+                (transform(y) - y_low) / (y_high - y_low) * (height - 1)
+            )
+            grid[height - 1 - row][column] = mark
+
+    scale = "log10(y)" if log_y else "y"
+    lines = [title]
+    top_label = f"{y_high:7.2f} |"
+    bottom_label = f"{y_low:7.2f} |"
+    pad = " " * (len(top_label) - 1) + "|"
+    for row_index, row in enumerate(grid):
+        prefix = top_label if row_index == 0 else (
+            bottom_label if row_index == height - 1 else pad
+        )
+        lines.append(prefix + "".join(row))
+    lines.append(" " * (len(pad) - 1) + "+" + "-" * width)
+    lines.append(
+        " " * len(pad) + f"x: {x_low:g} .. {x_high:g}    ({scale})"
+    )
+    legend = "   ".join(
+        f"{_MARKS[index % len(_MARKS)]} = {label}"
+        for index, label in enumerate(sorted(series))
+    )
+    lines.append(" " * len(pad) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Closed-form cost models from paper Section VI-B.
+
+All computational costs are in *group multiplications* for the framework
+and *field (integer) multiplications* for the SS baseline, exactly the
+units the paper uses.  Each formula documents which protocol step it
+accounts for; constants follow the paper's own accounting (an
+exponentiation with a ``λ``-bit exponent is ``1.5·λ`` multiplications).
+
+These formulas serve two purposes:
+
+* the TAB-VIB bench regenerates the paper's asymptotic comparison table;
+* the FIG-2/FIG-3 benches cross-validate them against operation counts
+  *measured* from real protocol runs (they agree within the constant
+  factors documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sharing.comparison import nishide_ohta_cost
+from repro.sorting.networks import batcher_odd_even
+
+
+def _exp_cost(lambda_bits: int) -> float:
+    """Group multiplications per exponentiation (square-and-multiply)."""
+    return 1.5 * lambda_bits
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-phase group-multiplication counts for one participant."""
+
+    keying: float
+    encryption: float
+    comparison_circuit: float
+    shuffle_chain: float
+    ranking: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.keying
+            + self.encryption
+            + self.comparison_circuit
+            + self.shuffle_chain
+            + self.ranking
+        )
+
+
+def framework_participant_cost(
+    n: int, l: int, lambda_bits: int, naive_suffix: bool = False
+) -> CostBreakdown:
+    """Group multiplications one participant spends (paper: ``O(l²n + ln²λ)``).
+
+    * step 5 (keying + ZKPs): 1 keygen + 1 commit + 1 response check per
+      peer → ``O(λ + λn)``;
+    * step 6 (bitwise encryption): ``2l`` exponentiations → ``O(lλ)``;
+    * step 7 (comparison circuit): per peer, ``l`` scalar-multiplications
+      by ``≤ l+1`` (≈ ``1.5·log l`` mults each) plus suffix-sum additions
+      — ``O(l² n)`` with the paper's naive suffix sums, ``O(l n log l)``
+      with the running-sum optimization;
+    * step 8 (shuffle chain): ``(n-1)`` sets × ``l(n-1)`` ciphertexts ×
+      3 exponentiations (peel + two rerandomize) → ``O(l n² λ)``;
+    * step 9 (ranking): ``l(n-1)`` peel exponentiations → ``O(l n λ)``.
+    """
+    exp = _exp_cost(lambda_bits)
+    keying = exp + exp + 2 * exp * n          # keygen, own proof, verify n peers
+    encryption = 2 * l * exp
+    per_peer_scalar = l * 1.5 * max(1.0, math.log2(l + 1))
+    if naive_suffix:
+        suffix_adds = l * l                    # paper's O(l²) accounting
+    else:
+        suffix_adds = 2 * l
+    comparison = (n - 1) * (per_peer_scalar + 2 * suffix_adds + 4 * l)
+    shuffle = (n - 1) * (l * (n - 1)) * 3 * exp
+    ranking = l * (n - 1) * exp
+    return CostBreakdown(
+        keying=keying,
+        encryption=encryption,
+        comparison_circuit=comparison,
+        shuffle_chain=shuffle,
+        ranking=ranking,
+    )
+
+
+def initiator_cost(n: int, m: int) -> float:
+    """Initiator's integer multiplications: ``O(n·m)`` dot-product work."""
+    return float(n * (3 * m + 8))
+
+
+def framework_round_count(n: int) -> int:
+    """Communication rounds of the framework: linear in ``n`` (Section VI-B).
+
+    Phase 1 is 2 rounds; keying/ZKP is 4; β publication 1; τ delivery 1;
+    the chain contributes ``n`` sequential hops; submission 1.
+    """
+    return n + 9
+
+
+def framework_participant_bits(n: int, l: int, ciphertext_bits: int) -> int:
+    """Per-participant communication: ``O(l·S_c·n²)`` bits (Section VI-B).
+
+    Dominated by forwarding the whole vector ``V`` (``n`` sets of
+    ``l(n-1)`` ciphertexts) one hop along the chain, plus publishing
+    ``l`` ciphertexts and sending the own set of ``l(n-1)``.
+    """
+    publish = l * ciphertext_bits * (n - 1)
+    own_set = (n - 1) * l * ciphertext_bits
+    chain_hop = n * (n - 1) * l * ciphertext_bits
+    return publish + own_set + chain_hop
+
+
+# ---------------------------------------------------------------------------
+# The SS baseline (Jónsson et al. sorting over Nishide-Ohta comparisons)
+# ---------------------------------------------------------------------------
+
+def ss_multiplication_participant_cost(n: int, t: int) -> float:
+    """Integer multiplications one party spends per SS multiplication.
+
+    The paper cites ``O(n·t·log n)`` per participant for the GRR
+    multiplication with degree reduction.
+    """
+    return n * t * max(1.0, math.log2(n))
+
+
+def ss_comparison_participant_cost(n: int, l: int, t: int = None) -> float:
+    """One Nishide-Ohta comparison: ``(279l+5)`` multiplication invocations."""
+    if t is None:
+        t = (n - 1) // 2
+    return nishide_ohta_cost(l) * ss_multiplication_participant_cost(n, t)
+
+
+def ss_sort_comparison_count(n: int, exact: bool = True) -> float:
+    """Comparisons in the sorting network: ``O(n (log n)²)``.
+
+    ``exact=True`` counts the real Batcher network; otherwise the
+    asymptotic expression the paper uses.
+    """
+    if exact:
+        return float(batcher_odd_even(n).comparator_count)
+    return n * max(1.0, math.log2(n)) ** 2
+
+
+def ss_framework_participant_cost(n: int, l: int, t: int = None) -> float:
+    """Integer multiplications per participant for the whole SS sort.
+
+    With ``t = ⌊(n-1)/2⌋`` (the maximum the degree reduction tolerates)
+    this is the paper's ``O(l·n³·(log n)³)`` — the cubic growth visible
+    in Fig. 2(a).
+    """
+    if t is None:
+        t = max(1, (n - 1) // 2)
+    comparisons = ss_sort_comparison_count(n)
+    # +2 conditional-swap multiplications per comparator (value + index lane).
+    per_comparison = ss_comparison_participant_cost(n, l, t) + 2 * (
+        ss_multiplication_participant_cost(n, t)
+    )
+    return comparisons * per_comparison
+
+
+def ss_framework_round_count(n: int, l: int, sequential: bool = True) -> float:
+    """Rounds for the SS framework.
+
+    ``sequential=True`` follows the paper's accounting — at least one
+    round per multiplication invocation, every comparison serialized:
+    ``O((279l+5)·n·(log n)²)``.  ``sequential=False`` gives the charitable
+    parallel schedule: network depth × a constant-round comparison.
+    """
+    if sequential:
+        return nishide_ohta_cost(l) * ss_sort_comparison_count(n)
+    depth = batcher_odd_even(n).depth
+    constant_round_comparison = 13  # Nishide-Ohta's constant round count
+    return depth * constant_round_comparison
+
+
+def ss_framework_participant_bits(n: int, l: int, field_bits: int) -> float:
+    """Per-participant bits: each multiplication reshards to n-1 peers."""
+    mult_invocations = ss_sort_comparison_count(n) * nishide_ohta_cost(l)
+    return mult_invocations * (n - 1) * field_bits

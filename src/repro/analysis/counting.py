@@ -1,0 +1,110 @@
+"""A no-op group for pure operation/traffic counting at large scale.
+
+Protocol *costs* (operation counts, message sizes, round structure)
+depend only on the parameters ``(n, m, l, λ)`` — not on actual element
+values.  :class:`CountingGroup` exploits that: every element is the
+constant 1, every operation is counted but not computed, and
+``element_bits`` mimics the *target* group's wire size so transcripts
+carry the exact byte counts a real 1024-bit-DL (or 161-bit-ECC) run
+would.  This lets the FIG-2/FIG-3 benches execute the *real protocol
+code* at the paper's n = 25…70 scales in seconds.
+
+Counting runs are cross-validated against fully-real small-group runs
+in ``benchmarks/test_validation.py``: operation counters must match
+exactly.
+
+The ranking *outputs* of a counting run are meaningless (every τ
+"decrypts" to zero); anything correctness-related must use a real
+group.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.groups.base import Group, OperationCounter
+from repro.math.rng import RNG
+
+
+class CountingGroup(Group):
+    """Structurally faithful, computationally inert group."""
+
+    def __init__(
+        self,
+        element_bits: int,
+        order_bits: Optional[int] = None,
+        name: Optional[str] = None,
+        security_bits: int = 0,
+        counter: Optional[OperationCounter] = None,
+    ):
+        super().__init__(counter=counter or OperationCounter())
+        if element_bits < 8:
+            raise ValueError("element_bits unrealistically small")
+        self._element_bits = element_bits
+        self._order_bits = order_bits or element_bits
+        # A fixed odd "order" with the requested bit length; protocols only
+        # use it for ranges and bit-length accounting.
+        self._order = (1 << (self._order_bits - 1)) | 1
+        self._name = name or f"counting-{element_bits}"
+        self._security_bits = security_bits
+
+    @classmethod
+    def like_dl(cls, modulus_bits: int) -> "CountingGroup":
+        """Wire/exponent sizes of the DL group with that modulus."""
+        return cls(element_bits=modulus_bits, order_bits=modulus_bits - 1,
+                   name=f"counting-DL-{modulus_bits}")
+
+    @classmethod
+    def like_ecc(cls, curve_bits: int) -> "CountingGroup":
+        """Wire/exponent sizes of a ``curve_bits``-bit curve (compressed)."""
+        return cls(element_bits=curve_bits + 1, order_bits=curve_bits,
+                   name=f"counting-ECC-{curve_bits}")
+
+    # -- facts ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def element_bits(self) -> int:
+        return self._element_bits
+
+    @property
+    def security_bits(self) -> int:
+        return self._security_bits
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def generator(self):
+        return 1
+
+    def identity(self):
+        return 1
+
+    # -- inert operations -----------------------------------------------------------
+    def mul(self, a, b):
+        self.counter.record_mul()
+        return 1
+
+    def exp(self, a, k):
+        self.counter.record_exp(self._order_bits)
+        return 1
+
+    def inv(self, a):
+        self.counter.record_inv()
+        return 1
+
+    def eq(self, a, b) -> bool:
+        return True
+
+    def is_element(self, a) -> bool:
+        return True
+
+    def random_element(self, rng: RNG):
+        rng.randrange(self._order)  # consume randomness like a real group
+        return 1
+
+    def serialize(self, a) -> bytes:
+        return b"\x00" * ((self._element_bits + 7) // 8)

@@ -1,0 +1,331 @@
+"""Executable security games (paper Section III-C and Section VI-A).
+
+The paper's security definitions are indistinguishability games.  We
+make them runnable:
+
+* :func:`ind_cpa_game` — the IND-CPA game against (modified) ElGamal;
+  with the honest encryptor the best adversary here is a coin flip, and
+  with a deliberately broken (randomness-reusing) encryptor the supplied
+  adversary wins every time.
+* :func:`zero_position_attack` — the concrete attack that wins the
+  gain-hiding and identity-unlinkability games **when the shuffle's
+  permutation is ablated**: an adversarial participant reads *where* the
+  zero τ sits in her own decrypted set, which reveals against whom and
+  at which bit position the comparison flipped.
+* :func:`tau_dictionary_attack` — the attack that wins **when exponent
+  rerandomization is ablated**: non-zero τ residues stay small, so the
+  adversary brute-forces their discrete logs and matches the multiset
+  against predictions for each candidate input.
+
+With the full framework (permute + rerandomize on), both attacks
+degrade to coin flips — exactly what Lemmas 3-4 promise; the tests and
+the ABL-* benches check both directions statistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.comparison import tau_values_plain
+from repro.core.framework import FrameworkConfig, GroupRankingFramework
+from repro.core.gain import (
+    AttributeSchema,
+    InitiatorInput,
+    ParticipantInput,
+    partial_gain,
+    to_unsigned,
+)
+from repro.crypto.elgamal import Ciphertext, ExponentialElGamal
+from repro.groups.base import Group
+from repro.math.rng import RNG, SeededRNG
+
+# ---------------------------------------------------------------------------
+# Generic advantage estimation
+# ---------------------------------------------------------------------------
+
+def estimate_advantage(
+    trial: Callable[[int, RNG], int], trials: int, rng: Optional[RNG] = None
+) -> float:
+    """Empirical distinguishing advantage of ``trial(b, rng) -> guess``.
+
+    Runs ``trials`` experiments with ``b`` alternating deterministically
+    (so both branches get equal sample sizes) and returns
+    ``P̂[guess=1 | b=1] − P̂[guess=1 | b=0]`` — the quantity the paper's
+    definitions require to be negligible.
+    """
+    rng = rng or SeededRNG(0)
+    ones_given_1 = 0
+    ones_given_0 = 0
+    half = trials // 2
+    for index in range(2 * half):
+        b = index % 2
+        guess = trial(b, rng)
+        if guess == 1:
+            if b == 1:
+                ones_given_1 += 1
+            else:
+                ones_given_0 += 1
+    if half == 0:
+        return 0.0
+    return ones_given_1 / half - ones_given_0 / half
+
+
+# ---------------------------------------------------------------------------
+# IND-CPA
+# ---------------------------------------------------------------------------
+
+def honest_encryptor(scheme: ExponentialElGamal, message: int, public, rng: RNG) -> Ciphertext:
+    return scheme.encrypt(message, public, rng)
+
+
+def broken_encryptor_factory(fixed_randomness: int = 1):
+    """An encryptor that reuses one randomness value — IND-CPA broken."""
+
+    def encrypt(scheme: ExponentialElGamal, message: int, public, rng: RNG) -> Ciphertext:
+        group = scheme.group
+        return Ciphertext(
+            c1=group.mul(group.exp_generator(message), group.exp(public, fixed_randomness)),
+            c2=group.exp_generator(fixed_randomness),
+        )
+
+    return encrypt
+
+
+def reencryption_adversary(
+    scheme: ExponentialElGamal,
+    public,
+    messages: Tuple[int, int],
+    challenge: Tuple[Ciphertext, Ciphertext],
+    encryptor,
+    rng: RNG,
+) -> int:
+    """Wins iff encryption is deterministic: re-encrypt ``m_1`` and compare.
+
+    The oracle returns ``(E(m_b), E(m_{1-b}))``; output 1 = "first slot
+    holds m_1".
+    """
+    group = scheme.group
+    probe = encryptor(scheme, messages[1], public, rng)
+    first = challenge[0]
+    if group.eq(probe.c1, first.c1) and group.eq(probe.c2, first.c2):
+        return 1
+    probe0 = encryptor(scheme, messages[0], public, rng)
+    if group.eq(probe0.c1, first.c1) and group.eq(probe0.c2, first.c2):
+        return 0
+    return rng.randrange(2)
+
+
+def ind_cpa_game(
+    group: Group,
+    adversary=reencryption_adversary,
+    encryptor=honest_encryptor,
+    messages: Tuple[int, int] = (0, 1),
+    trials: int = 100,
+    rng: Optional[RNG] = None,
+) -> float:
+    """Run the IND-CPA game ``trials`` times; return the advantage."""
+    rng = rng or SeededRNG(0)
+    scheme = ExponentialElGamal(group)
+
+    def trial(b: int, trial_rng: RNG) -> int:
+        keypair = scheme.generate_keypair(trial_rng)
+        ct_b = encryptor(scheme, messages[b], keypair.public, trial_rng)
+        ct_other = encryptor(scheme, messages[1 - b], keypair.public, trial_rng)
+        return adversary(
+            scheme, keypair.public, messages, (ct_b, ct_other), encryptor, trial_rng
+        )
+
+    return estimate_advantage(trial, trials, rng)
+
+
+# ---------------------------------------------------------------------------
+# Framework games
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FrameworkGame:
+    """Shared scaffolding for the gain-hiding and unlinkability games.
+
+    ``honest_ids`` hold oracle-chosen inputs; every other participant and
+    the initiator are adversarial (their inputs and secrets are the
+    adversary's, and the attack code may inspect their party objects
+    after the run — but never the honest parties').
+    """
+
+    schema: AttributeSchema
+    initiator_input: InitiatorInput
+    adversary_inputs: Dict[int, ParticipantInput]
+    honest_ids: Sequence[int]
+    candidates: Tuple[ParticipantInput, ParticipantInput]
+    k: int = 1
+    rho_bits: int = 6
+    group_factory: Callable[[], Group] = None
+    permute: bool = True
+    rerandomize: bool = True
+
+    @property
+    def num_participants(self) -> int:
+        return len(self.adversary_inputs) + len(self.honest_ids)
+
+    def run(self, b: int, seed: int) -> Tuple[GroupRankingFramework, object]:
+        """One framework execution with the oracle's assignment for bit ``b``."""
+        from repro.groups.params import make_test_group
+
+        group = self.group_factory() if self.group_factory else make_test_group(48, seed=7)
+        inputs: List[ParticipantInput] = []
+        honest = list(self.honest_ids)
+        if len(honest) == 1:
+            assignment = {honest[0]: self.candidates[b]}
+        elif len(honest) == 2:
+            assignment = {
+                honest[0]: self.candidates[b],
+                honest[1]: self.candidates[1 - b],
+            }
+        else:
+            raise ValueError("games use one or two honest participants")
+        for party_id in range(1, self.num_participants + 1):
+            if party_id in assignment:
+                inputs.append(assignment[party_id])
+            else:
+                inputs.append(self.adversary_inputs[party_id])
+        config = FrameworkConfig(
+            group=group,
+            schema=self.schema,
+            num_participants=self.num_participants,
+            k=self.k,
+            rho_bits=self.rho_bits,
+            permute=self.permute,
+            rerandomize=self.rerandomize,
+        )
+        framework = GroupRankingFramework(
+            config, self.initiator_input, inputs, rng=SeededRNG(seed)
+        )
+        result = framework.run()
+        return framework, result
+
+
+def _candidate_betas(
+    game: FrameworkGame, framework: GroupRankingFramework, honest_id: int
+) -> Tuple[int, int]:
+    """The adversary's (initiator-side) predictions of the honest β.
+
+    Legitimate adversary knowledge: the initiator knows ρ, ρ_j, her own
+    criterion/weights, and both candidate vectors from the game.
+    """
+    initiator = framework.last_parties[0]
+    rho = initiator.rho
+    rho_j = initiator.rho_assignments[honest_id]
+    width = framework.config.beta_bits
+    betas = []
+    for candidate in game.candidates:
+        p = partial_gain(game.schema, game.initiator_input, candidate)
+        betas.append(to_unsigned(rho * p + rho_j, width))
+    return betas[0], betas[1]
+
+
+def _observed_zero_positions(framework: GroupRankingFramework, adversary_id: int) -> List[int]:
+    group = framework.config.group
+    party = framework.last_parties[adversary_id]
+    return [
+        index
+        for index, residue in enumerate(party.final_residues)
+        if group.is_identity(residue)
+    ]
+
+
+def _block_offset(framework: GroupRankingFramework, owner_id: int, target_id: int) -> int:
+    """Start index of the τ block comparing ``owner`` against ``target``."""
+    others = sorted(
+        j for j in framework.config.participant_ids if j != owner_id
+    )
+    return others.index(target_id) * framework.config.beta_bits
+
+
+def zero_position_attack(
+    game: FrameworkGame,
+    framework: GroupRankingFramework,
+    adversary_id: int,
+    honest_id: int,
+    rng: RNG,
+) -> int:
+    """Guess ``b`` from zero *positions* in an adversarial party's set.
+
+    Only effective when the framework skipped the within-set permutation
+    (``permute=False``); the full framework reduces this to a coin flip.
+    """
+    width = framework.config.beta_bits
+    adversary_party = framework.last_parties[adversary_id]
+    beta_adv = adversary_party.beta_unsigned
+    beta_if_0, beta_if_1 = _candidate_betas(game, framework, honest_id)
+    offset = _block_offset(framework, adversary_id, honest_id)
+    observed = set(_observed_zero_positions(framework, adversary_id))
+    matches = []
+    for guess, beta_honest in ((0, beta_if_0), (1, beta_if_1)):
+        taus = tau_values_plain(beta_adv, beta_honest, width)
+        predicted = {offset + i for i, tau in enumerate(taus) if tau == 0}
+        in_block = {
+            position
+            for position in observed
+            if offset <= position < offset + width
+        }
+        if predicted == in_block:
+            matches.append(guess)
+    if len(matches) == 1:
+        return matches[0]
+    return rng.randrange(2)
+
+
+def tau_dictionary_attack(
+    game: FrameworkGame,
+    framework: GroupRankingFramework,
+    adversary_id: int,
+    honest_id: int,
+    rng: RNG,
+) -> int:
+    """Guess ``b`` from the *multiset* of brute-forced τ values.
+
+    Only effective when exponent rerandomization is ablated
+    (``rerandomize=False``): residues are then ``g^τ`` for true small τ,
+    recoverable by table lookup regardless of permutation.
+    """
+    config = framework.config
+    group = config.group
+    width = config.beta_bits
+    adversary_party = framework.last_parties[adversary_id]
+    beta_adv = adversary_party.beta_unsigned
+
+    # Discrete-log table for the small values τ can take: 0 .. 2(l+1).
+    table = {}
+    probe = group.identity()
+    g = group.generator()
+    for value in range(2 * (width + 2)):
+        table[_key(group, probe)] = value
+        probe = group.mul(probe, g)
+    observed: List[Optional[int]] = [
+        table.get(_key(group, residue)) for residue in adversary_party.final_residues
+    ]
+    observed_multiset = sorted(v for v in observed if v is not None)
+
+    beta_if_0, beta_if_1 = _candidate_betas(game, framework, honest_id)
+    # The adversary knows every non-honest β (they are her own parties').
+    known_betas = {
+        j: framework.last_parties[j].beta_unsigned
+        for j in config.participant_ids
+        if j != honest_id and j != adversary_id
+    }
+    matches = []
+    for guess, beta_honest in ((0, beta_if_0), (1, beta_if_1)):
+        predicted: List[int] = []
+        for j in sorted(set(known_betas) | {honest_id}):
+            other = beta_honest if j == honest_id else known_betas[j]
+            predicted.extend(tau_values_plain(beta_adv, other, width))
+        if sorted(predicted) == observed_multiset:
+            matches.append(guess)
+    if len(matches) == 1:
+        return matches[0]
+    return rng.randrange(2)
+
+
+def _key(group: Group, element) -> bytes:
+    return group.serialize(element)

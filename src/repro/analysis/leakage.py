@@ -1,0 +1,99 @@
+"""Quantifying what a masked gain β = ρ·p + ρ_j actually hides.
+
+Lemma 1's argument is that a participant seeing her β cannot solve for
+``p`` because ``ρ`` and ``ρ_j`` are unknown.  This module makes that
+quantitative: for an observed β and mask width ``h`` (ρ is an h-bit
+integer, ``ρ_j ∈ [0, ρ)``), the *consistent set*
+
+    C(β, h) = { p : ∃ ρ ∈ [2^(h-1), 2^h), ρ_j ∈ [0, ρ) with β = ρ·p + ρ_j }
+
+is the set of partial gains the observation cannot rule out.  For a
+candidate ``p`` a valid ρ exists iff the interval
+``(β/(p+1), β/p]`` contains an integer in the ρ range, so membership is
+O(1) and the deniability census is linear in the candidate range.
+
+The ABL-rho bench sweeps ``h`` and shows the deniability set growing
+(≈ 2^(h-1)·β/(p²) candidates near the true gain) — the concrete sense in
+which a wider mask hides more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.math.rng import RNG, SeededRNG
+
+
+def is_consistent(beta: int, p: int, h: int) -> bool:
+    """Could partial gain ``p`` have produced ``beta`` under an h-bit mask?
+
+    Only positive ``p`` and ``beta`` make sense here (the framework maps
+    to unsigned before masking).
+    """
+    if p <= 0 or beta <= 0:
+        return False
+    rho_low, rho_high = 1 << (h - 1), (1 << h) - 1
+    # Need an integer ρ with ρ·p ≤ β < ρ·(p+1)  ⟺  β/(p+1) < ρ ≤ β/p.
+    lower = beta // (p + 1) + 1          # smallest integer > β/(p+1)
+    upper = beta // p                    # largest integer ≤ β/p
+    lower = max(lower, rho_low)
+    upper = min(upper, rho_high)
+    return lower <= upper
+
+
+def consistent_gain_count(
+    beta: int, h: int, candidate_range: Tuple[int, int]
+) -> int:
+    """|C(β, h) ∩ [lo, hi]| — the deniability census."""
+    lo, hi = candidate_range
+    if lo > hi:
+        raise ValueError("empty candidate range")
+    return sum(1 for p in range(max(1, lo), hi + 1) if is_consistent(beta, p, h))
+
+
+@dataclass
+class MaskingExperiment:
+    """Empirical deniability of the masking for a given gain magnitude."""
+
+    h: int
+    true_gain: int
+    observed_beta: int
+    consistent_count: int
+    window: Tuple[int, int]
+
+
+def run_masking_experiment(
+    true_gain: int,
+    h: int,
+    window_radius: int,
+    rng: Optional[RNG] = None,
+) -> MaskingExperiment:
+    """Mask ``true_gain`` with a random h-bit ρ; census the window around it."""
+    if true_gain <= 0:
+        raise ValueError("use the unsigned (shifted) gain")
+    rng = rng or SeededRNG(0)
+    rho = rng.randint(1 << (h - 1), (1 << h) - 1)
+    rho_j = rng.randrange(rho)
+    beta = rho * true_gain + rho_j
+    window = (max(1, true_gain - window_radius), true_gain + window_radius)
+    count = consistent_gain_count(beta, h, window)
+    return MaskingExperiment(
+        h=h,
+        true_gain=true_gain,
+        observed_beta=beta,
+        consistent_count=count,
+        window=window,
+    )
+
+
+def deniability_series(
+    true_gain: int, hs: List[int], window_radius: int, seed: int = 0
+) -> List[MaskingExperiment]:
+    """One experiment per mask width (shared window for comparability)."""
+    return [
+        run_masking_experiment(
+            true_gain, h, window_radius, SeededRNG(seed * 1000 + h)
+        )
+        for h in hs
+    ]

@@ -1,0 +1,89 @@
+"""Statistical tests backing the empirical security claims.
+
+The unlinkability arguments ultimately rest on *uniform* shuffling: a
+tracked item's output position must be uniform over slots, and repeated
+game trials must look like fair coin flips.  This module provides the
+chi-square machinery (via scipy) the tests use to check those claims at
+a stated significance level instead of eyeballing counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class UniformityResult:
+    """Outcome of a chi-square goodness-of-fit test against uniform."""
+
+    statistic: float
+    p_value: float
+    observations: int
+    categories: int
+
+    def consistent_with_uniform(self, significance: float = 0.01) -> bool:
+        """True unless the data rejects uniformity at the given level."""
+        return self.p_value >= significance
+
+
+def chi_square_uniformity(counts: Sequence[int]) -> UniformityResult:
+    """Test whether category ``counts`` look uniform."""
+    if len(counts) < 2:
+        raise ValueError("need at least two categories")
+    total = sum(counts)
+    if total == 0:
+        raise ValueError("no observations")
+    expected = total / len(counts)
+    if expected < 5:
+        raise ValueError(
+            f"too few observations per category ({expected:.1f} < 5); "
+            "collect more samples for a valid chi-square test"
+        )
+    statistic, p_value = _scipy_stats.chisquare(list(counts))
+    return UniformityResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        observations=total,
+        categories=len(counts),
+    )
+
+
+def position_uniformity_experiment(
+    run_once: Callable[[int], int],
+    slots: int,
+    trials: int,
+) -> UniformityResult:
+    """Drive ``run_once(seed) -> slot`` repeatedly; test slot uniformity.
+
+    Used for "where did the tracked message/zero land" experiments.
+    """
+    counts = [0] * slots
+    for seed in range(trials):
+        slot = run_once(seed)
+        if not 0 <= slot < slots:
+            raise ValueError(f"run returned slot {slot} outside [0, {slots})")
+        counts[slot] += 1
+    return chi_square_uniformity(counts)
+
+
+def binomial_advantage_interval(
+    successes: int, trials: int, z: float = 2.576
+) -> Dict[str, float]:
+    """Normal-approximation confidence interval for a game win rate.
+
+    Returns the estimated advantage ``2·p̂ − 1`` with its half-width;
+    an interval containing 0 means "consistent with coin flipping".
+    ``z = 2.576`` is the 99% level.
+    """
+    if trials <= 0:
+        raise ValueError("need at least one trial")
+    p_hat = successes / trials
+    half_width = z * (p_hat * (1 - p_hat) / trials) ** 0.5
+    return {
+        "advantage": 2 * p_hat - 1,
+        "half_width": 2 * half_width,
+        "win_rate": p_hat,
+    }

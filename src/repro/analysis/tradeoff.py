@@ -1,0 +1,65 @@
+"""Crossover analysis between competing cost curves.
+
+The paper's comparative claims are crossover claims: the SS framework is
+competitive at small n and loses beyond some n*; DL and ECC trade off
+against security level; batched vs interaction-bound network models
+bracket a real deployment.  This module finds those crossovers
+numerically from any two cost functions, so benches can *assert a
+location* instead of eyeballing two curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """The integer argument where ``g`` overtakes ``f``."""
+
+    at: int                  # smallest x in [lo, hi] with g(x) >= f(x)
+    f_value: float
+    g_value: float
+
+
+def find_crossover(
+    f: Callable[[int], float],
+    g: Callable[[int], float],
+    lo: int,
+    hi: int,
+) -> Optional[Crossover]:
+    """Smallest integer ``x ∈ [lo, hi]`` with ``g(x) ≥ f(x)``, or None.
+
+    Assumes the sign of ``g − f`` changes at most once on the range
+    (true for the polynomial-vs-polynomial comparisons here); uses
+    bisection, evaluating each function O(log(hi−lo)) times — cost
+    functions may be expensive (counting runs).
+    """
+    if lo > hi:
+        raise ValueError("empty range")
+
+    def g_wins(x: int) -> bool:
+        return g(x) >= f(x)
+
+    if g_wins(lo):
+        return Crossover(at=lo, f_value=f(lo), g_value=g(lo))
+    if not g_wins(hi):
+        return None
+    low, high = lo, hi          # invariant: not g_wins(low), g_wins(high)
+    while high - low > 1:
+        mid = (low + high) // 2
+        if g_wins(mid):
+            high = mid
+        else:
+            low = mid
+    return Crossover(at=high, f_value=f(high), g_value=g(high))
+
+
+def crossover_ratio_curve(
+    f: Callable[[int], float],
+    g: Callable[[int], float],
+    xs,
+) -> dict:
+    """``g(x)/f(x)`` sampled at each x — the shape benches tabulate."""
+    return {x: g(x) / f(x) for x in xs}

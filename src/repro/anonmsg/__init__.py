@@ -1,0 +1,23 @@
+"""Anonymous group messaging (paper references [13, 18], Section II).
+
+The framework's identity-unlinkable shuffle is, by the authors' own
+account, the Brickell-Shmatikov anonymous-messaging idea recast as a
+sorting step.  This package implements the underlying primitive in its
+own right — a decryption mix-net over distributed ElGamal — and the full
+anonymous data-collection protocol on the runtime engine: ``n`` members
+submit messages to a collector such that the collector (and up to
+``n-2`` colluding members) learns the multiset of messages but cannot
+link any message to its sender.
+"""
+
+from repro.anonmsg.encoding import decode_message, encode_message
+from repro.anonmsg.mixnet import DecryptionMixnet
+from repro.anonmsg.collection import AnonymousCollection, run_anonymous_collection
+
+__all__ = [
+    "AnonymousCollection",
+    "DecryptionMixnet",
+    "decode_message",
+    "encode_message",
+    "run_anonymous_collection",
+]

@@ -1,0 +1,46 @@
+"""Encoding integers as elements of a safe-prime DL group.
+
+For ``p = 2q + 1`` with ``p ≡ 3 (mod 4)``, exactly one of ``m`` and
+``p − m`` is a quadratic residue (because ``-1`` is a non-residue), so
+
+    encode(m) = m        if m is a QR mod p
+              = p − m    otherwise
+
+injectively maps ``m ∈ [1, q]`` into the QR subgroup, and
+
+    decode(e) = e        if e ≤ q
+              = p − e    otherwise
+
+inverts it.  This is the standard message embedding for multiplicative
+ElGamal over safe-prime groups; elliptic-curve groups would need
+try-and-increment and are not supported here.
+"""
+
+from __future__ import annotations
+
+from repro.groups.dl import DLGroup
+from repro.math.modular import jacobi_symbol
+
+
+def encode_message(message: int, group: DLGroup) -> int:
+    """Embed ``message ∈ [1, q]`` as a quadratic residue mod ``p``."""
+    if not isinstance(group, DLGroup):
+        raise TypeError("message encoding requires a safe-prime DL group")
+    p = group.modulus
+    if p % 4 != 3:
+        raise ValueError("encoding needs p ≡ 3 (mod 4)")
+    if not 1 <= message <= group.order:
+        raise ValueError(f"message must lie in [1, {group.order}]")
+    if jacobi_symbol(message, p) == 1:
+        return message
+    return p - message
+
+
+def decode_message(element: int, group: DLGroup) -> int:
+    """Invert :func:`encode_message`."""
+    if not isinstance(group, DLGroup):
+        raise TypeError("message decoding requires a safe-prime DL group")
+    p = group.modulus
+    if not 0 < element < p:
+        raise ValueError("element out of range")
+    return element if element <= group.order else p - element

@@ -1,0 +1,14 @@
+"""Complete baseline systems the paper compares against.
+
+:mod:`repro.baselines.ss_framework` assembles the paper's "SS framework"
+comparator end to end: the same masked-gain phase 1, but phase 2 replaced
+by secret-sharing-based multiparty ranking (Jónsson-style comparisons
+over Shamir shares, executed by real message-passing parties).  Same
+inputs and result interface as the main framework, so the two systems
+are directly comparable — including the privacy property the SS baseline
+*lacks*: every party learns every pairwise comparison outcome.
+"""
+
+from repro.baselines.ss_framework import SSFrameworkResult, SSGroupRankingFramework
+
+__all__ = ["SSFrameworkResult", "SSGroupRankingFramework"]

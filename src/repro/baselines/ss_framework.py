@@ -1,0 +1,132 @@
+"""The paper's "SS framework" comparator, assembled end to end.
+
+Section VII: "Since Jónsson's protocol does not deal with secure dot
+product problem, we used our gain computation part and fed the result β
+values to Jónsson's protocol."  This module does exactly that:
+
+1. **Phase 1** — the same Ioannidis dot-product masking as the main
+   framework (β = ρ·p + ρ_j), run pairwise between the initiator and
+   each participant;
+2. **Phase 2** — the distributed secret-sharing ranking protocol
+   (:mod:`repro.sharing.protocol`): Shamir-share the β values, compare
+   pairwise with the LSB gadget, open the comparison bits;
+3. **Phase 3** — top-k participants submit to the initiator.
+
+Result interface matches :class:`repro.core.framework.FrameworkResult`
+where it can — and exposes what the main framework is designed to hide:
+:attr:`SSFrameworkResult.public_ranking` is known to *every* party,
+because step 2 opens all pairwise bits.  The integration tests compare
+the two systems on identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.gain import (
+    AttributeSchema,
+    InitiatorInput,
+    ParticipantInput,
+    initiator_extended_vector,
+    participant_extended_vector,
+    to_unsigned,
+)
+from repro.dotproduct.ioannidis import DotProductProtocol
+from repro.math.primes import next_prime
+from repro.math.rng import RNG, SeededRNG
+from repro.runtime.transcript import Transcript
+from repro.sharing.protocol import run_distributed_ss_ranking
+
+
+@dataclass
+class SSFrameworkResult:
+    """End-to-end outcome of the SS baseline."""
+
+    ranks: Dict[int, int]
+    selected: List[Tuple[int, int, Tuple[int, ...]]]
+    betas: Dict[int, int]
+    rounds: int
+    transcript: Transcript            # the SS-ranking phase's messages
+    #: The leak: the full participant->rank map is public to all parties.
+    public_ranking: Dict[int, int] = None
+
+    def selected_ids(self) -> List[int]:
+        return [party_id for party_id, _, _ in self.selected]
+
+
+class SSGroupRankingFramework:
+    """Drop-in comparator for :class:`GroupRankingFramework`.
+
+    Needs at least 3 participants (the GRR degree reduction requires
+    ``2t+1 ≤ n`` with ``t ≥ 1``).
+    """
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        initiator_input: InitiatorInput,
+        participant_inputs: List[ParticipantInput],
+        k: int,
+        rho_bits: int = 8,
+        rng: Optional[RNG] = None,
+    ):
+        if len(participant_inputs) < 3:
+            raise ValueError("the SS baseline needs at least 3 participants")
+        if not 1 <= k <= len(participant_inputs):
+            raise ValueError("k must be in [1, n]")
+        self.schema = schema
+        self.initiator_input = initiator_input
+        self.participant_inputs = list(participant_inputs)
+        self.k = k
+        self.rho_bits = rho_bits
+        self._rng = rng or SeededRNG(0)
+
+    def run(self) -> SSFrameworkResult:
+        from repro.core.gain import beta_bit_length
+
+        rng = self._rng
+        schema = self.schema
+        n = len(self.participant_inputs)
+        beta_bits = beta_bit_length(
+            schema.dimension, schema.value_bits, schema.weight_bits, self.rho_bits
+        )
+        field_prime = next_prime(1 << (beta_bits + 8))
+        dot = DotProductProtocol(field_prime)
+
+        # Phase 1: the same masked dot products as the main framework.
+        rho = max(2, rng.randbits(self.rho_bits) | (1 << (self.rho_bits - 1)))
+        extended_initiator = initiator_extended_vector(
+            schema, self.initiator_input, rho
+        )
+        betas: Dict[int, int] = {}
+        for j, secret_input in enumerate(self.participant_inputs, start=1):
+            extended = participant_extended_vector(schema, secret_input)
+            request, state = dot.bob_request(extended, rng)
+            rho_j = rng.randrange(rho)
+            response = dot.alice_respond(request, extended_initiator, rho_j)
+            betas[j] = to_unsigned(dot.bob_recover(state, response), beta_bits)
+
+        # Phase 2: distributed SS ranking over a field big enough for the
+        # comparison precondition (β < p/2).
+        ranking_prime = next_prime(1 << (beta_bits + 2))
+        ss_run = run_distributed_ss_ranking(
+            [betas[j] for j in sorted(betas)], ranking_prime, rng=rng
+        )
+
+        # Phase 3: top-k submission.  In this baseline every rank is
+        # already public, so "submission" only transfers the vectors.
+        selected = [
+            (j, ss_run.ranks[j], self.participant_inputs[j - 1].values)
+            for j in sorted(ss_run.ranks)
+            if ss_run.ranks[j] <= self.k
+        ]
+        selected.sort(key=lambda item: (item[1], item[0]))
+        return SSFrameworkResult(
+            ranks=ss_run.ranks,
+            selected=selected,
+            betas=betas,
+            rounds=ss_run.rounds,
+            transcript=ss_run.transcript,
+            public_ranking=dict(ss_run.ranks),
+        )

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: the privacy-preserving group ranking
+framework (paper Fig. 1) and its identity-unlinkable multiparty sorting
+core.
+
+Public entry point: :class:`repro.core.framework.GroupRankingFramework`.
+"""
+
+from repro.core.comparison import (
+    HomomorphicComparator,
+    compare_bits_plain,
+    tau_values_plain,
+)
+from repro.core.framework import FrameworkConfig, FrameworkResult, GroupRankingFramework
+from repro.core.gain import (
+    AttributeSchema,
+    InitiatorInput,
+    ParticipantInput,
+    beta_bit_length,
+    gain,
+    partial_gain,
+    to_signed,
+    to_unsigned,
+)
+from repro.core.parties import InitiatorParty, ParticipantParty
+from repro.core.shuffle import ShuffleProcessor
+from repro.core.sorting_protocol import (
+    SortingParty,
+    UnlinkableSortResult,
+    unlinkable_sort,
+)
+
+__all__ = [
+    "AttributeSchema",
+    "FrameworkConfig",
+    "FrameworkResult",
+    "GroupRankingFramework",
+    "HomomorphicComparator",
+    "InitiatorInput",
+    "InitiatorParty",
+    "ParticipantInput",
+    "ParticipantParty",
+    "ShuffleProcessor",
+    "SortingParty",
+    "UnlinkableSortResult",
+    "unlinkable_sort",
+    "beta_bit_length",
+    "compare_bits_plain",
+    "gain",
+    "partial_gain",
+    "tau_values_plain",
+    "to_signed",
+    "to_unsigned",
+]

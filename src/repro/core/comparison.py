@@ -1,0 +1,116 @@
+"""The homomorphic bit-comparison circuit (framework step 7).
+
+Given P_j's *plaintext* bits of ``β_j`` and P_i's *encrypted* bits of
+``β_i``, P_j computes, for every bit position ``t`` (1-indexed from the
+least significant bit, as in the paper):
+
+    γ^t = β_j^t ⊕ β_i^t
+    ω^t = (l − t + 1) − Σ_{v=t+1}^{l} (γ^t − γ^v) − γ^t
+    τ^t = ω^t + β_j^t
+
+Key property (proved in ``tests/test_core_comparison.py`` exhaustively
+and by hypothesis): among ``τ^1 .. τ^l`` there is **exactly one zero iff
+β_j < β_i, and no zero otherwise**.  Intuition: let ``t*`` be the most
+significant differing bit.  At ``t = t*`` the bracket ``(l−t+1)·(1−γ^t)
++ Σ_{v>t} γ^v`` vanishes, leaving ``τ = β_j^{t*}``, which is 0 exactly
+when ``β_j`` loses; at every other position something positive remains.
+
+All of this is affine in the encrypted bits, so it runs under
+exponential ElGamal: XOR with a known bit is negation-or-identity, and
+the suffix sums are ciphertext additions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.bitenc import BitwiseCiphertext
+from repro.crypto.elgamal import Ciphertext, ExponentialElGamal
+from repro.groups.base import Group
+from repro.math.modular import int_to_bits
+
+
+def tau_values_plain(beta_j: int, beta_i: int, width: int) -> List[int]:
+    """Reference plaintext evaluation of the circuit (little-endian list:
+    entry ``t-1`` is the paper's ``τ^t``)."""
+    bits_j = int_to_bits(beta_j, width)
+    bits_i = int_to_bits(beta_i, width)
+    gammas = [bj ^ bi for bj, bi in zip(bits_j, bits_i)]
+    taus = []
+    for t in range(1, width + 1):
+        suffix = sum(gammas[v - 1] for v in range(t + 1, width + 1))
+        omega = (width - t + 1) - ((width - t + 1) * gammas[t - 1] - suffix)
+        taus.append(omega + bits_j[t - 1])
+    return taus
+
+
+def compare_bits_plain(beta_j: int, beta_i: int, width: int) -> bool:
+    """True iff the circuit reports ``β_j < β_i`` (i.e. a zero τ exists)."""
+    return 0 in tau_values_plain(beta_j, beta_i, width)
+
+
+class HomomorphicComparator:
+    """Evaluates the circuit over exponential-ElGamal ciphertexts.
+
+    ``naive_suffix=True`` recomputes every suffix sum from scratch
+    (``O(l²)`` ciphertext additions, matching the paper's step-7 cost
+    accounting); the default reuses a running suffix sum (``O(l)``).
+    The outputs are identical; the ablation bench contrasts the costs.
+    """
+
+    def __init__(self, group: Group, naive_suffix: bool = False):
+        self.group = group
+        self.scheme = ExponentialElGamal(group)
+        self.naive_suffix = naive_suffix
+
+    def encrypted_taus(
+        self, my_beta: int, other_bits: BitwiseCiphertext
+    ) -> List[Ciphertext]:
+        """``[E(τ^1), …, E(τ^l)]`` comparing ``my_beta`` against the
+        encrypted ``β_i``.  A zero plaintext will exist iff
+        ``my_beta < β_i``."""
+        width = other_bits.bit_length
+        my_bits = int_to_bits(my_beta, width)
+        gammas = [
+            self._encrypted_xor_with_plain(bit_ct, my_bit)
+            for bit_ct, my_bit in zip(other_bits, my_bits)
+        ]
+        if self.naive_suffix:
+            suffix_sums = [
+                self._sum_ciphertexts(gammas[t:]) for t in range(1, width + 1)
+            ]
+        else:
+            suffix_sums = self._running_suffix_sums(gammas)
+        taus: List[Ciphertext] = []
+        for t in range(1, width + 1):
+            weight = width - t + 1
+            # ω^t = weight − weight·γ^t + Σ_{v>t} γ^v
+            omega = self.scheme.scalar_mul(gammas[t - 1], -weight)
+            omega = self.scheme.add(omega, suffix_sums[t - 1])
+            omega = self.scheme.add_plain(omega, weight)
+            taus.append(self.scheme.add_plain(omega, my_bits[t - 1]))
+        return taus
+
+    # -- helpers ---------------------------------------------------------------
+    def _encrypted_xor_with_plain(self, bit_ct: Ciphertext, plain_bit: int) -> Ciphertext:
+        """``E(b) -> E(b ⊕ p)`` for a known bit ``p``: identity or ``E(1-b)``."""
+        if plain_bit == 0:
+            return bit_ct
+        return self.scheme.add_plain(self.scheme.negate(bit_ct), 1)
+
+    def _running_suffix_sums(self, gammas: Sequence[Ciphertext]) -> List[Ciphertext]:
+        """``sums[t-1] = E(Σ_{v>t} γ^v)`` with one pass from the top bit."""
+        width = len(gammas)
+        zero = Ciphertext(c1=self.group.identity(), c2=self.group.identity())
+        sums = [zero] * width
+        running = zero
+        for t in range(width - 1, 0, -1):
+            running = self.scheme.add(running, gammas[t])
+            sums[t - 1] = running
+        return sums
+
+    def _sum_ciphertexts(self, items: Sequence[Ciphertext]) -> Ciphertext:
+        total = Ciphertext(c1=self.group.identity(), c2=self.group.identity())
+        for item in items:
+            total = self.scheme.add(total, item)
+        return total

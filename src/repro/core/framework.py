@@ -1,0 +1,164 @@
+"""One-call orchestration of a full framework run (paper Fig. 1).
+
+:class:`GroupRankingFramework` wires an initiator and ``n`` participants
+into the runtime engine, runs the three phases to completion, and
+returns a :class:`FrameworkResult` carrying the per-participant ranks,
+the initiator's verified top-k selection, the full message transcript
+and per-party metrics — everything the evaluation section consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.gain import (
+    AttributeSchema,
+    InitiatorInput,
+    ParticipantInput,
+    partial_gain,
+)
+from repro.core.parties import (
+    FrameworkConfig,
+    InitiatorOutput,
+    InitiatorParty,
+    ParticipantParty,
+)
+from repro.math.rng import RNG, SeededRNG
+from repro.runtime.engine import Engine
+from repro.runtime.metrics import PartyMetrics
+from repro.runtime.transcript import Transcript
+
+__all__ = ["FrameworkConfig", "FrameworkResult", "GroupRankingFramework"]
+
+
+@dataclass
+class FrameworkResult:
+    """Everything observable after a run."""
+
+    ranks: Dict[int, int]                  # participant id -> final rank
+    initiator_output: InitiatorOutput
+    transcript: Transcript
+    metrics: Dict[int, PartyMetrics]
+    rounds: int
+    betas: Dict[int, int]                  # participant id -> unsigned β (for analysis)
+
+    def selected_ids(self) -> List[int]:
+        return [party_id for party_id, _, _ in self.initiator_output.selected]
+
+    def participant_metrics(self) -> List[PartyMetrics]:
+        return [m for pid, m in sorted(self.metrics.items()) if pid != 0]
+
+    def max_participant_multiplications(self) -> int:
+        return max(
+            m.ops.equivalent_multiplications for m in self.participant_metrics()
+        )
+
+
+class GroupRankingFramework:
+    """Build, run and check a privacy-preserving group ranking instance."""
+
+    def __init__(
+        self,
+        config: FrameworkConfig,
+        initiator_input: InitiatorInput,
+        participant_inputs: Sequence[ParticipantInput],
+        rng: Optional[RNG] = None,
+    ):
+        if len(participant_inputs) != config.num_participants:
+            raise ValueError(
+                f"config says n={config.num_participants} but "
+                f"{len(participant_inputs)} inputs given"
+            )
+        self.config = config
+        self.initiator_input = initiator_input
+        self.participant_inputs = list(participant_inputs)
+        self._rng = rng or SeededRNG(0)
+
+    def run(self) -> FrameworkResult:
+        config = self.config
+        engine = Engine(metered_groups=[config.group])
+        rng = self._rng
+        initiator = InitiatorParty(
+            config, self.initiator_input, _fork(rng, "initiator")
+        )
+        engine.add_party(initiator)
+        participants: List[ParticipantParty] = []
+        for j, secret_input in enumerate(self.participant_inputs, start=1):
+            party = ParticipantParty(config, j, secret_input, _fork(rng, f"P{j}"))
+            engine.add_party(party)
+            participants.append(party)
+        outputs = engine.run()
+        # Kept for the security-game harness, which inspects *adversarial*
+        # parties' internals after a run.
+        self.last_parties = engine.parties
+        ranks = {party.party_id: party.rank for party in participants}
+        betas = {party.party_id: party.beta_unsigned for party in participants}
+        return FrameworkResult(
+            ranks=ranks,
+            initiator_output=outputs[0],
+            transcript=engine.transcript,
+            metrics={pid: party.metrics for pid, party in engine.parties.items()},
+            rounds=engine.transcript.rounds,
+            betas=betas,
+        )
+
+    # -- reference computations for verification --------------------------------
+    def expected_partial_gains(self) -> Dict[int, int]:
+        return {
+            j: partial_gain(self.config.schema, self.initiator_input, values)
+            for j, values in enumerate(self.participant_inputs, start=1)
+        }
+
+    def expected_ranks(self) -> Dict[int, int]:
+        """Rank each participant would get with in-the-clear sorting.
+
+        Rank of ``j`` is ``1 + #{i : p_i > p_j}``; equal partial gains
+        share a rank, exactly as the framework's zero-count does for
+        equal β values.
+        """
+        gains = self.expected_partial_gains()
+        return {
+            j: 1 + sum(1 for other in gains.values() if other > mine)
+            for j, mine in gains.items()
+        }
+
+    def check_result(self, result: FrameworkResult) -> List[str]:
+        """Compare a run against the in-the-clear reference.
+
+        Returns a list of discrepancies (empty means the run is correct).
+        Participants whose partial gains tie may legitimately receive
+        adjacent ranks depending on the masking draw, so ties accept a
+        range.
+        """
+        problems: List[str] = []
+        gains = self.expected_partial_gains()
+        for j, rank in result.ranks.items():
+            strictly_better = sum(1 for g in gains.values() if g > gains[j])
+            ties = sum(1 for g in gains.values() if g == gains[j])  # includes self
+            if not strictly_better + 1 <= rank <= strictly_better + ties:
+                problems.append(
+                    f"P{j}: rank {rank} outside [{strictly_better + 1}, "
+                    f"{strictly_better + ties}]"
+                )
+        expected_selected = {
+            j for j, rank in result.ranks.items() if rank <= self.config.k
+        }
+        if set(result.selected_ids()) != expected_selected:
+            problems.append(
+                f"initiator selected {sorted(result.selected_ids())}, "
+                f"ranks imply {sorted(expected_selected)}"
+            )
+        if not result.initiator_output.verified:
+            problems.append(
+                f"initiator flagged anomalies: {result.initiator_output.anomalies}"
+            )
+        return problems
+
+
+def _fork(rng: RNG, label: str) -> RNG:
+    """Give each party its own stream when the base RNG supports forking."""
+    fork = getattr(rng, "fork", None)
+    if callable(fork):
+        return fork(label)
+    return rng

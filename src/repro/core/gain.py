@@ -1,0 +1,211 @@
+"""Gain model (paper Section III-A, Definitions 1-2).
+
+The initiator scores each participant by a *gain* combining
+"greater than" attributes (reward exceeding the criterion) and
+"equal to" attributes (penalize squared distance from the criterion):
+
+    g_j = Σ_{k>t} w_k (v_k^j − v_k^0)  −  Σ_{k≤t} w_k (v_k^j − v_k^0)²
+
+Ranking only needs the *partial gain*
+
+    p_j = Σ_{k>t} w_k v_k^j − Σ_{k≤t} (w_k (v_k^j)² − 2 w_k v_k^j v_k^0)
+
+which differs from ``g_j`` by a participant-independent constant and
+hides part of the criterion.  The framework never computes ``p_j`` in
+the clear: the dot-product protocol yields the masked value
+``β_j = ρ·p_j + ρ_j``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AttributeSchema:
+    """The questionnaire: ``m`` named attributes, the first ``t`` "equal to".
+
+    ``value_bits`` (paper ``d1``) bounds attribute values;
+    ``weight_bits`` (paper ``d2``) bounds the initiator's weights.
+    """
+
+    names: Tuple[str, ...]
+    num_equal: int
+    value_bits: int
+    weight_bits: int
+
+    def __post_init__(self):
+        if not self.names:
+            raise ValueError("schema needs at least one attribute")
+        if not 0 <= self.num_equal <= len(self.names):
+            raise ValueError("num_equal out of range")
+        if self.value_bits < 1 or self.weight_bits < 1:
+            raise ValueError("bit widths must be positive")
+
+    @property
+    def dimension(self) -> int:
+        return len(self.names)
+
+    @property
+    def extended_dimension(self) -> int:
+        """Dimension of the dot-product vectors: ``(m - t) + t + t``."""
+        return self.dimension + self.num_equal
+
+    def check_values(self, values: Sequence[int], label: str) -> None:
+        if len(values) != self.dimension:
+            raise ValueError(f"{label} has {len(values)} entries, schema wants {self.dimension}")
+        bound = 1 << self.value_bits
+        for name, value in zip(self.names, values):
+            if not 0 <= value < bound:
+                raise ValueError(
+                    f"{label}[{name}] = {value} outside [0, 2^{self.value_bits})"
+                )
+
+    def check_weights(self, weights: Sequence[int]) -> None:
+        if len(weights) != self.dimension:
+            raise ValueError("weight vector dimension mismatch")
+        bound = 1 << self.weight_bits
+        for name, weight in zip(self.names, weights):
+            if not 0 <= weight < bound:
+                raise ValueError(
+                    f"weight[{name}] = {weight} outside [0, 2^{self.weight_bits})"
+                )
+
+
+@dataclass(frozen=True)
+class InitiatorInput:
+    """The initiator's private criterion vector ``v0`` and weights ``w``."""
+
+    criterion: Tuple[int, ...]
+    weights: Tuple[int, ...]
+
+    @classmethod
+    def create(
+        cls, schema: AttributeSchema, criterion: Sequence[int], weights: Sequence[int]
+    ) -> "InitiatorInput":
+        schema.check_values(criterion, "criterion")
+        schema.check_weights(weights)
+        return cls(criterion=tuple(criterion), weights=tuple(weights))
+
+
+@dataclass(frozen=True)
+class ParticipantInput:
+    """One participant's private information vector ``v_j``."""
+
+    values: Tuple[int, ...]
+
+    @classmethod
+    def create(cls, schema: AttributeSchema, values: Sequence[int]) -> "ParticipantInput":
+        schema.check_values(values, "information vector")
+        return cls(values=tuple(values))
+
+
+# ---------------------------------------------------------------------------
+# Reference (in-the-clear) gain computations — used by tests, by the
+# initiator's final verification, and nowhere else.
+# ---------------------------------------------------------------------------
+
+def gain(
+    schema: AttributeSchema, initiator: InitiatorInput, participant: ParticipantInput
+) -> int:
+    """Definition 1, computed in the clear."""
+    t = schema.num_equal
+    v0, w, vj = initiator.criterion, initiator.weights, participant.values
+    greater = sum(w[k] * (vj[k] - v0[k]) for k in range(t, schema.dimension))
+    equal = sum(w[k] * (vj[k] - v0[k]) ** 2 for k in range(t))
+    return greater - equal
+
+
+def partial_gain(
+    schema: AttributeSchema, initiator: InitiatorInput, participant: ParticipantInput
+) -> int:
+    """The ranking-sufficient partial gain ``p_j`` (Section III-A)."""
+    t = schema.num_equal
+    v0, w, vj = initiator.criterion, initiator.weights, participant.values
+    greater = sum(w[k] * vj[k] for k in range(t, schema.dimension))
+    equal = sum(w[k] * vj[k] ** 2 - 2 * w[k] * vj[k] * v0[k] for k in range(t))
+    return greater - equal
+
+
+def gain_offset(schema: AttributeSchema, initiator: InitiatorInput) -> int:
+    """The participant-independent constant with ``g_j = p_j - offset``."""
+    t = schema.num_equal
+    v0, w = initiator.criterion, initiator.weights
+    return sum(w[k] * v0[k] for k in range(t, schema.dimension)) + sum(
+        w[k] * v0[k] ** 2 for k in range(t)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dot-product embeddings (Section V, steps 2-3)
+# ---------------------------------------------------------------------------
+
+def participant_extended_vector(
+    schema: AttributeSchema, participant: ParticipantInput
+) -> List[int]:
+    """``w'_j = [vg_j, ve_j * ve_j, ve_j]`` (the protocol appends the 1)."""
+    t = schema.num_equal
+    vj = participant.values
+    ve = list(vj[:t])
+    vg = list(vj[t:])
+    return vg + [value * value for value in ve] + ve
+
+
+def initiator_extended_vector(
+    schema: AttributeSchema, initiator: InitiatorInput, rho: int
+) -> List[int]:
+    """``v'_j = [ρ·wg, −ρ·we, 2ρ·(we * ve0)]`` (``ρ_j`` rides as α)."""
+    t = schema.num_equal
+    v0, w = initiator.criterion, initiator.weights
+    we = list(w[:t])
+    wg = list(w[t:])
+    ve0 = list(v0[:t])
+    return (
+        [rho * weight for weight in wg]
+        + [-rho * weight for weight in we]
+        + [2 * rho * weight * value for weight, value in zip(we, ve0)]
+    )
+
+
+# ---------------------------------------------------------------------------
+# β bit-lengths and the signed/unsigned conversion (Section III-A)
+# ---------------------------------------------------------------------------
+
+def beta_bit_length(
+    m: int, d1: int, d2: int, h: int, mode: str = "safe"
+) -> int:
+    """Bit length ``l`` of the masked gain ``β = ρ·p + ρ_j`` (sign included).
+
+    ``mode="paper"`` reproduces the paper's stated
+    ``l = h + ⌈log m⌉ + d1 + 2·d2 + 2``.  ``mode="safe"`` (default) uses
+    the rigorous bound ``l = h + ⌈log m⌉ + 2·d1 + d2 + 3`` — the paper's
+    expression undercounts the ``w·v²`` term, which carries *two* factors
+    of a ``d1``-bit value and one ``d2``-bit weight (see EXPERIMENTS.md).
+    Both are linear in every parameter, so all evaluation trends match.
+    """
+    if m < 1:
+        raise ValueError("m must be positive")
+    log_m = max(1, math.ceil(math.log2(m))) if m > 1 else 1
+    if mode == "paper":
+        return h + log_m + d1 + 2 * d2 + 2
+    if mode == "safe":
+        return h + log_m + 2 * d1 + d2 + 3
+    raise ValueError("mode must be 'paper' or 'safe'")
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Order-preserving map of an ``l``-bit signed value to unsigned:
+    add ``2^(l-1)``."""
+    shifted = value + (1 << (width - 1))
+    if not 0 <= shifted < (1 << width):
+        raise ValueError(f"{value} out of signed {width}-bit range")
+    return shifted
+
+
+def to_signed(value: int, width: int) -> int:
+    """Inverse of :func:`to_unsigned`."""
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"{value} out of unsigned {width}-bit range")
+    return value - (1 << (width - 1))

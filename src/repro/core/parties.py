@@ -1,0 +1,499 @@
+"""The framework's two party roles (paper Fig. 1).
+
+``InitiatorParty`` (``P_0``) holds the criterion and weight vectors,
+answers the dot-product requests with the masked extended vector, acts
+as a ZKP verifier, and finally collects and re-verifies the top-k
+submissions.
+
+``ParticipantParty`` (``P_j``, ``1 ≤ j ≤ n``) runs all three phases:
+secure gain computation, unlinkable gain comparison (distributed keying
+with ZKPs, bitwise encryption, homomorphic comparison, the shuffle
+chain) and ranking submission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.comparison import HomomorphicComparator
+from repro.core.gain import (
+    AttributeSchema,
+    InitiatorInput,
+    ParticipantInput,
+    initiator_extended_vector,
+    participant_extended_vector,
+    partial_gain,
+    to_unsigned,
+)
+from repro.core.shuffle import ShuffleProcessor
+from repro.crypto.bitenc import BitwiseCiphertext, BitwiseElGamal
+from repro.crypto.distkey import DistributedKey
+from repro.crypto.elgamal import Ciphertext
+from repro.crypto.zkp import MultiVerifierSchnorrProof, NonInteractiveSchnorrProof
+from repro.dotproduct.ioannidis import DotProductProtocol
+from repro.groups.base import Element, Group
+from repro.math.rng import RNG
+from repro.runtime.errors import ProtocolAbort, ProtocolError
+from repro.runtime.party import Party
+
+INITIATOR_ID = 0
+
+# Message tags (one per arrow in Fig. 1).
+TAG_DP_REQUEST = "dp-request"
+TAG_DP_RESPONSE = "dp-response"
+TAG_PK_SHARE = "pk-share"
+TAG_ZKP_COMMIT = "zkp-commit"
+TAG_ZKP_CHALLENGE = "zkp-challenge"
+TAG_ZKP_RESPONSE = "zkp-response"
+TAG_ZKP_NIZK = "zkp-nizk"
+TAG_BETA_BITS = "beta-bits"
+TAG_TAU_SETS = "tau-sets"
+TAG_CHAIN = "chain"
+TAG_FINAL_SET = "final-set"
+TAG_SUBMISSION = "submission"
+
+
+@dataclass
+class FrameworkConfig:
+    """Everything public: the group, the questionnaire, and parameters.
+
+    ``rerandomize``/``permute``/``naive_suffix`` are ablation switches
+    (defaults reproduce the paper's protocol).
+    """
+
+    group: Group
+    schema: AttributeSchema
+    num_participants: int
+    k: int
+    rho_bits: int = 15                     # paper's h
+    beta_bits: int = 0                     # l; 0 means "derive from schema"
+    dp_field_prime: int = 0                # 0 means "derive from beta_bits"
+    dp_expansion: int = 2
+    beta_mode: str = "safe"
+    rerandomize: bool = True
+    permute: bool = True
+    naive_suffix: bool = False
+    verify_zkp: bool = True
+    zkp_mode: str = "interactive"   # or "fiat-shamir" (NIZK, fewer rounds)
+
+    def __post_init__(self):
+        if self.zkp_mode not in ("interactive", "fiat-shamir"):
+            raise ValueError("zkp_mode must be 'interactive' or 'fiat-shamir'")
+        from repro.core.gain import beta_bit_length
+        from repro.math.primes import next_prime
+
+        if self.num_participants < 2:
+            raise ValueError("the comparison phase needs at least 2 participants")
+        if not 1 <= self.k <= self.num_participants:
+            raise ValueError("k must be in [1, n]")
+        if self.rho_bits < 1:
+            raise ValueError("rho_bits must be positive")
+        if self.beta_bits == 0:
+            self.beta_bits = beta_bit_length(
+                self.schema.dimension,
+                self.schema.value_bits,
+                self.schema.weight_bits,
+                self.rho_bits,
+                mode=self.beta_mode,
+            )
+        if self.dp_field_prime == 0:
+            # The dot product w'·v' equals the signed β, |β| < 2^(l-1);
+            # +8 guard bits keep centered decoding unambiguous.
+            self.dp_field_prime = next_prime(1 << (self.beta_bits + 8))
+
+    @property
+    def participant_ids(self) -> List[int]:
+        return list(range(1, self.num_participants + 1))
+
+    def dot_protocol(self) -> DotProductProtocol:
+        return DotProductProtocol(self.dp_field_prime, expansion=self.dp_expansion)
+
+    def ciphertext_bits(self) -> int:
+        return 2 * self.group.element_bits
+
+
+@dataclass
+class Submission:
+    """A top-k participant's ranking-phase message to the initiator."""
+
+    rank: int
+    values: Tuple[int, ...]
+
+
+@dataclass
+class InitiatorOutput:
+    """What P_0 ends up with."""
+
+    selected: List[Tuple[int, int, Tuple[int, ...]]] = field(default_factory=list)
+    # (party_id, claimed rank, information vector), sorted by rank.
+    verified: bool = True
+    anomalies: List[str] = field(default_factory=list)
+
+
+class InitiatorParty(Party):
+    """``P_0``: gain-computation counterpart, ZKP verifier, collector."""
+
+    def __init__(self, config: FrameworkConfig, secret_input: InitiatorInput, rng: RNG):
+        super().__init__(INITIATOR_ID, rng)
+        self.config = config
+        self.secret_input = secret_input
+        self._zkp = MultiVerifierSchnorrProof(config.group)
+
+    def protocol(self):
+        config = self.config
+        participants = config.participant_ids
+        dot = config.dot_protocol()
+
+        # ---- Phase 1: secure gain computation (steps 1, 3) ----
+        rho = max(2, self.rng.randbits(config.rho_bits) | (1 << (config.rho_bits - 1)))
+        # ρ and the per-participant ρ_j are the initiator's private state;
+        # the security games read them only when the initiator is
+        # adversary-controlled.
+        self.rho = rho
+        self.rho_assignments: Dict[int, int] = {}
+        extended = initiator_extended_vector(config.schema, self.secret_input, rho)
+        response_bits = dot.message_bits(len(extended))[1]
+        for _ in participants:
+            message = yield from self.recv(None, TAG_DP_REQUEST)
+            # ρ_j drawn from [0, ρ) so that distinct partial gains always
+            # yield strictly ordered β values (see gain.py docs).
+            rho_j = self.rng.randrange(rho)
+            self.rho_assignments[message.src] = rho_j
+            response = dot.alice_respond(message.payload, extended, rho_j)
+            self.send(message.src, TAG_DP_RESPONSE, response, size_bits=response_bits)
+
+        # ---- Phase 2 (verifier role only): check every participant's ZKP ----
+        publics: Dict[int, Element] = {}
+        if config.verify_zkp and config.zkp_mode == "fiat-shamir":
+            for j in participants:
+                message = yield from self.recv(j, TAG_ZKP_NIZK)
+                their_public, their_proof = message.payload
+                nizk = NonInteractiveSchnorrProof(
+                    config.group, context=b"repro-keying|" + str(j).encode()
+                )
+                if not nizk.verify(their_public, their_proof):
+                    raise ProtocolAbort(f"P{j}'s key-knowledge NIZK failed")
+                publics[j] = their_public
+        elif config.verify_zkp:
+            commits: Dict[int, Element] = {}
+            for j in participants:
+                share_msg = yield from self.recv(j, TAG_PK_SHARE)
+                publics[j] = share_msg.payload
+                commit_msg = yield from self.recv(j, TAG_ZKP_COMMIT)
+                commits[j] = commit_msg.payload
+                challenge = self._zkp.challenge(self.rng)
+                self.send(j, TAG_ZKP_CHALLENGE, challenge,
+                          size_bits=config.group.order.bit_length())
+            for j in participants:
+                response_msg = yield from self.recv(j, TAG_ZKP_RESPONSE)
+                commitment, challenges, z = response_msg.payload
+                if not config.group.eq(commitment, commits[j]):
+                    raise ProtocolAbort(f"P{j} answered a different commitment")
+                if not self._zkp.verify_multi(publics[j], commitment, challenges, z):
+                    raise ProtocolAbort(f"P{j}'s key-knowledge proof failed")
+
+        # ---- Phase 3: collect submissions, re-verify, select top k ----
+        output = InitiatorOutput()
+        gains: Dict[int, int] = {}
+        for _ in participants:
+            message = yield from self.recv(None, TAG_SUBMISSION)
+            submission = message.payload
+            if submission is None:
+                continue
+            values = ParticipantInput.create(config.schema, submission.values)
+            gains[message.src] = partial_gain(config.schema, self.secret_input, values)
+            output.selected.append((message.src, submission.rank, submission.values))
+        output.selected.sort(key=lambda item: (item[1], item[0]))
+        self._verify_submissions(output, gains)
+        self.output = output
+
+    def _verify_submissions(self, output: InitiatorOutput, gains: Dict[int, int]) -> None:
+        """Recompute gains of submitters; flag rank/gain inversions.
+
+        The paper notes over-claimed rankings are detectable because the
+        initiator can recompute the gain from the submitted vector.
+        """
+        config = self.config
+        if len(output.selected) < config.k and len(output.selected) < config.num_participants:
+            output.anomalies.append(
+                f"expected at least {min(config.k, config.num_participants)} submissions, "
+                f"got {len(output.selected)}"
+            )
+        for earlier, later in zip(output.selected, output.selected[1:]):
+            if earlier[1] < later[1] and gains[earlier[0]] < gains[later[0]]:
+                output.anomalies.append(
+                    f"P{earlier[0]} (rank {earlier[1]}) has lower gain than "
+                    f"P{later[0]} (rank {later[1]})"
+                )
+        output.verified = not output.anomalies
+
+
+class ParticipantParty(Party):
+    """``P_j``: the full three-phase participant behaviour."""
+
+    def __init__(
+        self,
+        config: FrameworkConfig,
+        party_id: int,
+        secret_input: ParticipantInput,
+        rng: RNG,
+    ):
+        if party_id < 1 or party_id > config.num_participants:
+            raise ValueError("participant ids run from 1 to n")
+        super().__init__(party_id, rng)
+        self.config = config
+        self.secret_input = secret_input
+        self._zkp = MultiVerifierSchnorrProof(config.group)
+        self.beta_unsigned: Optional[int] = None   # exposed for analysis/tests
+        self.rank: Optional[int] = None
+        # What this party saw when decrypting her own final set; the
+        # security games read this ONLY from adversarial parties.
+        self.final_residues: List[Element] = []
+
+    # -- helpers ---------------------------------------------------------------
+    @property
+    def _others(self) -> List[int]:
+        return [j for j in self.config.participant_ids if j != self.party_id]
+
+    # -- misbehaviour hooks (overridden by the fault-injection tests) ----------
+    def _proof_secret(self, secret: int) -> int:
+        """The secret used in the key-knowledge proof (honest: the real one)."""
+        return secret
+
+    def _published_beta_bits(self, bitwise: BitwiseElGamal, beta: int,
+                             joint_key) -> BitwiseCiphertext:
+        """The bitwise ciphertext this party publishes (honest: E(β))."""
+        return bitwise.encrypt(beta, self.config.beta_bits, joint_key, self.rng)
+
+    def _claimed_rank(self, rank: int) -> int:
+        """The rank this party submits to the initiator (honest: her own)."""
+        return rank
+
+    def _outgoing_tau_set(self, my_set: List[Ciphertext]) -> List[Ciphertext]:
+        """The comparison set this party ships to P_1 (honest: all of it)."""
+        return my_set
+
+    def protocol(self):
+        beta = yield from self._phase_gain_computation()
+        self.beta_unsigned = beta
+        rank = yield from self._phase_unlinkable_comparison(beta)
+        self.rank = rank
+        self._phase_submission(rank)
+        self.output = rank
+
+    # -- Phase 1 -----------------------------------------------------------------
+    def _phase_gain_computation(self):
+        """Steps 2 and 4: dot product with P_0, recover masked gain β."""
+        config = self.config
+        dot = config.dot_protocol()
+        extended = participant_extended_vector(config.schema, self.secret_input)
+        request, state = dot.bob_request(extended, self.rng)
+        self.send(
+            INITIATOR_ID, TAG_DP_REQUEST, request,
+            size_bits=dot.message_bits(len(extended))[0],
+        )
+        message = yield from self.recv(INITIATOR_ID, TAG_DP_RESPONSE)
+        beta_signed = dot.bob_recover(state, message.payload)
+        return to_unsigned(beta_signed, config.beta_bits)
+
+    # -- Phase 2 -----------------------------------------------------------------
+    def _phase_unlinkable_comparison(self, beta: int):
+        config = self.config
+        group = config.group
+        others = self._others
+
+        # Step 5: distributed keying with knowledge proofs.
+        distkey = DistributedKey(group)
+        share = distkey.make_share(self.party_id, self.rng)
+        distkey.register_public(self.party_id, share.public)
+        publics = yield from self._run_keying_zkps(distkey, share)
+
+        joint_key = distkey.joint_public_key()
+
+        # Step 6: publish bitwise encryption of β under the joint key.
+        bitwise = BitwiseElGamal(group)
+        my_bits_ct = self._published_beta_bits(bitwise, beta, joint_key)
+        beta_bits_size = bitwise.ciphertext_bits(config.beta_bits)
+        self.broadcast(others, TAG_BETA_BITS, my_bits_ct, size_bits=beta_bits_size)
+        other_bits = yield from self.recv_from_all(others, TAG_BETA_BITS)
+        for src, received in other_bits.items():
+            if not bitwise.validate(received, config.beta_bits):
+                raise ProtocolError(f"P{src} sent a malformed bitwise ciphertext")
+
+        # Step 7: homomorphic comparisons; flatten into this party's set ℰ_j.
+        comparator = HomomorphicComparator(group, naive_suffix=config.naive_suffix)
+        my_set: List[Ciphertext] = []
+        for i in sorted(other_bits):
+            my_set.extend(comparator.encrypted_taus(beta, other_bits[i]))
+
+        # Step 8: the chain P_1 → P_2 → … → P_n.
+        rank_zeros = yield from self._run_shuffle_chain(my_set, share.secret)
+        return rank_zeros + 1
+
+    def _run_keying_zkps(self, distkey: DistributedKey, share):
+        """Broadcast own key share + Schnorr proof; verify everyone else's.
+
+        Verifiers are all other parties including the initiator (the
+        paper's "rest of parties").
+        """
+        config = self.config
+        group = config.group
+        others = self._others
+        verifiers = [INITIATOR_ID] + others
+        element_bits = group.element_bits
+        order_bits = group.order.bit_length()
+
+        publics: Dict[int, Element] = {}
+        if not config.verify_zkp:
+            # Keying without proofs (testing/ablation): exchange shares only.
+            self.broadcast(others, TAG_PK_SHARE, share.public, size_bits=element_bits)
+            for j in others:
+                share_msg = yield from self.recv(j, TAG_PK_SHARE)
+                if not group.is_element(share_msg.payload):
+                    raise ProtocolError(f"P{j} published an invalid public key share")
+                publics[j] = share_msg.payload
+                distkey.register_public(j, share_msg.payload)
+            return publics
+
+        if config.zkp_mode == "fiat-shamir":
+            # NIZK keying (extension): one broadcast carries share + proof,
+            # no challenge round-trips — compare rounds in the ablations.
+            nizk = NonInteractiveSchnorrProof(
+                group, context=b"repro-keying|" + str(self.party_id).encode()
+            )
+            proof = nizk.prove(self._proof_secret(share.secret), self.rng)
+            self.broadcast(
+                verifiers, TAG_ZKP_NIZK, (share.public, proof),
+                size_bits=2 * element_bits + order_bits,
+            )
+            for j in others:
+                message = yield from self.recv(j, TAG_ZKP_NIZK)
+                their_public, their_proof = message.payload
+                if not group.is_element(their_public):
+                    raise ProtocolError(f"P{j} published an invalid public key share")
+                peer_nizk = NonInteractiveSchnorrProof(
+                    group, context=b"repro-keying|" + str(j).encode()
+                )
+                if not peer_nizk.verify(their_public, their_proof):
+                    raise ProtocolAbort(f"P{j}'s key-knowledge NIZK failed")
+                publics[j] = their_public
+                distkey.register_public(j, their_public)
+            return publics
+
+        commitment, nonce = self._zkp.commit(self.rng)
+        self.broadcast(verifiers, TAG_PK_SHARE, share.public, size_bits=element_bits)
+        self.broadcast(verifiers, TAG_ZKP_COMMIT, commitment, size_bits=element_bits)
+
+        commits: Dict[int, Element] = {}
+        for j in others:
+            share_msg = yield from self.recv(j, TAG_PK_SHARE)
+            if not group.is_element(share_msg.payload):
+                raise ProtocolError(f"P{j} published an invalid public key share")
+            publics[j] = share_msg.payload
+            distkey.register_public(j, share_msg.payload)
+            commit_msg = yield from self.recv(j, TAG_ZKP_COMMIT)
+            commits[j] = commit_msg.payload
+            self.send(j, TAG_ZKP_CHALLENGE, self._zkp.challenge(self.rng),
+                      size_bits=order_bits)
+
+        challenges = []
+        for verifier in verifiers:
+            challenge_msg = yield from self.recv(verifier, TAG_ZKP_CHALLENGE)
+            challenges.append(challenge_msg.payload)
+        response = self._zkp.respond_multi(
+            nonce, self._proof_secret(share.secret), challenges
+        )
+        self.broadcast(
+            verifiers, TAG_ZKP_RESPONSE,
+            (commitment, tuple(challenges), response),
+            size_bits=(len(challenges) + 1) * order_bits + config.group.element_bits,
+        )
+
+        for j in others:
+            response_msg = yield from self.recv(j, TAG_ZKP_RESPONSE)
+            their_commit, their_challenges, z = response_msg.payload
+            if not group.eq(their_commit, commits[j]):
+                raise ProtocolAbort(f"P{j} answered a different commitment")
+            if not self._zkp.verify_multi(publics[j], their_commit, their_challenges, z):
+                raise ProtocolAbort(f"P{j}'s key-knowledge proof failed")
+        return publics
+
+    def _run_shuffle_chain(self, my_set: List[Ciphertext], secret: int):
+        """Step 8 plus the first half of step 9 (count own zeros)."""
+        config = self.config
+        n = config.num_participants
+        me = self.party_id
+        others = self._others
+        processor = ShuffleProcessor(
+            config.group, rerandomize=config.rerandomize, permute=config.permute
+        )
+        set_bits = len(my_set) * config.ciphertext_bits()
+        vector_bits = n * set_bits
+        # Every ℰ_j must hold exactly l·(n−1) ciphertexts; anyone in the
+        # chain can (and does) check, so a member dropping or injecting
+        # ciphertexts is caught at the next hop.
+        expected_set_size = config.beta_bits * (n - 1)
+        if len(my_set) != expected_set_size:
+            raise ProtocolError("own comparison set has the wrong size")
+
+        def check_vector(sets):
+            if len(sets) != n or any(
+                len(cipher_set) != expected_set_size for cipher_set in sets
+            ):
+                raise ProtocolError(
+                    "chain vector tampered: a comparison set has the wrong size"
+                )
+
+        if me == 1:
+            # P_1 gathers every ℰ_j, builds V, processes, forwards.
+            vector: List[List[Ciphertext]] = [my_set]
+            received = yield from self.recv_from_all(others, TAG_TAU_SETS)
+            for j in sorted(received):
+                vector.append(received[j])
+            check_vector(vector)
+            vector = processor.process_vector(vector, own_index=0, secret=secret, rng=self.rng)
+            self.send(2, TAG_CHAIN, vector, size_bits=vector_bits)
+            final_msg = yield from self.recv(n, TAG_FINAL_SET)
+            final_set = final_msg.payload
+        else:
+            self.send(1, TAG_TAU_SETS, self._outgoing_tau_set(my_set),
+                      size_bits=set_bits)
+            chain_msg = yield from self.recv(me - 1, TAG_CHAIN)
+            check_vector(chain_msg.payload)
+            vector = processor.process_vector(
+                chain_msg.payload, own_index=me - 1, secret=secret, rng=self.rng
+            )
+            if me < n:
+                self.send(me + 1, TAG_CHAIN, vector, size_bits=vector_bits)
+                final_msg = yield from self.recv(n, TAG_FINAL_SET)
+                final_set = final_msg.payload
+            else:
+                # P_n distributes the fully processed sets to their owners.
+                for j in others:
+                    self.send(j, TAG_FINAL_SET, vector[j - 1], size_bits=set_bits)
+                final_set = vector[me - 1]
+
+        if len(final_set) != len(my_set):
+            raise ProtocolError("shuffle chain altered the size of my ciphertext set")
+        zeros, residues = processor.decrypt_residues(final_set, secret)
+        self.final_residues = residues
+        return zeros
+
+    # -- Phase 3 -----------------------------------------------------------------
+    def _phase_submission(self, rank: int) -> None:
+        """Step 9, second half: submit information iff ranked in the top k.
+
+        Non-selected participants send an explicit (empty) decline so the
+        simulated initiator can terminate deterministically; on a real
+        network P_0 would simply stop waiting.
+        """
+        config = self.config
+        rank = self._claimed_rank(rank)
+        if rank <= config.k:
+            payload = Submission(rank=rank, values=self.secret_input.values)
+            size = config.schema.dimension * config.schema.value_bits + 32
+        else:
+            payload = None
+            size = 1
+        self.send(INITIATOR_ID, TAG_SUBMISSION, payload, size_bits=size)

@@ -1,0 +1,97 @@
+"""The unlinkable decrypt–rerandomize–shuffle chain (framework step 8).
+
+Each participant, when the ciphertext vector ``V = [ℰ_1 … ℰ_n]`` passes
+through her hands, applies to every set ``ℰ_i`` she does not own:
+
+1. **peel** her ElGamal layer: ``c → c / c'^{x_j}``;
+2. **rerandomize by exponent**: ``(c, c') → (c^r, c'^r)`` with fresh
+   ``r ≠ 0`` per ciphertext — this maps plaintext ``M`` to ``r·M``,
+   preserving exactly the ``M = 0`` predicate the ranking needs while
+   destroying the non-zero τ values;
+3. **permute** the ciphertexts within the set, so the position of a
+   zero no longer betrays which bit position (and hence how the
+   compared gains relate) produced it.
+
+This is the Brickell–Shmatikov anonymous-messaging idea recast as a
+sorting step; it is what buys *identity unlinkability* (paper Lemma 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.distkey import DistributedKey
+from repro.crypto.elgamal import Ciphertext
+from repro.groups.base import Group
+from repro.math.rng import RNG
+
+CiphertextSet = List[Ciphertext]
+
+
+class ShuffleProcessor:
+    """One participant's step-8 processing, with ablation switches.
+
+    ``rerandomize=False`` and ``permute=False`` exist solely for the
+    security-ablation experiments showing the attacks they prevent.
+    """
+
+    def __init__(self, group: Group, rerandomize: bool = True, permute: bool = True):
+        self.group = group
+        self._distkey = DistributedKey(group)
+        self.rerandomize = rerandomize
+        self.permute = permute
+
+    def process_set(
+        self, ciphertexts: Sequence[Ciphertext], secret: int, rng: RNG
+    ) -> CiphertextSet:
+        """Apply peel + rerandomize + permute to one set ``ℰ_i``."""
+        processed: CiphertextSet = []
+        for ciphertext in ciphertexts:
+            peeled = self._distkey.peel_layer(ciphertext, secret)
+            if self.rerandomize:
+                peeled = self._distkey.rerandomize_exponent(peeled, rng)
+            processed.append(peeled)
+        if self.permute:
+            rng.shuffle(processed)
+        return processed
+
+    def process_vector(
+        self,
+        vector: List[CiphertextSet],
+        own_index: int,
+        secret: int,
+        rng: RNG,
+    ) -> List[CiphertextSet]:
+        """Process every set except the party's own (paper: ``ℰ_i, i ≠ j``)."""
+        result: List[CiphertextSet] = []
+        for index, ciphertext_set in enumerate(vector):
+            if index == own_index:
+                result.append(list(ciphertext_set))
+            else:
+                result.append(self.process_set(ciphertext_set, secret, rng))
+        return result
+
+    def count_zero_plaintexts(
+        self, ciphertexts: Sequence[Ciphertext], secret: int
+    ) -> int:
+        """Final step: peel the last (own) layer and count ``g^M = 1``."""
+        zeros, _ = self.decrypt_residues(ciphertexts, secret)
+        return zeros
+
+    def decrypt_residues(
+        self, ciphertexts: Sequence[Ciphertext], secret: int
+    ):
+        """Peel the last layer; return ``(zero count, residues g^M)``.
+
+        The residues are exactly what the set's owner sees — the
+        security-game harness hands an *adversarial* owner's residues to
+        the attack code, never an honest party's.
+        """
+        residues = []
+        zeros = 0
+        for ciphertext in ciphertexts:
+            residue = self._distkey.peel_layer(ciphertext, secret)
+            residues.append(residue.c1)
+            if self.group.is_identity(residue.c1):
+                zeros += 1
+        return zeros, residues

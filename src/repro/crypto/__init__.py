@@ -1,0 +1,41 @@
+"""Cryptographic building blocks of the framework (paper Section IV).
+
+* :mod:`repro.crypto.elgamal` — standard and *modified* (exponential,
+  additively homomorphic) ElGamal over any :class:`repro.groups.base.Group`.
+* :mod:`repro.crypto.distkey` — distributed key generation and layered
+  partial decryption (joint key ``y = Π y_i``).
+* :mod:`repro.crypto.zkp` — Schnorr HVZK proof of discrete-log knowledge,
+  including the paper's n-verifier extension and the knowledge extractor.
+* :mod:`repro.crypto.bitenc` — bit-wise encryption of integers (step 6 of
+  the framework).
+"""
+
+from repro.crypto.elgamal import (
+    Ciphertext,
+    ElGamal,
+    ExponentialElGamal,
+    KeyPair,
+)
+from repro.crypto.distkey import DistributedKey, KeyShare
+from repro.crypto.zkp import (
+    MultiVerifierSchnorrProof,
+    SchnorrProof,
+    SchnorrTranscript,
+    extract_witness,
+)
+from repro.crypto.bitenc import BitwiseCiphertext, BitwiseElGamal
+
+__all__ = [
+    "BitwiseCiphertext",
+    "BitwiseElGamal",
+    "Ciphertext",
+    "DistributedKey",
+    "ElGamal",
+    "ExponentialElGamal",
+    "KeyPair",
+    "KeyShare",
+    "MultiVerifierSchnorrProof",
+    "SchnorrProof",
+    "SchnorrTranscript",
+    "extract_witness",
+]

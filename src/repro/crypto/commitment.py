@@ -1,0 +1,104 @@
+"""Pedersen commitments over the library's groups.
+
+Not part of the paper's minimal construction, but the standard companion
+primitive for hardening its keying phase: a party can *commit* to her
+key share before anyone reveals theirs, preventing a rushing adversary
+from choosing ``y_n`` as a function of ``y_1 … y_{n-1}`` (e.g. to steer
+the joint key).  The framework's HBC model doesn't need this; the
+extension tests show how it composes.
+
+``commit(m, r) = g^m · u^r`` where ``u`` is a second generator with
+unknown discrete log relative to ``g`` (derived here by hashing into the
+group).  Perfectly hiding, computationally binding under DL.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.groups.base import Element, Group
+from repro.math.rng import RNG
+
+
+@dataclass(frozen=True)
+class Commitment:
+    value: Element
+
+
+@dataclass(frozen=True)
+class Opening:
+    message: int
+    randomness: int
+
+
+class PedersenCommitment:
+    """Commitment scheme bound to one group instance."""
+
+    def __init__(self, group: Group, domain: bytes = b"repro-pedersen-v1"):
+        self.group = group
+        self._second_generator = self._derive_second_generator(domain)
+
+    def _derive_second_generator(self, domain: bytes) -> Element:
+        """``u = g^{H(domain)}`` — nothing-up-my-sleeve second base.
+
+        The derivation exponent is public, so *we* could compute
+        ``log_g u``; in a deployment ``u`` would come from a verifiable
+        ceremony.  For the library's purposes (tests, composition) the
+        hashed exponent keeps the construction deterministic and
+        dependency-free while preserving the algebra.
+        """
+        digest = hashlib.sha256(domain + b"|second-generator").digest()
+        exponent = int.from_bytes(digest, "big") % self.group.order
+        if exponent in (0, 1):
+            exponent = 2
+        return self.group.exp_generator(exponent)
+
+    @property
+    def second_generator(self) -> Element:
+        return self._second_generator
+
+    def commit(self, message: int, rng: RNG) -> Tuple[Commitment, Opening]:
+        randomness = self.group.random_exponent(rng)
+        value = self.group.mul(
+            self.group.exp_generator(message),
+            self.group.exp(self._second_generator, randomness),
+        )
+        return Commitment(value=value), Opening(message=message, randomness=randomness)
+
+    def verify(self, commitment: Commitment, opening: Opening) -> bool:
+        expected = self.group.mul(
+            self.group.exp_generator(opening.message),
+            self.group.exp(self._second_generator, opening.randomness),
+        )
+        return self.group.eq(commitment.value, expected)
+
+    def commit_element(self, element: Element, rng: RNG) -> Tuple[Commitment, Opening]:
+        """Commit to a group element (e.g. a key share) by committing to
+        its canonical serialization hash — binding, and openable by
+        revealing the element."""
+        digest = hashlib.sha256(self.group.serialize(element)).digest()
+        message = int.from_bytes(digest, "big") % self.group.order
+        return self.commit(message, rng)
+
+    def verify_element(
+        self, commitment: Commitment, element: Element, opening: Opening
+    ) -> bool:
+        digest = hashlib.sha256(self.group.serialize(element)).digest()
+        message = int.from_bytes(digest, "big") % self.group.order
+        if message != opening.message:
+            return False
+        return self.verify(commitment, opening)
+
+    # -- homomorphism -----------------------------------------------------------
+    def add(self, a: Commitment, b: Commitment) -> Commitment:
+        """``commit(m1, r1) · commit(m2, r2) = commit(m1+m2, r1+r2)``."""
+        return Commitment(value=self.group.mul(a.value, b.value))
+
+    def add_openings(self, a: Opening, b: Opening) -> Opening:
+        q = self.group.order
+        return Opening(
+            message=(a.message + b.message) % q,
+            randomness=(a.randomness + b.randomness) % q,
+        )

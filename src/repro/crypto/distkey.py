@@ -1,0 +1,95 @@
+"""Distributed ElGamal keying (paper Section IV-D, last paragraph).
+
+Each party ``P_i`` picks ``x_i`` and publishes ``y_i = g^{x_i}``.  The
+joint public key is ``y = Π y_i`` (so the joint secret ``Σ x_i`` is known
+to nobody), and a ciphertext ``(c, c')`` under ``y`` is decrypted in
+layers: each party replaces ``c`` by ``c / c'^{x_i}``.  Once every
+share-holder has peeled her layer the residue is the plaintext (for the
+exponential scheme, ``g^M``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from repro.crypto.elgamal import Ciphertext
+from repro.groups.base import Element, Group
+from repro.math.rng import RNG
+
+
+@dataclass(frozen=True)
+class KeyShare:
+    """One party's share: secret exponent + published commitment."""
+
+    party_id: int
+    secret: int
+    public: Element
+
+
+class DistributedKey:
+    """Bookkeeping for an n-party joint ElGamal key over ``group``."""
+
+    def __init__(self, group: Group):
+        self.group = group
+        self._publics: Dict[int, Element] = {}
+
+    # -- key establishment ----------------------------------------------------
+    def make_share(self, party_id: int, rng: RNG) -> KeyShare:
+        x = self.group.random_exponent(rng)
+        return KeyShare(party_id=party_id, secret=x, public=self.group.exp_generator(x))
+
+    def register_public(self, party_id: int, public: Element) -> None:
+        if not self.group.is_element(public):
+            raise ValueError(f"party {party_id} published a non-element public key")
+        if party_id in self._publics:
+            raise ValueError(f"party {party_id} already registered a public key")
+        self._publics[party_id] = public
+
+    @property
+    def registered_parties(self) -> Sequence[int]:
+        return sorted(self._publics)
+
+    def joint_public_key(self) -> Element:
+        """``y = Π y_i`` over all registered shares."""
+        if not self._publics:
+            raise ValueError("no public key shares registered")
+        joint = self.group.identity()
+        for party_id in sorted(self._publics):
+            joint = self.group.mul(joint, self._publics[party_id])
+        return joint
+
+    def partial_public_key(self, party_ids: Iterable[int]) -> Element:
+        """``Π y_i`` over a subset — the key a ciphertext is under after
+        the complementary parties have peeled their layers."""
+        joint = self.group.identity()
+        for party_id in sorted(set(party_ids)):
+            joint = self.group.mul(joint, self._publics[party_id])
+        return joint
+
+    # -- layered decryption -----------------------------------------------------
+    def peel_layer(self, ciphertext: Ciphertext, secret: int) -> Ciphertext:
+        """Remove one share's layer: ``c -> c / c'^{x_i}`` (step 8, bullet 1)."""
+        mask = self.group.exp(ciphertext.c2, secret)
+        return Ciphertext(c1=self.group.div(ciphertext.c1, mask), c2=ciphertext.c2)
+
+    def rerandomize_exponent(
+        self, ciphertext: Ciphertext, rng: RNG
+    ) -> Ciphertext:
+        """Step 8, bullet 2: ``(c, c') -> (c^r, c'^r)`` for random ``r ≠ 0``.
+
+        This scales the plaintext ``M -> r·M``, which preserves exactly the
+        predicate the framework cares about (``M == 0``) while destroying
+        the value of every non-zero plaintext.
+        """
+        r = self.group.random_nonzero_exponent(rng)
+        return Ciphertext(
+            c1=self.group.exp(ciphertext.c1, r), c2=self.group.exp(ciphertext.c2, r)
+        )
+
+    def full_decrypt(self, ciphertext: Ciphertext, secrets: Iterable[int]) -> Element:
+        """Peel all layers at once (test helper; real parties decrypt in turn)."""
+        current = ciphertext
+        for secret in secrets:
+            current = self.peel_layer(current, secret)
+        return current.c1

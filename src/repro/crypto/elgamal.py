@@ -1,0 +1,151 @@
+"""ElGamal over an abstract prime-order group (paper Section IV-D).
+
+Two variants:
+
+* :class:`ElGamal` — the textbook multiplicative scheme
+  ``E(M) = (M·y^r, g^r)``.
+* :class:`ExponentialElGamal` — the paper's *modified* scheme
+  ``E(M) = (g^M·y^r, g^r)``, which is additively homomorphic:
+  ``E(M1) ∘ E(M2) = E(M1 + M2)``.  Decryption recovers ``g^M``; the
+  framework only ever needs the predicate ``M == 0`` (``g^M`` is the
+  identity), though :meth:`ExponentialElGamal.decrypt_small` solves the
+  discrete log for small plaintext ranges when tests want the value.
+
+Both are IND-CPA secure when DDH is hard in the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.groups.base import Element, Group
+from repro.math.rng import RNG
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """An ElGamal pair ``(c1, c2) = (M·y^r or g^M·y^r, g^r)``."""
+
+    c1: Element
+    c2: Element
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """Secret exponent and the matching public element ``y = g^x``."""
+
+    secret: int
+    public: Element
+
+
+class ElGamal:
+    """Textbook multiplicative ElGamal over ``group``."""
+
+    def __init__(self, group: Group):
+        self.group = group
+
+    def generate_keypair(self, rng: RNG) -> KeyPair:
+        x = self.group.random_exponent(rng)
+        return KeyPair(secret=x, public=self.group.exp_generator(x))
+
+    def encrypt(self, message: Element, public_key: Element, rng: RNG) -> Ciphertext:
+        if not self.group.is_element(message):
+            raise ValueError("message must be a group element")
+        r = self.group.random_exponent(rng)
+        return Ciphertext(
+            c1=self.group.mul(message, self.group.exp(public_key, r)),
+            c2=self.group.exp_generator(r),
+        )
+
+    def decrypt(self, ciphertext: Ciphertext, secret_key: int) -> Element:
+        mask = self.group.exp(ciphertext.c2, secret_key)
+        return self.group.div(ciphertext.c1, mask)
+
+    def rerandomize(
+        self, ciphertext: Ciphertext, public_key: Element, rng: RNG
+    ) -> Ciphertext:
+        """A fresh encryption of the same plaintext (multiply in E(1))."""
+        r = self.group.random_exponent(rng)
+        return Ciphertext(
+            c1=self.group.mul(ciphertext.c1, self.group.exp(public_key, r)),
+            c2=self.group.mul(ciphertext.c2, self.group.exp_generator(r)),
+        )
+
+    def ciphertext_bits(self) -> int:
+        """Wire size of a ciphertext (two group elements)."""
+        return 2 * self.group.element_bits
+
+
+class ExponentialElGamal(ElGamal):
+    """The paper's modified, additively homomorphic ElGamal."""
+
+    def encrypt(self, message: int, public_key: Element, rng: RNG) -> Ciphertext:
+        """Encrypt the *integer* ``message`` as ``(g^M·y^r, g^r)``."""
+        r = self.group.random_exponent(rng)
+        return Ciphertext(
+            c1=self.group.mul(
+                self.group.exp_generator(message), self.group.exp(public_key, r)
+            ),
+            c2=self.group.exp_generator(r),
+        )
+
+    def decrypt(self, ciphertext: Ciphertext, secret_key: int) -> Element:
+        """Return ``g^M`` (recovering ``M`` itself is a discrete log)."""
+        return super().decrypt(ciphertext, secret_key)
+
+    def decrypt_is_zero(self, ciphertext: Ciphertext, secret_key: int) -> bool:
+        """The only decryption the framework needs: is the plaintext 0?"""
+        return self.group.is_identity(self.decrypt(ciphertext, secret_key))
+
+    def decrypt_small(
+        self, ciphertext: Ciphertext, secret_key: int, max_plaintext: int
+    ) -> Optional[int]:
+        """Brute-force the discrete log for plaintexts in ``[0, max_plaintext]``.
+
+        Returns ``None`` if the plaintext is outside the range.  Test/debug
+        helper only — the protocols never call this.
+        """
+        value = self.decrypt(ciphertext, secret_key)
+        probe = self.group.identity()
+        g = self.group.generator()
+        for m in range(max_plaintext + 1):
+            if self.group.eq(probe, value):
+                return m
+            probe = self.group.mul(probe, g)
+        return None
+
+    # -- additive homomorphism ------------------------------------------------
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """``E(M1) ∘ E(M2) = E(M1 + M2)``."""
+        return Ciphertext(
+            c1=self.group.mul(a.c1, b.c1), c2=self.group.mul(a.c2, b.c2)
+        )
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        """``E(M) -> E(-M)``."""
+        return Ciphertext(c1=self.group.inv(a.c1), c2=self.group.inv(a.c2))
+
+    def subtract(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        return self.add(a, self.negate(b))
+
+    def scalar_mul(self, a: Ciphertext, k: int) -> Ciphertext:
+        """``E(M) -> E(k·M)`` by exponentiation of both components."""
+        return Ciphertext(c1=self.group.exp(a.c1, k), c2=self.group.exp(a.c2, k))
+
+    def add_plain(self, a: Ciphertext, m: int) -> Ciphertext:
+        """``E(M) -> E(M + m)`` without randomness (deterministic shift)."""
+        return Ciphertext(
+            c1=self.group.mul(a.c1, self.group.exp_generator(m)), c2=a.c2
+        )
+
+    def encrypt_zero(self, public_key: Element, rng: RNG) -> Ciphertext:
+        return self.encrypt(0, public_key, rng)
+
+    def validate(self, ciphertext: Any) -> bool:
+        """Structural check on an incoming ciphertext."""
+        return (
+            isinstance(ciphertext, Ciphertext)
+            and self.group.is_element(ciphertext.c1)
+            and self.group.is_element(ciphertext.c2)
+        )

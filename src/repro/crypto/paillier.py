@@ -1,0 +1,165 @@
+"""Paillier cryptosystem (paper reference [10]) — and why it's not used.
+
+The related-work section weighs partially homomorphic alternatives for
+the comparison phase.  Paillier is additively homomorphic with *full*
+decryption — and that is exactly the problem: in the framework, the
+party who finishes decrypting a τ ciphertext would learn the τ *value*,
+not just whether it is zero.  Non-zero τ values encode the comparison
+bit pattern (ω^t + β_j^t), so full decryption breaks gain hiding.  The
+modified ElGamal's "decryption" to ``g^M`` — where only ``M = 0`` is
+testable — is a feature, not a limitation (paper Section IV-D).
+
+We implement Paillier faithfully (keygen over an RSA modulus,
+``E(m) = g^m·r^n mod n²``, additive homomorphism, scalar multiplication,
+CRT-accelerated decryption) so the test suite can demonstrate the leak
+concretely (`tests/test_crypto_paillier.py::TestWhyNotPaillier`), and so
+the library stands alone as a usable additive-HE implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.math.modular import mod_inverse
+from repro.math.primes import random_prime
+from repro.math.rng import RNG, SystemRNG
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """``n = p·q`` and the conventional generator ``g = n + 1``."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def g(self) -> int:
+        return self.n + 1
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Factors plus the precomputed ``λ = lcm(p-1, q-1)`` and ``μ = λ⁻¹``."""
+
+    public: PaillierPublicKey
+    p: int
+    q: int
+    lam: int
+    mu: int
+
+
+@dataclass(frozen=True)
+class PaillierCiphertext:
+    value: int
+
+
+class Paillier:
+    """Textbook Paillier with ``g = n + 1`` (so ``g^m = 1 + m·n mod n²``)."""
+
+    @staticmethod
+    def generate_keypair(bits: int, rng: Optional[RNG] = None) -> PaillierPrivateKey:
+        """An RSA-modulus keypair; ``bits`` is the modulus size."""
+        rng = rng or SystemRNG()
+        if bits < 16:
+            raise ValueError("modulus too small even for tests")
+        half = bits // 2
+        while True:
+            p = random_prime(half, rng)
+            q = random_prime(bits - half, rng)
+            if p != q and (p * q).bit_length() == bits:
+                break
+        n = p * q
+        lam = _lcm(p - 1, q - 1)
+        public = PaillierPublicKey(n=n)
+        # μ = (L(g^λ mod n²))⁻¹ mod n; with g = n+1, L(g^λ) = λ mod n.
+        mu = mod_inverse(lam % n, n)
+        return PaillierPrivateKey(public=public, p=p, q=q, lam=lam, mu=mu)
+
+    @staticmethod
+    def encrypt(
+        message: int, public: PaillierPublicKey, rng: RNG
+    ) -> PaillierCiphertext:
+        """``E(m) = (1 + m·n) · r^n mod n²`` for random ``r ∈ Z_n*``."""
+        n, n2 = public.n, public.n_squared
+        message %= n
+        while True:
+            r = rng.rand_nonzero(n)
+            if _gcd(r, n) == 1:
+                break
+        gm = (1 + message * n) % n2
+        return PaillierCiphertext(value=gm * pow(r, n, n2) % n2)
+
+    @staticmethod
+    def decrypt(ciphertext: PaillierCiphertext, private: PaillierPrivateKey) -> int:
+        """Full decryption: ``m = L(c^λ mod n²) · μ mod n``.
+
+        Unlike modified ElGamal, this recovers the plaintext *value* —
+        the property that disqualifies Paillier for the framework's
+        comparison phase.
+        """
+        n, n2 = private.public.n, private.public.n_squared
+        u = pow(ciphertext.value, private.lam, n2)
+        return _l_function(u, n) * private.mu % n
+
+    # -- homomorphisms -------------------------------------------------------
+    @staticmethod
+    def add(
+        a: PaillierCiphertext, b: PaillierCiphertext, public: PaillierPublicKey
+    ) -> PaillierCiphertext:
+        return PaillierCiphertext(value=a.value * b.value % public.n_squared)
+
+    @staticmethod
+    def add_plain(
+        a: PaillierCiphertext, m: int, public: PaillierPublicKey
+    ) -> PaillierCiphertext:
+        gm = (1 + (m % public.n) * public.n) % public.n_squared
+        return PaillierCiphertext(value=a.value * gm % public.n_squared)
+
+    @staticmethod
+    def scalar_mul(
+        a: PaillierCiphertext, k: int, public: PaillierPublicKey
+    ) -> PaillierCiphertext:
+        return PaillierCiphertext(value=pow(a.value, k % public.n, public.n_squared))
+
+    @staticmethod
+    def negate(a: PaillierCiphertext, public: PaillierPublicKey) -> PaillierCiphertext:
+        return PaillierCiphertext(value=mod_inverse(a.value, public.n_squared))
+
+    @staticmethod
+    def rerandomize(
+        a: PaillierCiphertext, public: PaillierPublicKey, rng: RNG
+    ) -> PaillierCiphertext:
+        n, n2 = public.n, public.n_squared
+        while True:
+            r = rng.rand_nonzero(n)
+            if _gcd(r, n) == 1:
+                break
+        return PaillierCiphertext(value=a.value * pow(r, n, n2) % n2)
+
+    @staticmethod
+    def ciphertext_bits(public: PaillierPublicKey) -> int:
+        return 2 * public.bits
+
+
+def _l_function(u: int, n: int) -> int:
+    if (u - 1) % n:
+        raise ValueError("L-function input not ≡ 1 (mod n): wrong key or ciphertext")
+    return (u - 1) // n
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _lcm(a: int, b: int) -> int:
+    return a // _gcd(a, b) * b

@@ -1,0 +1,193 @@
+"""Schnorr zero-knowledge proofs of discrete-log knowledge (Section IV-E).
+
+Implements the three-move HVZK Schnorr identification protocol, the
+paper's n-verifier extension (the challenge becomes ``Σ_j c_j``), the
+special-soundness *knowledge extractor* that the security proofs (and
+our security-game tests) use to pull a prover's secret out of two
+accepting transcripts sharing a commitment, and a **Fiat-Shamir
+non-interactive variant** (an extension beyond the paper: the challenge
+is derived by hashing the statement and commitment, collapsing the
+keying phase's challenge round-trips — the round saving is measured in
+``benchmarks/test_ablations.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.groups.base import Element, Group
+from repro.math.modular import mod_inverse
+from repro.math.rng import RNG
+
+
+@dataclass(frozen=True)
+class SchnorrTranscript:
+    """One accepting conversation ``(h, challenges, z)``."""
+
+    commitment: Element
+    challenges: Sequence[int]
+    response: int
+
+    @property
+    def total_challenge(self) -> int:
+        return sum(self.challenges)
+
+
+class SchnorrProof:
+    """Interactive Schnorr proof that the prover knows ``x = log_g y``.
+
+    Usage (prover side)::
+
+        proof = SchnorrProof(group)
+        commitment, state = proof.commit(rng)
+        ...  # send commitment, receive challenge c
+        z = proof.respond(state, secret, c)
+
+    Verifier side::
+
+        proof.verify(public, commitment, c, z)
+    """
+
+    def __init__(self, group: Group):
+        self.group = group
+
+    # -- prover ----------------------------------------------------------------
+    def commit(self, rng: RNG):
+        """First move: pick ``r``, send ``h = g^r``.  Returns ``(h, r)``."""
+        r = self.group.random_exponent(rng)
+        return self.group.exp_generator(r), r
+
+    def respond(self, nonce: int, secret: int, challenge: int) -> int:
+        """Third move: ``z = r + x·c mod q``."""
+        return (nonce + secret * challenge) % self.group.order
+
+    # -- verifier ----------------------------------------------------------------
+    def challenge(self, rng: RNG) -> int:
+        return self.group.random_exponent(rng)
+
+    def verify(
+        self, public: Element, commitment: Element, challenge: int, response: int
+    ) -> bool:
+        """Check ``g^z == h·y^c``."""
+        lhs = self.group.exp_generator(response)
+        rhs = self.group.mul(commitment, self.group.exp(public, challenge))
+        return self.group.eq(lhs, rhs)
+
+    # -- one-shot convenience -----------------------------------------------------
+    def prove(self, secret: int, prover_rng: RNG, verifier_rng: RNG) -> SchnorrTranscript:
+        commitment, nonce = self.commit(prover_rng)
+        c = self.challenge(verifier_rng)
+        z = self.respond(nonce, secret, c)
+        return SchnorrTranscript(commitment=commitment, challenges=(c,), response=z)
+
+    def verify_transcript(self, public: Element, transcript: SchnorrTranscript) -> bool:
+        return self.verify(
+            public,
+            transcript.commitment,
+            transcript.total_challenge % self.group.order,
+            transcript.response,
+        )
+
+
+class MultiVerifierSchnorrProof(SchnorrProof):
+    """The paper's extension to ``n`` verifiers.
+
+    Every verifier ``j`` publishes ``c_j``; the prover answers the summed
+    challenge ``z = r + x·Σ_j c_j mod q`` and each verifier checks
+    ``g^z == h·y^{Σ c_j}``.
+    """
+
+    def respond_multi(self, nonce: int, secret: int, challenges: Sequence[int]) -> int:
+        total = sum(challenges) % self.group.order
+        return self.respond(nonce, secret, total)
+
+    def verify_multi(
+        self,
+        public: Element,
+        commitment: Element,
+        challenges: Sequence[int],
+        response: int,
+    ) -> bool:
+        total = sum(challenges) % self.group.order
+        return self.verify(public, commitment, total, response)
+
+    def prove_multi(
+        self, secret: int, prover_rng: RNG, verifier_rngs: List[RNG]
+    ) -> SchnorrTranscript:
+        commitment, nonce = self.commit(prover_rng)
+        challenges = [self.challenge(rng) for rng in verifier_rngs]
+        response = self.respond_multi(nonce, secret, challenges)
+        return SchnorrTranscript(
+            commitment=commitment, challenges=tuple(challenges), response=response
+        )
+
+
+@dataclass(frozen=True)
+class NIZKProof:
+    """A Fiat-Shamir-transformed Schnorr proof: ``(h, z)``.
+
+    The challenge is recomputed by the verifier from the transcript
+    hash, so the proof is publicly verifiable and needs no interaction.
+    """
+
+    commitment: Element
+    response: int
+
+
+class NonInteractiveSchnorrProof:
+    """Fiat-Shamir Schnorr NIZK of ``x = log_g y``.
+
+    ``context`` domain-separates proofs (here: the framework session id
+    and the prover's party id), preventing replay of one party's proof
+    as another's.  Secure in the random-oracle model.
+    """
+
+    def __init__(self, group: Group, context: bytes = b"repro-nizk-v1"):
+        self.group = group
+        self.context = context
+
+    def _challenge(self, public: Element, commitment: Element) -> int:
+        digest = hashlib.sha256()
+        digest.update(self.context)
+        digest.update(self.group.serialize(self.group.generator()))
+        digest.update(self.group.serialize(public))
+        digest.update(self.group.serialize(commitment))
+        return int.from_bytes(digest.digest(), "big") % self.group.order
+
+    def prove(self, secret: int, rng: RNG) -> NIZKProof:
+        nonce = self.group.random_exponent(rng)
+        commitment = self.group.exp_generator(nonce)
+        challenge = self._challenge(self.group.exp_generator(secret), commitment)
+        response = (nonce + secret * challenge) % self.group.order
+        return NIZKProof(commitment=commitment, response=response)
+
+    def verify(self, public: Element, proof: NIZKProof) -> bool:
+        """Check ``g^z == h · y^{H(...)}``."""
+        if not self.group.is_element(proof.commitment):
+            return False
+        challenge = self._challenge(public, proof.commitment)
+        lhs = self.group.exp_generator(proof.response)
+        rhs = self.group.mul(
+            proof.commitment, self.group.exp(public, challenge)
+        )
+        return self.group.eq(lhs, rhs)
+
+
+def extract_witness(
+    group: Group, first: SchnorrTranscript, second: SchnorrTranscript
+) -> int:
+    """Special-soundness extractor (paper Section IV-E).
+
+    Given two accepting transcripts with the *same commitment* but
+    different total challenges, recover ``x = (z - z') / (Σc - Σc') mod q``.
+    """
+    if not group.eq(first.commitment, second.commitment):
+        raise ValueError("transcripts must share a commitment")
+    q = group.order
+    challenge_gap = (first.total_challenge - second.total_challenge) % q
+    if challenge_gap == 0:
+        raise ValueError("total challenges must differ modulo the group order")
+    response_gap = (first.response - second.response) % q
+    return response_gap * mod_inverse(challenge_gap, q) % q

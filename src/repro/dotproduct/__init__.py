@@ -1,0 +1,14 @@
+"""Secure two-party dot product (paper Section IV-A).
+
+Implementation of the Ioannidis-Grama-Atallah protocol used by the gain
+computation phase.  See :mod:`repro.dotproduct.ioannidis`.
+"""
+
+from repro.dotproduct.ioannidis import (
+    AliceResponse,
+    BobRequest,
+    BobState,
+    DotProductProtocol,
+)
+
+__all__ = ["AliceResponse", "BobRequest", "BobState", "DotProductProtocol"]

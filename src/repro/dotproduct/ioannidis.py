@@ -1,0 +1,210 @@
+"""The Ioannidis-Grama-Atallah secure two-party dot product protocol.
+
+Bob holds a ``(d-1)``-dimensional vector **w**, Alice a ``(d-1)``-dimensional
+vector **v** plus a private scalar ``α``; Bob learns ``w·v + α`` and
+nothing else, Alice learns nothing.  (In the original protocol the
+parties finish by exchanging ``α`` and ``β``; the ranking framework
+deliberately *skips* that exchange — the initiator's ``α = ρ_j`` is the
+mask that keeps the partial gain hidden from the participant.)
+
+Mechanics (one round trip):
+
+1. Bob embeds ``[w, 1]`` as row ``r`` of a random ``s×d`` matrix ``X``,
+   picks a random ``s×s`` matrix ``Q``, and sends ``QX`` together with
+   blinded helper vectors ``c' = c + R1·R2·f`` and ``g = R1·R3·f``.
+2. Alice forms ``v' = [v, α]``, computes ``y = (QX)v'``, ``z = Σ y_i``,
+   and answers with ``a = z − c'·v'`` and ``h = g·v'``.
+3. Bob recovers ``β = (a + h·R2/R3)/b`` where ``b`` is the ``r``-th
+   column sum of ``Q``.
+
+**Substitution (documented in DESIGN.md §5):** the original paper works
+over the reals; we run the identical algebra over a prime field ``Z_p``
+with ``p`` far larger than any true dot product, so division is exact
+(modular inverse) and results are recovered exactly as centered
+residues.  Security still rests on the linear system being
+underdetermined.
+
+Hiding argument: ``QX`` has ``s·d`` entries but Alice faces ``s·s + s·d``
+unknowns (``Q`` and ``X``); ``c'`` and ``g`` add ``2d`` equations against
+``d + 3`` fresh unknowns (``f``, ``R1``, ``R2``, ``R3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.math.modular import mod_inverse
+from repro.math.rng import RNG
+
+Vector = List[int]
+Matrix = List[List[int]]
+
+
+@dataclass(frozen=True)
+class BobRequest:
+    """First message, Bob → Alice: ``(QX, c', g)``."""
+
+    qx: Matrix
+    c_blinded: Vector
+    g_blinded: Vector
+
+    @property
+    def dimension(self) -> int:
+        return len(self.c_blinded)
+
+    def size_field_elements(self) -> int:
+        return len(self.qx) * len(self.qx[0]) + 2 * self.dimension
+
+
+@dataclass(frozen=True)
+class AliceResponse:
+    """Second message, Alice → Bob: ``(a, h)``."""
+
+    a: int
+    h: int
+
+    def size_field_elements(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class BobState:
+    """Bob's retained secrets between the two messages."""
+
+    b: int
+    r2: int
+    r3: int
+
+
+class DotProductProtocol:
+    """The protocol over the prime field ``Z_p``.
+
+    Parameters
+    ----------
+    field_prime:
+        Modulus; must exceed twice the magnitude of any true dot product
+        so centered residues decode exactly.
+    expansion:
+        How many rows ``s`` exceeds the vector dimension ``d`` (the paper
+        notes ``s`` need not be large; it must satisfy ``s ≥ 2`` so that
+        the real row hides among random ones).
+    """
+
+    def __init__(self, field_prime: int, expansion: int = 2):
+        if field_prime < 5:
+            raise ValueError("field prime too small")
+        if expansion < 1:
+            raise ValueError("expansion must be at least 1")
+        self.p = field_prime
+        self.expansion = expansion
+
+    # -- Bob (vector holder) ---------------------------------------------------
+    def bob_request(self, w: Sequence[int], rng: RNG) -> Tuple[BobRequest, BobState]:
+        """Build Bob's message for vector ``w`` (without the appended 1)."""
+        p = self.p
+        d = len(w) + 1
+        s = d + self.expansion
+        row = [value % p for value in w] + [1]
+        while True:
+            q = [[rng.randrange(p) for _ in range(s)] for _ in range(s)]
+            r_index = rng.randrange(s)
+            b = sum(q[i][r_index] for i in range(s)) % p
+            if b != 0:
+                break
+        x = [
+            row if i == r_index else [rng.randrange(p) for _ in range(d)]
+            for i in range(s)
+        ]
+        qx = _mat_mul(q, x, p)
+        column_sums = [sum(q[j][i] for j in range(s)) % p for i in range(s)]
+        c = [0] * d
+        for i in range(s):
+            if i == r_index:
+                continue
+            for k in range(d):
+                c[k] = (c[k] + x[i][k] * column_sums[i]) % p
+        f = [rng.randrange(p) for _ in range(d)]
+        r1 = rng.rand_nonzero(p)
+        r2 = rng.rand_nonzero(p)
+        r3 = rng.rand_nonzero(p)
+        c_blinded = [(c[k] + r1 * r2 % p * f[k]) % p for k in range(d)]
+        g_blinded = [r1 * r3 % p * f[k] % p for k in range(d)]
+        return (
+            BobRequest(qx=qx, c_blinded=c_blinded, g_blinded=g_blinded),
+            BobState(b=b, r2=r2, r3=r3),
+        )
+
+    # -- Alice (the other vector holder) ------------------------------------------
+    def alice_respond(
+        self, request: BobRequest, v: Sequence[int], alpha: int
+    ) -> AliceResponse:
+        """Alice's reply for vector ``v`` and private scalar ``alpha``."""
+        p = self.p
+        d = request.dimension
+        if len(v) + 1 != d:
+            raise ValueError(
+                f"dimension mismatch: Bob sent d={d}, Alice holds {len(v)}+1"
+            )
+        v_prime = [value % p for value in v] + [alpha % p]
+        y = [_dot(row, v_prime, p) for row in request.qx]
+        z = sum(y) % p
+        a = (z - _dot(request.c_blinded, v_prime, p)) % p
+        h = _dot(request.g_blinded, v_prime, p)
+        return AliceResponse(a=a, h=h)
+
+    # -- Bob finishes -----------------------------------------------------------------
+    def bob_recover(self, state: BobState, response: AliceResponse) -> int:
+        """``β = (a + h·R2/R3)/b mod p``, as a centered residue.
+
+        Returns the signed integer ``w·v + α`` provided its magnitude is
+        below ``p/2``.
+        """
+        p = self.p
+        ratio = state.r2 * mod_inverse(state.r3, p) % p
+        beta = (response.a + response.h * ratio) % p
+        beta = beta * mod_inverse(state.b, p) % p
+        return _centered(beta, p)
+
+    # -- convenience -------------------------------------------------------------------
+    def run_locally(
+        self, w: Sequence[int], v: Sequence[int], alpha: int, rng: RNG
+    ) -> int:
+        """Run both roles in-process (tests, examples)."""
+        request, state = self.bob_request(w, rng)
+        response = self.alice_respond(request, v, alpha)
+        return self.bob_recover(state, response)
+
+    def message_bits(self, dimension: int) -> Tuple[int, int]:
+        """(Bob→Alice, Alice→Bob) wire sizes in bits for ``d``-dim vectors."""
+        d = dimension + 1
+        s = d + self.expansion
+        field_bits = self.p.bit_length()
+        return ((s * d + 2 * d) * field_bits, 2 * field_bits)
+
+
+def _mat_mul(a: Matrix, b: Matrix, p: int) -> Matrix:
+    rows, inner, cols = len(a), len(b), len(b[0])
+    result = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        a_row = a[i]
+        out_row = result[i]
+        for k in range(inner):
+            a_ik = a_row[k]
+            if a_ik == 0:
+                continue
+            b_row = b[k]
+            for j in range(cols):
+                out_row[j] = (out_row[j] + a_ik * b_row[j]) % p
+    return result
+
+
+def _dot(a: Sequence[int], b: Sequence[int], p: int) -> int:
+    if len(a) != len(b):
+        raise ValueError("dot product of different-length vectors")
+    return sum(x * y for x, y in zip(a, b)) % p
+
+
+def _centered(value: int, p: int) -> int:
+    """Map a residue in ``[0, p)`` to the centered range ``(-p/2, p/2]``."""
+    return value - p if value > p // 2 else value

@@ -1,0 +1,38 @@
+"""Cyclic groups of prime order with hard DDH, as the paper requires.
+
+Two families (paper Section IV-B):
+
+* **DL** — the subgroup of quadratic residues modulo a safe prime
+  (:mod:`repro.groups.dl`), at the standardized 1024/2048/3072-bit sizes.
+* **ECC** — prime-order subgroups of short-Weierstrass elliptic curves
+  (:mod:`repro.groups.elliptic`), at 160/192/224/256-bit sizes.
+
+Both implement the :class:`repro.groups.base.Group` interface so every
+protocol in the library is generic over the group choice, and both meter
+group multiplications/exponentiations through
+:class:`repro.runtime.metrics.OperationCounter` for the efficiency
+analysis of paper Section VI-B.
+"""
+
+from repro.groups.base import Group, OperationCounter
+from repro.groups.dl import DLGroup
+from repro.groups.elliptic import EllipticCurveGroup
+from repro.groups.params import (
+    SECURITY_LEVELS,
+    group_for_security_level,
+    make_dl_group,
+    make_ecc_group,
+    make_test_group,
+)
+
+__all__ = [
+    "DLGroup",
+    "EllipticCurveGroup",
+    "Group",
+    "OperationCounter",
+    "SECURITY_LEVELS",
+    "group_for_security_level",
+    "make_dl_group",
+    "make_ecc_group",
+    "make_test_group",
+]

@@ -1,0 +1,154 @@
+"""Abstract prime-order group interface with operation metering.
+
+The paper's efficiency analysis (Section VI-B) counts *group
+multiplications*; every concrete group routes its operations through an
+:class:`OperationCounter` so protocol runs report exact counts, which the
+benchmark harness converts to time with calibrated per-operation costs.
+
+Elements are opaque values owned by their group (integers for DL groups,
+point tuples for elliptic curves).  Protocol code never touches the
+representation; it calls the group's methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.math.rng import RNG
+
+Element = Any
+
+
+@dataclass
+class OperationCounter:
+    """Tally of group operations, attachable to one or more groups."""
+
+    multiplications: int = 0
+    exponentiations: int = 0
+    exponent_bits: int = 0
+    inversions: int = 0
+
+    def record_mul(self, count: int = 1) -> None:
+        self.multiplications += count
+
+    def record_exp(self, bits: int) -> None:
+        self.exponentiations += 1
+        self.exponent_bits += bits
+
+    def record_inv(self, count: int = 1) -> None:
+        self.inversions += count
+
+    @property
+    def equivalent_multiplications(self) -> int:
+        """Total cost in the paper's unit (group multiplications).
+
+        Square-and-multiply accounting: an exponentiation with a k-bit
+        exponent is ~1.5k multiplications.
+        """
+        return self.multiplications + (3 * self.exponent_bits) // 2
+
+    def snapshot(self) -> "OperationCounter":
+        return OperationCounter(
+            multiplications=self.multiplications,
+            exponentiations=self.exponentiations,
+            exponent_bits=self.exponent_bits,
+            inversions=self.inversions,
+        )
+
+    def diff(self, earlier: "OperationCounter") -> "OperationCounter":
+        return OperationCounter(
+            multiplications=self.multiplications - earlier.multiplications,
+            exponentiations=self.exponentiations - earlier.exponentiations,
+            exponent_bits=self.exponent_bits - earlier.exponent_bits,
+            inversions=self.inversions - earlier.inversions,
+        )
+
+    def reset(self) -> None:
+        self.multiplications = 0
+        self.exponentiations = 0
+        self.exponent_bits = 0
+        self.inversions = 0
+
+
+@dataclass
+class Group:
+    """A cyclic group of prime order ``order`` in which DDH is assumed hard.
+
+    Concrete subclasses: :class:`repro.groups.dl.DLGroup` and
+    :class:`repro.groups.elliptic.EllipticCurveGroup`.
+    """
+
+    counter: OperationCounter = field(default_factory=OperationCounter)
+
+    # -- facts subclasses must provide ------------------------------------
+    @property
+    def order(self) -> int:
+        """Prime order q of the group."""
+        raise NotImplementedError
+
+    @property
+    def element_bits(self) -> int:
+        """Wire size of one serialized element, in bits."""
+        raise NotImplementedError
+
+    @property
+    def security_bits(self) -> int:
+        """Equivalent symmetric security level (80/112/128...)."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+    def generator(self) -> Element:
+        raise NotImplementedError
+
+    def identity(self) -> Element:
+        raise NotImplementedError
+
+    # -- operations --------------------------------------------------------
+    def mul(self, a: Element, b: Element) -> Element:
+        raise NotImplementedError
+
+    def exp(self, a: Element, k: int) -> Element:
+        raise NotImplementedError
+
+    def inv(self, a: Element) -> Element:
+        raise NotImplementedError
+
+    def eq(self, a: Element, b: Element) -> bool:
+        raise NotImplementedError
+
+    def is_element(self, a: Element) -> bool:
+        """Membership test (used to validate incoming protocol messages)."""
+        raise NotImplementedError
+
+    # -- derived helpers ----------------------------------------------------
+    def div(self, a: Element, b: Element) -> Element:
+        return self.mul(a, self.inv(b))
+
+    def exp_generator(self, k: int) -> Element:
+        return self.exp(self.generator(), k)
+
+    def is_identity(self, a: Element) -> bool:
+        return self.eq(a, self.identity())
+
+    def random_exponent(self, rng: RNG) -> int:
+        """Uniform exponent in ``Z_q``."""
+        return rng.randrange(self.order)
+
+    def random_nonzero_exponent(self, rng: RNG) -> int:
+        """Uniform exponent in ``Z_q \\ {0}`` (for rerandomization)."""
+        return rng.rand_nonzero(self.order)
+
+    def random_element(self, rng: RNG) -> Element:
+        return self.exp_generator(self.random_exponent(rng))
+
+    def serialize(self, a: Element) -> bytes:
+        """Canonical byte encoding; length matches ``element_bits``."""
+        raise NotImplementedError
+
+    def attach_counter(self, counter: Optional[OperationCounter]) -> None:
+        """Redirect this group's operation metering to ``counter``."""
+        self.counter = counter if counter is not None else OperationCounter()

@@ -1,0 +1,163 @@
+"""Standard curve domain parameters and a tiny-curve builder for tests.
+
+The four standard curves cover the security tiers of the paper's Fig. 3(a):
+secp160r1 (80-bit), P-192, P-224 (112-bit) and P-256 (128-bit).  Parameters
+are from SEC 2 / FIPS 186; every registry lookup verifies the full domain
+(`CurveParams.verify`) once per process, so a transcription error cannot
+silently produce a weak group.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional
+
+from repro.groups.elliptic import CurveParams, EllipticCurveGroup, _CurveArithmetic
+from repro.math.modular import is_quadratic_residue, mod_sqrt
+from repro.math.primes import is_prime
+from repro.math.rng import RNG, SystemRNG
+
+_SECP160R1 = CurveParams(
+    name="secp160r1",
+    p=2**160 - 2**31 - 1,
+    a=2**160 - 2**31 - 1 - 3,
+    b=0x1C97BEFC54BD7A8B65ACF89F81D4D4ADC565FA45,
+    gx=0x4A96B5688EF573284664698968C38BB913CBFC82,
+    gy=0x23A628553168947D59DCC912042351377AC5FB32,
+    n=0x0100000000000000000001F4C8F927AED3CA752257,
+    h=1,
+    security_bits=80,
+)
+
+_SECP192R1 = CurveParams(
+    name="secp192r1",
+    p=2**192 - 2**64 - 1,
+    a=2**192 - 2**64 - 1 - 3,
+    b=0x64210519E59C80E70FA7E9AB72243049FEB8DEECC146B9B1,
+    gx=0x188DA80EB03090F67CBF20EB43A18800F4FF0AFD82FF1012,
+    gy=0x07192B95FFC8DA78631011ED6B24CDD573F977A11E794811,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFF99DEF836146BC9B1B4D22831,
+    h=1,
+    security_bits=96,
+)
+
+_SECP224R1 = CurveParams(
+    name="secp224r1",
+    p=2**224 - 2**96 + 1,
+    a=2**224 - 2**96 + 1 - 3,
+    b=0xB4050A850C04B3ABF54132565044B0B7D7BFD8BA270B39432355FFB4,
+    gx=0xB70E0CBD6BB4BF7F321390B94A03C1D356C21122343280D6115C1D21,
+    gy=0xBD376388B5F723FB4C22DFE6CD4375A05A07476444D5819985007E34,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFF16A2E0B8F03E13DD29455C5C2A3D,
+    h=1,
+    security_bits=112,
+)
+
+_SECP256R1 = CurveParams(
+    name="secp256r1",
+    p=2**256 - 2**224 + 2**192 + 2**96 - 1,
+    a=2**256 - 2**224 + 2**192 + 2**96 - 1 - 3,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+    h=1,
+    security_bits=128,
+)
+
+_REGISTRY: Dict[str, CurveParams] = {
+    params.name: params
+    for params in (_SECP160R1, _SECP192R1, _SECP224R1, _SECP256R1)
+}
+
+# The paper's Fig. 3(a) tiers: symmetric security level -> curve.
+CURVE_FOR_SECURITY = {80: "secp160r1", 96: "secp192r1", 112: "secp224r1", 128: "secp256r1"}
+
+
+@lru_cache(maxsize=None)
+def _verified_params(name: str) -> CurveParams:
+    params = _REGISTRY[name]
+    params.verify()
+    return params
+
+
+def curve_names() -> list:
+    return sorted(_REGISTRY)
+
+
+def get_curve(name: str) -> EllipticCurveGroup:
+    """A verified standard curve group by name (e.g. ``"secp160r1"``)."""
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown curve {name!r}; known: {curve_names()}")
+    return EllipticCurveGroup(_verified_params(name), verify=False)
+
+
+def build_tiny_curve(
+    field_bits: int = 14, rng: Optional[RNG] = None, max_attempts: int = 2000
+) -> EllipticCurveGroup:
+    """A small random curve with *prime* group order, for fast tests.
+
+    Counts points by brute force (enumerating quadratic residues), so the
+    field must stay small (≤ ~2^18).  Security is intentionally nil — the
+    point is exercising every code path cheaply and deterministically.
+    """
+    if field_bits > 18:
+        raise ValueError("tiny curves only; use a standard curve above 2^18")
+    rng = rng or SystemRNG()
+    # Pick a field prime once; retry curve coefficients until the order is prime.
+    p = _random_field_prime(field_bits, rng)
+    for _ in range(max_attempts):
+        a = rng.randrange(p)
+        b = rng.randrange(p)
+        if (4 * a**3 + 27 * b**2) % p == 0:
+            continue
+        order = _count_points(p, a, b)
+        if not is_prime(order):
+            continue
+        base = _find_point(p, a, b, rng)
+        if base is None:
+            continue
+        params = CurveParams(
+            name=f"tiny-{p}",
+            p=p,
+            a=a,
+            b=b,
+            gx=base[0],
+            gy=base[1],
+            n=order,
+            h=1,
+            security_bits=8,
+        )
+        return EllipticCurveGroup(params, verify=True)
+    raise RuntimeError("failed to find a prime-order tiny curve")
+
+
+def _random_field_prime(bits: int, rng: RNG) -> int:
+    while True:
+        candidate = rng.randbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(candidate) and candidate % 4 == 3:
+            # p ≡ 3 (mod 4) keeps mod_sqrt on its fast path.
+            return candidate
+
+
+def _count_points(p: int, a: int, b: int) -> int:
+    """|E(F_p)| by summing Legendre symbols: 1 + Σ_x (1 + χ(x³+ax+b))."""
+    count = 1  # infinity
+    for x in range(p):
+        rhs = (x * x * x + a * x + b) % p
+        if rhs == 0:
+            count += 1
+        elif is_quadratic_residue(rhs, p):
+            count += 2
+    return count
+
+
+def _find_point(p: int, a: int, b: int, rng: RNG):
+    for _ in range(4 * p):
+        x = rng.randrange(p)
+        rhs = (x * x * x + a * x + b) % p
+        if rhs == 0:
+            return (x, 0)
+        if is_quadratic_residue(rhs, p):
+            return (x, mod_sqrt(rhs, p))
+    return None

@@ -1,0 +1,62 @@
+"""Convenience constructors tying security levels to concrete groups.
+
+The paper's Fig. 3(a) compares DL and ECC instantiations at the NIST
+equivalences (FIPS 140-2 IG): 80-bit ⇔ DL-1024 / ECC-160,
+112-bit ⇔ DL-2048 / ECC-224, 128-bit ⇔ DL-3072 / ECC-256.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.groups.base import Group, OperationCounter
+from repro.groups.curves import CURVE_FOR_SECURITY, get_curve
+from repro.groups.dl import DLGroup
+from repro.math.rng import RNG, SeededRNG
+
+#: symmetric security level -> (DL modulus bits, curve name)
+SECURITY_LEVELS = {
+    80: (1024, "secp160r1"),
+    112: (2048, "secp224r1"),
+    128: (3072, "secp256r1"),
+}
+
+
+def make_dl_group(bits: int, counter: Optional[OperationCounter] = None) -> DLGroup:
+    """The standardized DL group with a ``bits``-bit safe-prime modulus."""
+    return DLGroup.standard(bits, counter=counter)
+
+
+def make_ecc_group(name: str, counter: Optional[OperationCounter] = None) -> Group:
+    """A verified standard elliptic curve group by curve name."""
+    group = get_curve(name)
+    group.attach_counter(counter)
+    return group
+
+
+def group_for_security_level(
+    level: int, family: str, counter: Optional[OperationCounter] = None
+) -> Group:
+    """The paper's group for a symmetric security ``level`` and ``family``.
+
+    ``family`` is ``"DL"`` or ``"ECC"``; ``level`` one of 80, 112, 128.
+    """
+    if level not in SECURITY_LEVELS:
+        raise ValueError(f"unsupported level {level}; supported: {sorted(SECURITY_LEVELS)}")
+    dl_bits, curve_name = SECURITY_LEVELS[level]
+    family = family.upper()
+    if family == "DL":
+        return make_dl_group(dl_bits, counter=counter)
+    if family == "ECC":
+        return make_ecc_group(CURVE_FOR_SECURITY[level] if level in CURVE_FOR_SECURITY else curve_name, counter=counter)
+    raise ValueError("family must be 'DL' or 'ECC'")
+
+
+def make_test_group(
+    bits: int = 64, seed: int = 0, counter: Optional[OperationCounter] = None
+) -> DLGroup:
+    """A small deterministic DL group for unit tests and examples.
+
+    Not secure; exists so full protocol runs finish in milliseconds.
+    """
+    return DLGroup.random(bits, rng=SeededRNG(seed), counter=counter)

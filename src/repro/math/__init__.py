@@ -1,0 +1,44 @@
+"""Number-theoretic substrate: modular arithmetic, primality, randomness.
+
+Everything above this package (groups, ElGamal, secret sharing, the
+ranking framework itself) is built on these primitives.  Nothing here
+depends on any other part of :mod:`repro`.
+"""
+
+from repro.math.modular import (
+    crt_pair,
+    egcd,
+    int_from_bits,
+    int_to_bits,
+    is_quadratic_residue,
+    jacobi_symbol,
+    mod_inverse,
+    mod_sqrt,
+)
+from repro.math.primes import (
+    is_prime,
+    is_safe_prime,
+    next_prime,
+    random_prime,
+    random_safe_prime,
+)
+from repro.math.rng import SystemRNG, SeededRNG, RNG
+
+__all__ = [
+    "crt_pair",
+    "egcd",
+    "int_from_bits",
+    "int_to_bits",
+    "is_prime",
+    "is_quadratic_residue",
+    "is_safe_prime",
+    "jacobi_symbol",
+    "mod_inverse",
+    "mod_sqrt",
+    "next_prime",
+    "random_prime",
+    "random_safe_prime",
+    "RNG",
+    "SeededRNG",
+    "SystemRNG",
+]

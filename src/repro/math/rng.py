@@ -1,0 +1,117 @@
+"""Randomness discipline for the whole library.
+
+Every protocol object takes an :class:`RNG` so that
+
+* production runs draw from the OS CSPRNG (:class:`SystemRNG`), and
+* tests and benchmarks are exactly reproducible (:class:`SeededRNG`).
+
+Protocol code must never call :mod:`random` or :mod:`secrets` directly.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RNG:
+    """Abstract randomness source.
+
+    Subclasses implement :meth:`randbits`; everything else is derived.
+    """
+
+    def randbits(self, k: int) -> int:
+        raise NotImplementedError
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range ``[low, high]``."""
+        if low > high:
+            raise ValueError("empty range")
+        span = high - low + 1
+        return low + self.randrange(span)
+
+    def randrange(self, n: int) -> int:
+        """Uniform integer in ``[0, n)`` via rejection sampling."""
+        if n <= 0:
+            raise ValueError("randrange needs a positive bound")
+        k = n.bit_length()
+        while True:
+            value = self.randbits(k)
+            if value < n:
+                return value
+
+    def rand_group_exponent(self, order: int) -> int:
+        """Uniform element of ``Z_order`` — the standard exponent draw."""
+        return self.randrange(order)
+
+    def rand_nonzero(self, modulus: int) -> int:
+        """Uniform element of ``Z_modulus \\ {0}``."""
+        if modulus < 2:
+            raise ValueError("modulus must be at least 2")
+        return 1 + self.randrange(modulus - 1)
+
+    def shuffle(self, items: List[T]) -> None:
+        """In-place Fisher-Yates shuffle driven by this source."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randrange(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def permutation(self, n: int) -> List[int]:
+        """A uniform permutation of ``range(n)``."""
+        perm = list(range(n))
+        self.shuffle(perm)
+        return perm
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.randrange(len(items))]
+
+    def sample_distinct(self, n: int, k: int) -> List[int]:
+        """``k`` distinct values from ``range(n)`` in random order."""
+        if k > n:
+            raise ValueError("sample larger than population")
+        perm = self.permutation(n)
+        return perm[:k]
+
+
+class SystemRNG(RNG):
+    """OS CSPRNG-backed source for real runs."""
+
+    def randbits(self, k: int) -> int:
+        if k < 0:
+            raise ValueError("bit count must be non-negative")
+        if k == 0:
+            return 0
+        return secrets.randbits(k)
+
+
+class SeededRNG(RNG):
+    """Deterministic source for tests and benchmarks.
+
+    Internally a Mersenne Twister; NOT cryptographically secure, which is
+    fine because determinism, not secrecy, is the point in tests.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._random = random.Random(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def randbits(self, k: int) -> int:
+        if k < 0:
+            raise ValueError("bit count must be non-negative")
+        if k == 0:
+            return 0
+        return self._random.getrandbits(k)
+
+    def fork(self, label: str) -> "SeededRNG":
+        """An independent deterministic child stream (per-party streams)."""
+        child_seed = hash((self._seed, label)) & 0x7FFFFFFFFFFFFFFF
+        return SeededRNG(child_seed)

@@ -1,0 +1,23 @@
+"""Event-driven network simulator (the paper's NS2 substitute).
+
+Reproduces the Fig. 3(b) experiment: protocols run over a random
+80-node graph with 320 duplex 2 Mbps / 50 ms links, messages are routed
+along shortest paths with store-and-forward FIFO queueing per link (so
+congestion emerges as load grows), and protocol rounds act as barriers —
+exactly the synchrony model the runtime engine uses.
+"""
+
+from repro.netsim.topology import Topology, paper_topology, random_connected_topology
+from repro.netsim.simulator import LinkConfig, NetworkSimulator, SimMessage
+from repro.netsim.transport import TranscriptReplay, replay_transcript
+
+__all__ = [
+    "LinkConfig",
+    "NetworkSimulator",
+    "SimMessage",
+    "Topology",
+    "TranscriptReplay",
+    "paper_topology",
+    "random_connected_topology",
+    "replay_transcript",
+]

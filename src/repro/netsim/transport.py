@@ -1,0 +1,103 @@
+"""Replaying protocol transcripts over the simulated network.
+
+A protocol run (local, instant) produces a
+:class:`repro.runtime.transcript.Transcript` — who sent how many bits to
+whom in which round.  This module maps parties onto topology nodes and
+replays the trace round by round: round ``r+1`` starts when every
+message of round ``r`` has been delivered (the synchronous barrier the
+engine's semantics define).  The result is the *communication time* of
+the protocol on the Fig. 3(b) network; adding per-party computation time
+from the cost model gives the total execution time the figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.netsim.simulator import LinkConfig, NetworkSimulator, SimMessage
+from repro.netsim.topology import Topology
+from repro.runtime.transcript import Transcript
+
+
+@dataclass
+class TranscriptReplay:
+    """Timing results of replaying one transcript."""
+
+    total_time_s: float
+    round_times_s: List[float] = field(default_factory=list)
+    total_bits: int = 0
+    message_count: int = 0
+
+    @property
+    def rounds(self) -> int:
+        return len(self.round_times_s)
+
+
+def replay_transcript(
+    transcript: Transcript,
+    topology: Topology,
+    link: LinkConfig = LinkConfig(),
+) -> TranscriptReplay:
+    """Simulate the transcript's messages over the topology.
+
+    Parties must already be placed (``topology.place_parties``).
+    """
+    simulator = NetworkSimulator(topology, link)
+    by_round = transcript.by_round()
+    round_times: List[float] = []
+    clock = 0.0
+    total_bits = 0
+    message_count = 0
+    for round_index in sorted(by_round):
+        batch: List[SimMessage] = []
+        for entry in by_round[round_index]:
+            batch.append(
+                SimMessage(
+                    src_node=topology.node_of(entry.src),
+                    dst_node=topology.node_of(entry.dst),
+                    size_bits=entry.size_bits,
+                    inject_time=clock,
+                    label=entry.tag,
+                )
+            )
+            total_bits += entry.size_bits
+            message_count += 1
+        finish = simulator.deliver(batch)
+        finish = max(finish, clock)
+        round_times.append(finish - clock)
+        clock = finish
+    return TranscriptReplay(
+        total_time_s=clock,
+        round_times_s=round_times,
+        total_bits=total_bits,
+        message_count=message_count,
+    )
+
+
+def synthetic_round_trace(
+    rounds: int,
+    messages_per_round: int,
+    bits_per_message: int,
+    party_ids: List[int],
+) -> Transcript:
+    """Build a synthetic all-to-all-style transcript for cost modelling.
+
+    Used for protocols we account analytically (the SS framework's
+    multiplication rounds): each round carries ``messages_per_round``
+    messages of ``bits_per_message`` bits round-robin across party pairs.
+    """
+    transcript = Transcript()
+    n = len(party_ids)
+    if n < 2:
+        raise ValueError("need at least two parties")
+    pair_index = 0
+    for round_index in range(rounds):
+        for _ in range(messages_per_round):
+            src = party_ids[pair_index % n]
+            dst = party_ids[(pair_index + 1 + (pair_index // n) % (n - 1)) % n]
+            if dst == src:
+                dst = party_ids[(pair_index + 1) % n]
+            transcript.record(round_index, src, dst, "synthetic", bits_per_message)
+            pair_index += 1
+    return transcript

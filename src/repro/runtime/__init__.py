@@ -1,0 +1,39 @@
+"""Protocol runtime: parties, channels, the round scheduler, metrics.
+
+The paper's framework is *fully distributed*: parties only ever act on
+their own state plus messages received over pairwise secure channels.
+This package enforces that discipline in simulation:
+
+* a :class:`repro.runtime.party.Party` is a generator coroutine that
+  ``yield``s :class:`repro.runtime.channels.Recv` effects when it needs a
+  message and calls :meth:`~repro.runtime.party.Party.send` to emit one;
+* the :class:`repro.runtime.engine.Engine` schedules parties in
+  synchronous communication rounds — a message sent in round ``r`` is
+  deliverable from round ``r+1`` — so the engine's round counter *is* the
+  protocol's communication-round complexity;
+* every message is recorded in a :class:`repro.runtime.transcript.Transcript`
+  with its wire size, which both the efficiency benches and the network
+  simulator consume;
+* group operations are metered per party (the engine attaches each
+  party's :class:`repro.groups.base.OperationCounter` to the shared group
+  object while that party runs).
+"""
+
+from repro.runtime.channels import Message, Recv
+from repro.runtime.engine import Engine
+from repro.runtime.errors import ProtocolAbort, ProtocolError
+from repro.runtime.metrics import PartyMetrics
+from repro.runtime.party import Party
+from repro.runtime.transcript import Transcript, TranscriptEntry
+
+__all__ = [
+    "Engine",
+    "Message",
+    "Party",
+    "PartyMetrics",
+    "ProtocolAbort",
+    "ProtocolError",
+    "Recv",
+    "Transcript",
+    "TranscriptEntry",
+]

@@ -1,0 +1,73 @@
+"""Messages and receive-effects exchanged between parties.
+
+The paper assumes a secure (private, authenticated) channel between each
+pair of parties; in simulation this means a party can only read messages
+explicitly addressed to it, which the engine enforces by delivering into
+per-party mailboxes keyed by ``(src, tag)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Deque, List, Optional, Tuple
+from collections import deque
+
+from repro.runtime.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message on a pairwise secure channel."""
+
+    src: int
+    dst: int
+    tag: str
+    payload: Any
+    size_bits: int
+    round_sent: int = 0
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Effect yielded by a party: "block until a message arrives".
+
+    ``src`` may be ``None`` to accept the tag from any sender.
+    """
+
+    src: Optional[int]
+    tag: str
+
+
+@dataclass
+class Mailbox:
+    """Per-party inbox with FIFO order per ``(src, tag)`` stream."""
+
+    owner: int
+    _queues: Dict[Tuple[int, str], Deque[Message]] = field(default_factory=dict)
+
+    def deliver(self, message: Message) -> None:
+        if message.dst != self.owner:
+            raise ProtocolError(
+                f"message for {message.dst} delivered to mailbox of {self.owner}"
+            )
+        key = (message.src, message.tag)
+        self._queues.setdefault(key, deque()).append(message)
+
+    def try_take(self, want: Recv) -> Optional[Message]:
+        """Pop the oldest message matching the receive effect, if any."""
+        if want.src is not None:
+            queue = self._queues.get((want.src, want.tag))
+            if queue:
+                return queue.popleft()
+            return None
+        # Wildcard source: take the tag from the lowest-numbered sender
+        # with a pending message (deterministic).
+        candidates = [
+            key for key, queue in self._queues.items() if key[1] == want.tag and queue
+        ]
+        if not candidates:
+            return None
+        return self._queues[min(candidates)].popleft()
+
+    def pending(self) -> List[Message]:
+        return [msg for queue in self._queues.values() for msg in queue]

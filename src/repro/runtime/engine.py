@@ -1,0 +1,156 @@
+"""Synchronous-round protocol scheduler.
+
+Execution model (standard synchronous network):
+
+* Within a round every runnable party executes until it blocks on a
+  :class:`~repro.runtime.channels.Recv` that cannot be satisfied from its
+  mailbox, or finishes.
+* Messages sent during round ``r`` are delivered to mailboxes at the
+  round boundary and become receivable in round ``r+1``.
+* The engine's final round count is therefore the protocol's
+  communication-round complexity, the quantity paper Section VI-B
+  analyzes (``O(n)`` for the framework).
+
+While a party executes, its :class:`OperationCounter` is attached to the
+shared group object(s), so group operations are metered per party even
+though all simulated parties share one group instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.groups.base import Group
+from repro.runtime.channels import Mailbox, Message, Recv
+from repro.runtime.errors import DeadlockError, ProtocolError
+from repro.runtime.party import Party
+from repro.runtime.transcript import Transcript
+
+
+class Engine:
+    """Runs a set of parties to completion over a simulated network."""
+
+    def __init__(self, metered_groups: Optional[Iterable[Group]] = None, max_rounds: int = 1_000_000):
+        self.parties: Dict[int, Party] = {}
+        self.transcript = Transcript()
+        self.round = 0
+        self.max_rounds = max_rounds
+        self._mailboxes: Dict[int, Mailbox] = {}
+        self._outbox: List[Message] = []
+        self._generators: Dict[int, Any] = {}
+        self._waiting: Dict[int, Recv] = {}
+        self._finished: Dict[int, bool] = {}
+        self._metered_groups = list(metered_groups or [])
+
+    # -- setup -----------------------------------------------------------------
+    def add_party(self, party: Party) -> None:
+        if party.party_id in self.parties:
+            raise ValueError(f"duplicate party id {party.party_id}")
+        party._engine = self
+        self.parties[party.party_id] = party
+        self._mailboxes[party.party_id] = Mailbox(owner=party.party_id)
+        self._finished[party.party_id] = False
+
+    def add_parties(self, parties: Iterable[Party]) -> None:
+        for party in parties:
+            self.add_party(party)
+
+    # -- messaging (called by Party.send) -----------------------------------------
+    def submit(self, src: int, dst: int, tag: str, payload: Any, size_bits: int) -> None:
+        if dst not in self.parties:
+            raise ProtocolError(f"party {src} sent to unknown party {dst}")
+        if dst == src:
+            raise ProtocolError(f"party {src} sent a message to itself")
+        message = Message(
+            src=src, dst=dst, tag=tag, payload=payload,
+            size_bits=size_bits, round_sent=self.round,
+        )
+        self._outbox.append(message)
+        self.transcript.record(self.round, src, dst, tag, size_bits)
+
+    # -- execution ---------------------------------------------------------------
+    def run(self) -> Dict[int, Any]:
+        """Run all parties to completion; return outputs keyed by party id."""
+        for party_id, party in self.parties.items():
+            self._generators[party_id] = party.protocol()
+        # Prime every generator to its first blocking point.
+        for party_id in sorted(self.parties):
+            self._advance(party_id, first=True)
+        while not all(self._finished.values()):
+            progressed = self._run_one_round()
+            if not progressed:
+                raise DeadlockError(
+                    {pid: self._waiting.get(pid) for pid, done in self._finished.items() if not done}
+                )
+            if self.round > self.max_rounds:
+                raise ProtocolError(f"exceeded max_rounds={self.max_rounds}")
+        return {party_id: party.output for party_id, party in self.parties.items()}
+
+    def _run_one_round(self) -> bool:
+        """Deliver pending messages, then advance parties until quiescent.
+
+        Returns True iff any party made progress this round.
+        """
+        delivered = self._flush_outbox()
+        self.round += 1
+        progressed = delivered > 0
+        # Keep advancing parties until nobody can move within this round.
+        # A party may consume several already-delivered messages in one round,
+        # but messages *sent* this round are only deliverable next round.
+        moved = True
+        while moved:
+            moved = False
+            for party_id in sorted(self.parties):
+                if self._finished[party_id]:
+                    continue
+                if self._try_satisfy(party_id):
+                    moved = True
+                    progressed = True
+        return progressed
+
+    def _flush_outbox(self) -> int:
+        count = len(self._outbox)
+        for message in self._outbox:
+            self._mailboxes[message.dst].deliver(message)
+        self._outbox = []
+        return count
+
+    def _try_satisfy(self, party_id: int) -> bool:
+        want = self._waiting.get(party_id)
+        if want is None:
+            return False
+        message = self._mailboxes[party_id].try_take(want)
+        if message is None:
+            return False
+        self._advance(party_id, message=message)
+        return True
+
+    def _advance(self, party_id: int, message: Optional[Message] = None, first: bool = False) -> None:
+        """Step one party's generator until it blocks or finishes."""
+        party = self.parties[party_id]
+        generator = self._generators[party_id]
+        self._attach_counters(party)
+        try:
+            if first:
+                effect = next(generator)
+            else:
+                effect = generator.send(message)
+        except StopIteration:
+            self._finished[party_id] = True
+            self._waiting.pop(party_id, None)
+            return
+        finally:
+            self._detach_counters()
+        if not isinstance(effect, Recv):
+            raise ProtocolError(
+                f"party {party_id} yielded {effect!r}; parties may only yield Recv"
+            )
+        self._waiting[party_id] = effect
+
+    def _attach_counters(self, party: Party) -> None:
+        for group in self._metered_groups:
+            group.attach_counter(party.metrics.ops)
+
+    def _detach_counters(self) -> None:
+        for group in self._metered_groups:
+            group.attach_counter(None)

@@ -1,0 +1,30 @@
+"""Exceptions raised by the protocol runtime."""
+
+from __future__ import annotations
+
+
+class ProtocolError(Exception):
+    """A party received malformed or inconsistent protocol data.
+
+    In the honest-but-curious model this indicates a bug or an active
+    attack; either way the run must not continue silently.
+    """
+
+
+class ProtocolAbort(ProtocolError):
+    """A party deliberately aborted (e.g. a zero-knowledge proof failed)."""
+
+
+class DeadlockError(ProtocolError):
+    """No party can make progress and at least one has not finished.
+
+    Raised by the engine; carries the blocked parties' pending receives so
+    test failures are diagnosable.
+    """
+
+    def __init__(self, blocked: dict):
+        self.blocked = blocked
+        details = ", ".join(
+            f"party {pid} waiting on {wait!r}" for pid, wait in sorted(blocked.items())
+        )
+        super().__init__(f"protocol deadlock: {details}")

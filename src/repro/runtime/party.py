@@ -1,0 +1,108 @@
+"""Base class for protocol parties.
+
+A party implements :meth:`Party.protocol` as a generator.  It yields
+:class:`~repro.runtime.channels.Recv` effects to block on messages (the
+engine sends the matching :class:`~repro.runtime.channels.Message` back
+into the generator) and calls :meth:`Party.send` to emit messages.
+
+Helper generators (:meth:`recv`, :meth:`recv_from_all`) keep protocol
+code close to the paper's prose::
+
+    def protocol(self):
+        betas = yield from self.recv_from_all(self.other_ids, "beta-bits")
+        ...
+        self.send(0, "ranking", my_rank, size_bits=32)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, Optional
+
+from repro.math.rng import RNG
+from repro.runtime.channels import Message, Recv
+from repro.runtime.metrics import PartyMetrics
+
+
+class Party:
+    """One protocol participant with private state, an RNG and metrics."""
+
+    def __init__(self, party_id: int, rng: RNG):
+        self.party_id = party_id
+        self.rng = rng
+        self.metrics = PartyMetrics(party_id=party_id)
+        self._engine = None  # set by Engine.add_party
+        self.output: Any = None
+
+    # -- to be implemented by concrete parties -------------------------------
+    def protocol(self) -> Generator[Recv, Message, None]:
+        """The party's behaviour, as a generator of receive effects."""
+        raise NotImplementedError
+
+    # -- messaging helpers ------------------------------------------------------
+    def send(self, dst: int, tag: str, payload: Any, size_bits: Optional[int] = None) -> None:
+        """Emit a message on the secure channel to ``dst`` (non-blocking).
+
+        ``size_bits`` is the wire size used for communication accounting;
+        when omitted a structural estimate is used.
+        """
+        if self._engine is None:
+            raise RuntimeError("party is not attached to an engine")
+        if size_bits is None:
+            size_bits = estimate_size_bits(payload)
+        self._engine.submit(self.party_id, dst, tag, payload, size_bits)
+        self.metrics.record_send(size_bits)
+
+    def recv(self, src: Optional[int], tag: str) -> Generator[Recv, Message, Message]:
+        """Block until one matching message arrives; return it."""
+        message = yield Recv(src=src, tag=tag)
+        self.metrics.record_receive(message.size_bits)
+        return message
+
+    def recv_from_all(
+        self, sources: Iterable[int], tag: str
+    ) -> Generator[Recv, Message, Dict[int, Any]]:
+        """Gather one ``tag`` message from each source; return payloads by src."""
+        payloads: Dict[int, Any] = {}
+        for src in sources:
+            message = yield from self.recv(src, tag)
+            payloads[src] = message.payload
+        return payloads
+
+    def broadcast(
+        self, destinations: Iterable[int], tag: str, payload: Any,
+        size_bits: Optional[int] = None,
+    ) -> None:
+        """Send the same payload to every destination (n point-to-point sends)."""
+        for dst in destinations:
+            self.send(dst, tag, payload, size_bits=size_bits)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.party_id})"
+
+
+def estimate_size_bits(payload: Any) -> int:
+    """Structural wire-size estimate for payloads without an explicit size.
+
+    Integers count their bit length; containers sum their items.  Objects
+    with a ``size_bits`` attribute use it.  Anything else costs one
+    machine word — protocol code should pass explicit sizes for payloads
+    whose size matters to the evaluation.
+    """
+    if payload is None:
+        return 1
+    size = getattr(payload, "size_bits", None)
+    if isinstance(size, int):
+        return size
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length())
+    if isinstance(payload, (bytes, bytearray)):
+        return 8 * len(payload)
+    if isinstance(payload, str):
+        return 8 * len(payload.encode())
+    if isinstance(payload, dict):
+        return sum(estimate_size_bits(v) for v in payload.values()) or 1
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(estimate_size_bits(v) for v in payload) or 1
+    return 64

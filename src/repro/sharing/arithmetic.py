@@ -1,0 +1,231 @@
+"""Arithmetic over Shamir-shared values, with exact cost accounting.
+
+Linear operations (addition, subtraction, scalar multiplication, adding
+a public constant) are local.  Multiplication follows
+Gennaro-Rabin-Rabin: each party multiplies her two shares (degree
+doubles to ``2t``), reshares the product with a fresh degree-``t``
+polynomial, and the new share is the Lagrange-at-zero combination of the
+received subshares.  That requires ``2t + 1 ≤ n``, the origin of the
+``(n-1)/2`` collusion bound the paper contrasts against.
+
+The :class:`SSContext` executes the *real algebra* for all ``n`` virtual
+parties in one process and meters what the distributed protocol would
+send: one communication round and ``n(n-1)`` field elements per
+multiplication or opening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.math.modular import mod_inverse
+from repro.math.rng import RNG, SeededRNG
+from repro.sharing.shamir import ShamirScheme, Share
+
+
+@dataclass
+class SSMetrics:
+    """Cost of an SS protocol run, in the units of paper Section VI-B."""
+
+    multiplications: int = 0     # multiplication-protocol invocations
+    openings: int = 0
+    rounds: int = 0
+    field_messages: int = 0      # field elements sent party-to-party
+    field_ops: int = 0           # local field multiplications (all parties)
+
+    def record_multiplication(self, parties: int, parallel: bool) -> None:
+        self.multiplications += 1
+        self.field_messages += parties * (parties - 1)
+        # Resharing: each party evaluates a degree-t polynomial at n points
+        # (~t*n field mults) and combines n subshares (n mults).
+        self.field_ops += parties * (parties * 2)
+        if not parallel:
+            self.rounds += 1
+
+    def record_opening(self, parties: int, parallel: bool) -> None:
+        self.openings += 1
+        self.field_messages += parties * (parties - 1)
+        self.field_ops += parties * parties
+        if not parallel:
+            self.rounds += 1
+
+    @property
+    def bits_sent(self) -> int:
+        return 0  # filled in by callers that know the field size
+
+
+class SSContext:
+    """All-parties-in-one-process executor for secret-shared arithmetic."""
+
+    def __init__(
+        self,
+        parties: int,
+        prime: int,
+        threshold: Optional[int] = None,
+        rng: Optional[RNG] = None,
+    ):
+        if threshold is None:
+            threshold = (parties - 1) // 2
+        if 2 * threshold + 1 > parties:
+            raise ValueError(
+                "GRR degree reduction needs 2t+1 <= n "
+                f"(got t={threshold}, n={parties})"
+            )
+        self.scheme = ShamirScheme(threshold, parties, prime)
+        self.rng = rng or SeededRNG(0)
+        self.metrics = SSMetrics()
+        self._parallel_depth = 0
+        self._parallel_used = False
+        # Precompute the Lagrange weights for degree-2t reconstruction from
+        # all n points (used by every multiplication).
+        xs = list(range(1, parties + 1))
+        self._lagrange_all = self.scheme.lagrange_coefficients(xs)
+
+    @property
+    def n(self) -> int:
+        return self.scheme.n
+
+    @property
+    def t(self) -> int:
+        return self.scheme.t
+
+    @property
+    def p(self) -> int:
+        return self.scheme.p
+
+    # -- round grouping -------------------------------------------------------------
+    def parallel_round(self) -> "_ParallelRound":
+        """Context manager: operations inside count as ONE communication round.
+
+        Models protocol stages where independent multiplications/openings
+        are batched into the same message exchange.
+        """
+        return _ParallelRound(self)
+
+    def _charge_mult(self) -> None:
+        self.metrics.record_multiplication(self.n, parallel=self._parallel_depth > 0)
+        if self._parallel_depth > 0:
+            self._parallel_used = True
+
+    def _charge_open(self) -> None:
+        self.metrics.record_opening(self.n, parallel=self._parallel_depth > 0)
+        if self._parallel_depth > 0:
+            self._parallel_used = True
+
+    # -- values -----------------------------------------------------------------------
+    def share(self, secret: int) -> "SharedValue":
+        """Deal a fresh sharing of ``secret`` (input distribution round)."""
+        shares = self.scheme.share(secret, self.rng)
+        self.metrics.field_messages += self.n - 1
+        return SharedValue(self, [share.y for share in shares])
+
+    def constant(self, value: int) -> "SharedValue":
+        """The canonical sharing of a public constant (degree-0 polynomial)."""
+        return SharedValue(self, [value % self.p] * self.n)
+
+    def open(self, value: "SharedValue") -> int:
+        """Reveal a shared value to everyone."""
+        self._charge_open()
+        shares = [Share(x=i + 1, y=y) for i, y in enumerate(value.shares)]
+        return self.scheme.reconstruct(shares)
+
+    def multiply(self, a: "SharedValue", b: "SharedValue") -> "SharedValue":
+        """GRR multiplication with degree reduction (one round)."""
+        self._charge_mult()
+        n, p = self.n, self.p
+        # Step 1: local products — a degree-2t sharing of a*b.
+        products = [a.shares[i] * b.shares[i] % p for i in range(n)]
+        # Step 2: every party reshares her product with degree t.
+        subshares = [self.scheme.share(products[i], self.rng) for i in range(n)]
+        # Step 3: new share of party j = Σ_i λ_i · subshare_{i→j}.
+        new_shares = []
+        for j in range(n):
+            total = 0
+            for i in range(n):
+                weight = self._lagrange_all[i + 1]
+                total = (total + weight * subshares[i][j].y) % p
+            new_shares.append(total)
+        return SharedValue(self, new_shares)
+
+
+class _ParallelRound:
+    def __init__(self, context: SSContext):
+        self.context = context
+
+    def __enter__(self):
+        if self.context._parallel_depth == 0:
+            self.context._parallel_used = False
+        self.context._parallel_depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.context._parallel_depth -= 1
+        if (
+            self.context._parallel_depth == 0
+            and self.context._parallel_used
+            and exc_type is None
+        ):
+            self.context.metrics.rounds += 1
+        return False
+
+
+@dataclass
+class SharedValue:
+    """A degree-t Shamir sharing living in an :class:`SSContext`.
+
+    ``shares[i]`` is party ``i+1``'s share.  Supports ``+``, ``-`` and
+    ``*`` with other shared values and with plain integers; multiplying
+    two shared values invokes the (metered) multiplication protocol.
+    """
+
+    context: SSContext
+    shares: List[int] = field(default_factory=list)
+
+    def _lift(self, other) -> "SharedValue":
+        if isinstance(other, SharedValue):
+            return other
+        if isinstance(other, int):
+            return self.context.constant(other)
+        return NotImplemented
+
+    def __add__(self, other) -> "SharedValue":
+        other = self._lift(other)
+        if other is NotImplemented:
+            return NotImplemented
+        p = self.context.p
+        return SharedValue(
+            self.context,
+            [(a + b) % p for a, b in zip(self.shares, other.shares)],
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "SharedValue":
+        p = self.context.p
+        return SharedValue(self.context, [(-a) % p for a in self.shares])
+
+    def __sub__(self, other) -> "SharedValue":
+        other = self._lift(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other) -> "SharedValue":
+        return (-self) + other
+
+    def __mul__(self, other) -> "SharedValue":
+        if isinstance(other, int):
+            p = self.context.p
+            return SharedValue(self.context, [a * other % p for a in self.shares])
+        if isinstance(other, SharedValue):
+            return self.context.multiply(self, other)
+        return NotImplemented
+
+    def __rmul__(self, other) -> "SharedValue":
+        if isinstance(other, int):
+            return self * other
+        return NotImplemented
+
+    def open(self) -> int:
+        return self.context.open(self)

@@ -1,0 +1,277 @@
+"""The SS baseline as real message-passing parties on the engine.
+
+:mod:`repro.sharing.arithmetic` executes the secret-sharing algebra for
+all virtual parties in one process (fast, exact cost accounting).  This
+module complements it with a *genuinely distributed* execution: ``n``
+:class:`SSParty` objects exchange shares over the runtime engine, so the
+transcript/round accounting of the SS framework comes from the same
+machinery as the main framework's, and the two baselines can be
+compared end to end (``tests/test_sharing_protocol.py`` checks the
+distributed run agrees with the one-process context).
+
+Implemented sub-protocols, each as engine messages:
+
+* input sharing (the dealer sends one share per party);
+* GRR multiplication (local product, reshare, Lagrange-combine —
+  one communication round of ``n(n-1)`` share messages);
+* opening (everyone broadcasts her share);
+* the rank protocol: each party inputs a value; everyone learns her own
+  *competition rank* via pairwise shared comparisons — the SS
+  counterpart of the paper's framework, which (unlike it) reveals every
+  pairwise comparison outcome to all parties when the bits are opened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.math.modular import mod_inverse, mod_sqrt
+from repro.math.rng import RNG, SeededRNG
+from repro.runtime.engine import Engine
+from repro.runtime.errors import ProtocolError
+from repro.runtime.party import Party
+from repro.runtime.transcript import Transcript
+from repro.sharing.shamir import ShamirScheme, Share
+
+TAG_INPUT_SHARE = "ss-input"
+TAG_RESHARE = "ss-reshare"
+TAG_OPEN = "ss-open"
+
+
+class SSParty(Party):
+    """One party of a distributed Shamir computation.
+
+    Subclasses implement :meth:`compute` as a generator (like
+    :meth:`Party.protocol`) using the share-level helpers below; this
+    base class handles the field/threshold bookkeeping.
+    """
+
+    def __init__(self, party_id: int, n: int, prime: int, rng: RNG,
+                 threshold: Optional[int] = None):
+        if not 1 <= party_id <= n:
+            raise ValueError("SS party ids run from 1 to n")
+        super().__init__(party_id, rng)
+        threshold = (n - 1) // 2 if threshold is None else threshold
+        self.scheme = ShamirScheme(threshold, n, prime)
+        self.n = n
+        self.p = prime
+        self._field_bits = prime.bit_length()
+        xs = list(range(1, n + 1))
+        self._lagrange = self.scheme.lagrange_coefficients(xs)
+        self._sequence = 0
+
+    @property
+    def _others(self) -> List[int]:
+        return [j for j in range(1, self.n + 1) if j != self.party_id]
+
+    def _next_tag(self, base: str) -> str:
+        self._sequence += 1
+        return f"{base}-{self._sequence}"
+
+    # -- sub-protocols -----------------------------------------------------------
+    def deal_input(self, secret: int, tag: str):
+        """Dealer side: share ``secret``; returns own share value."""
+        shares = self.scheme.share(secret, self.rng)
+        for share in shares:
+            if share.x == self.party_id:
+                own = share.y
+            else:
+                self.send(share.x, tag, share.y, size_bits=self._field_bits)
+        return own
+
+    def receive_input(self, dealer: int, tag: str) -> Generator:
+        message = yield from self.recv(dealer, tag)
+        value = message.payload
+        if not isinstance(value, int) or not 0 <= value < self.p:
+            raise ProtocolError(f"P{dealer} dealt an out-of-field share")
+        return value
+
+    def multiply(self, my_share_a: int, my_share_b: int) -> Generator:
+        """GRR multiplication: returns this party's share of ``a·b``.
+
+        All parties must call this in the same order (tags are sequence-
+        numbered per sender so concurrent multiplications don't collide).
+        """
+        tag = self._next_tag(TAG_RESHARE)
+        product = my_share_a * my_share_b % self.p
+        subshares = self.scheme.share(product, self.rng)
+        own_subshare = 0
+        for share in subshares:
+            if share.x == self.party_id:
+                own_subshare = share.y
+            else:
+                self.send(share.x, tag, share.y, size_bits=self._field_bits)
+        received = yield from self.recv_from_all(self._others, tag)
+        total = self._lagrange[self.party_id] * own_subshare % self.p
+        for sender, subshare in received.items():
+            total = (total + self._lagrange[sender] * subshare) % self.p
+        return total
+
+    def open(self, my_share: int) -> Generator:
+        """Broadcast shares; reconstruct the value (all parties learn it)."""
+        tag = self._next_tag(TAG_OPEN)
+        self.broadcast(self._others, tag, my_share, size_bits=self._field_bits)
+        received = yield from self.recv_from_all(self._others, tag)
+        shares = [Share(x=self.party_id, y=my_share)] + [
+            Share(x=sender, y=value) for sender, value in sorted(received.items())
+        ]
+        return self.scheme.reconstruct(shares)
+
+    # -- derived gadgets -----------------------------------------------------------
+    def random_shared(self) -> Generator:
+        """Jointly random shared value: everyone deals, shares are summed."""
+        tag = self._next_tag(TAG_INPUT_SHARE) + "-rand"
+        contribution = self.rng.randrange(self.p)
+        own = self.deal_input(contribution, tag)
+        received = yield from self.recv_from_all(self._others, tag)
+        total = own
+        for value in received.values():
+            total = (total + value) % self.p
+        return total
+
+    def random_shared_bit(self, max_attempts: int = 64) -> Generator:
+        """The r²-trick random bit, distributed (1 mult + 1 open per try)."""
+        inv2 = mod_inverse(2, self.p)
+        for _ in range(max_attempts):
+            r = yield from self.random_shared()
+            r_squared_share = yield from self.multiply(r, r)
+            r_squared = yield from self.open(r_squared_share)
+            if r_squared == 0:
+                continue
+            root = mod_sqrt(r_squared, self.p)
+            sign_share = r * mod_inverse(root, self.p) % self.p
+            return (sign_share + 1) * inv2 % self.p
+        raise ProtocolError("random bit generation failed repeatedly")
+
+    def compare_less_than(self, share_a: int, share_b: int, width: int) -> Generator:
+        """Shared bit ``[a < b]`` for ``a, b < p/2`` — the LSB gadget,
+        distributed.  ``width`` must be ``⌈log p⌉``."""
+        doubled = (share_a - share_b) * 2 % self.p
+        result = yield from self._lsb(doubled, width)
+        return result
+
+    def _lsb(self, share_x: int, width: int) -> Generator:
+        bits: List[int] = []
+        while True:
+            bits = []
+            for _ in range(width):
+                bit = yield from self.random_shared_bit()
+                bits.append(bit)
+            value = 0
+            for index, bit in enumerate(bits):
+                value = (value + (1 << index) * bit) % self.p
+            in_range = yield from self._public_lt_bits(self.p - 1, bits)
+            opened = yield from self.open(in_range)
+            if opened == 0:
+                break
+        masked = yield from self.open((share_x + value) % self.p)
+        wrap = yield from self._public_lt_bits(masked, bits)
+        c0 = masked & 1
+        partial = ((1 - bits[0]) if c0 else bits[0]) % self.p
+        # XOR with the wrap bit: one multiplication.
+        product = yield from self.multiply(partial, wrap)
+        return (partial + wrap - 2 * product) % self.p
+
+    def _public_lt_bits(self, c: int, bit_shares: List[int]) -> Generator:
+        """Shared ``[c < r]`` for public c, bitwise-shared r (suffix products)."""
+        width = len(bit_shares)
+        if c >= (1 << width):
+            return 0
+        d = [
+            (1 - bit_shares[i]) % self.p if (c >> i) & 1 else bit_shares[i]
+            for i in range(width)
+        ]
+        e = [0] * width
+        e[width - 1] = 1
+        for i in range(width - 2, -1, -1):
+            e[i] = yield from self.multiply(e[i + 1], (1 - d[i + 1]) % self.p)
+        lowest = yield from self.multiply(e[0], (1 - d[0]) % self.p)
+        result = 0
+        for i in range(width):
+            if (c >> i) & 1:
+                continue
+            below = e[i - 1] if i > 0 else lowest
+            result = (result + e[i] - below) % self.p
+        return result
+
+
+class SSRankParty(SSParty):
+    """The SS-framework baseline behaviour: learn my competition rank.
+
+    Every party inputs her value; for every ordered pair the parties
+    compute the shared comparison bit and *open it to everyone* — the
+    information leak (all pairwise outcomes public) that motivates the
+    paper's identity-unlinkable design.
+    """
+
+    def __init__(self, party_id: int, n: int, prime: int, value: int, rng: RNG):
+        super().__init__(party_id, n, prime, rng)
+        if not 0 <= value < prime // 2:
+            raise ValueError("values must lie in [0, p/2)")
+        self.value = value
+        self.rank: Optional[int] = None
+
+    def protocol(self):
+        width = self.p.bit_length()
+        # 1. Everyone deals her input.
+        tag = "ss-rank-input"
+        own_share = self.deal_input(self.value, tag)
+        shares: Dict[int, int] = {self.party_id: own_share}
+        received = yield from self.recv_from_all(self._others, tag)
+        shares.update(received)
+        # 2. Pairwise comparisons, opened to everyone: [v_i < v_j], and —
+        # when that is 0 — the reverse [v_j < v_i] to separate "greater"
+        # from "equal".  The opened bit is public, so every party takes
+        # the same branch (interactive sub-protocols need lockstep).
+        greater_than_me = 0
+        for i in range(1, self.n + 1):
+            for j in range(i + 1, self.n + 1):
+                bit_share = yield from self.compare_less_than(
+                    shares[i], shares[j], width
+                )
+                i_below_j = yield from self.open(bit_share)
+                if i_below_j not in (0, 1):
+                    raise ProtocolError("comparison opened to a non-bit")
+                if i_below_j == 1:
+                    j_below_i = 0
+                else:
+                    reverse_share = yield from self.compare_less_than(
+                        shares[j], shares[i], width
+                    )
+                    j_below_i = yield from self.open(reverse_share)
+                if i == self.party_id and i_below_j == 1:
+                    greater_than_me += 1
+                if j == self.party_id and j_below_i == 1:
+                    greater_than_me += 1
+        self.rank = greater_than_me + 1
+        self.output = self.rank
+
+
+@dataclass
+class DistributedSSRun:
+    """Results of an engine-based SS rank computation."""
+
+    ranks: Dict[int, int]
+    rounds: int
+    transcript: Transcript
+
+
+def run_distributed_ss_ranking(
+    values: List[int], prime: int, rng: Optional[RNG] = None
+) -> DistributedSSRun:
+    """Engine-based SS ranking of ``values`` (party ``i+1`` holds
+    ``values[i]``)."""
+    rng = rng or SeededRNG(0)
+    n = len(values)
+    engine = Engine()
+    for party_id, value in enumerate(values, start=1):
+        fork = getattr(rng, "fork", None)
+        party_rng = fork(f"ss{party_id}") if callable(fork) else rng
+        engine.add_party(SSRankParty(party_id, n, prime, value, party_rng))
+    outputs = engine.run()
+    return DistributedSSRun(
+        ranks=dict(sorted(outputs.items())),
+        rounds=engine.transcript.rounds,
+        transcript=engine.transcript,
+    )

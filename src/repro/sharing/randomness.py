@@ -1,0 +1,64 @@
+"""Jointly random shared values and bits.
+
+* A **random shared value** is the sum of one random contribution per
+  party — uniform and unknown to any coalition missing a contributor.
+* A **random shared bit** follows the classic Damgård et al. square-root
+  trick: share a random ``r``, open ``r²``; if non-zero, ``r / sqrt(r²)``
+  is ±1 uniformly, so ``(r/s + 1)/2`` is a uniform shared bit at the
+  cost of one multiplication and one opening.
+
+These are the building blocks of the comparison protocol (and the reason
+its cost is dominated by ``O(l)`` multiplication invocations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.math.modular import mod_inverse, mod_sqrt
+from repro.sharing.arithmetic import SSContext, SharedValue
+
+
+def random_shared_value(context: SSContext) -> SharedValue:
+    """A uniformly random shared field element (one sharing per party).
+
+    Communication: each party deals one sharing; all are summed locally.
+    """
+    total = context.constant(0)
+    for _ in range(context.n):
+        contribution = context.share(context.rng.randrange(context.p))
+        total = total + contribution
+    return total
+
+
+def random_shared_bit(context: SSContext, max_attempts: int = 128) -> SharedValue:
+    """A uniform shared bit, unknown to everyone (1 mult + 1 open per try)."""
+    inv2 = mod_inverse(2, context.p)
+    for _ in range(max_attempts):
+        r = random_shared_value(context)
+        r_squared = context.open(context.multiply(r, r))
+        if r_squared == 0:
+            continue  # probability 1/p
+        root = mod_sqrt(r_squared, context.p)
+        # Both roots are valid; fix the smaller one as the public convention.
+        sign = r * mod_inverse(root, context.p)      # shared ±1
+        return (sign + 1) * inv2
+    raise RuntimeError("failed to generate a random shared bit (astronomically unlikely)")
+
+
+def random_shared_bits(
+    context: SSContext, width: int
+) -> Tuple[List[SharedValue], SharedValue]:
+    """``width`` random shared bits plus the shared value ``Σ 2^i·b_i``.
+
+    Used to mask a secret before opening it (the LSB/compare gadget).
+    Rejects combinations that could overflow the field: requires
+    ``2^width < p``.
+    """
+    if (1 << width) >= context.p:
+        raise ValueError("bit width too large for the field")
+    bits = [random_shared_bit(context) for _ in range(width)]
+    value = context.constant(0)
+    for i, bit in enumerate(bits):
+        value = value + bit * (1 << i)
+    return bits, value

@@ -1,0 +1,94 @@
+"""Shamir (t, n) secret sharing over a prime field.
+
+A secret ``s`` is the constant term of a random degree-``t`` polynomial;
+party ``i`` (1-indexed) holds the evaluation at ``x = i``.  Any ``t+1``
+shares reconstruct; ``t`` shares are information-theoretically
+independent of the secret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.math.modular import mod_inverse
+from repro.math.rng import RNG
+
+
+@dataclass(frozen=True)
+class Share:
+    """One party's share: the evaluation point and value."""
+
+    x: int
+    y: int
+
+
+class ShamirScheme:
+    """Sharing/reconstruction machinery for fixed ``(threshold, parties, prime)``.
+
+    ``threshold`` is the polynomial degree ``t``: up to ``t`` colluding
+    parties learn nothing; ``t+1`` reconstruct.
+    """
+
+    def __init__(self, threshold: int, parties: int, prime: int):
+        if parties < 2:
+            raise ValueError("need at least two parties")
+        if not 1 <= threshold < parties:
+            raise ValueError("threshold must satisfy 1 <= t < n")
+        if prime <= parties:
+            raise ValueError("field must be larger than the party count")
+        self.t = threshold
+        self.n = parties
+        self.p = prime
+
+    # -- sharing -----------------------------------------------------------------
+    def share(self, secret: int, rng: RNG, degree: int = None) -> List[Share]:
+        """Share ``secret`` with a random polynomial of the given degree."""
+        degree = self.t if degree is None else degree
+        coefficients = [secret % self.p] + [
+            rng.randrange(self.p) for _ in range(degree)
+        ]
+        return [
+            Share(x=i, y=self._eval_poly(coefficients, i)) for i in range(1, self.n + 1)
+        ]
+
+    def _eval_poly(self, coefficients: Sequence[int], x: int) -> int:
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = (result * x + coefficient) % self.p
+        return result
+
+    # -- reconstruction ------------------------------------------------------------
+    def reconstruct(self, shares: Sequence[Share], degree: int = None) -> int:
+        """Lagrange interpolation at 0 from at least ``degree+1`` shares."""
+        degree = self.t if degree is None else degree
+        if len(shares) < degree + 1:
+            raise ValueError(
+                f"need {degree + 1} shares to reconstruct a degree-{degree} sharing, "
+                f"got {len(shares)}"
+            )
+        points = shares[: degree + 1]
+        xs = [share.x for share in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("duplicate evaluation points")
+        secret = 0
+        for i, share in enumerate(points):
+            secret = (secret + share.y * self._lagrange_at_zero(xs, i)) % self.p
+        return secret
+
+    def _lagrange_at_zero(self, xs: Sequence[int], index: int) -> int:
+        """Lagrange basis coefficient ``λ_index`` evaluated at x = 0."""
+        numerator, denominator = 1, 1
+        xi = xs[index]
+        for j, xj in enumerate(xs):
+            if j == index:
+                continue
+            numerator = numerator * (-xj) % self.p
+            denominator = denominator * (xi - xj) % self.p
+        return numerator * mod_inverse(denominator, self.p) % self.p
+
+    def lagrange_coefficients(self, xs: Sequence[int]) -> Dict[int, int]:
+        """All basis coefficients at 0 for the given evaluation points."""
+        return {
+            xs[i]: self._lagrange_at_zero(list(xs), i) for i in range(len(xs))
+        }

@@ -1,0 +1,35 @@
+"""Multiparty sorting: networks, the SS baseline, probabilistic top-k.
+
+* :mod:`repro.sorting.networks` — data-oblivious sorting networks
+  (Batcher odd-even mergesort, bitonic, odd-even transposition).
+* :mod:`repro.sorting.ss_sort` — the Jónsson-et-al.-style baseline: a
+  sorting network whose comparators run over Shamir shares ("SS
+  framework" in the paper's evaluation).
+* :mod:`repro.sorting.topk` — the Burkhart-Dimitropoulos probabilistic
+  top-k baseline from related work.
+"""
+
+from repro.sorting.networks import (
+    SortingNetwork,
+    apply_network,
+    batcher_odd_even,
+    bitonic,
+    odd_even_transposition,
+    pairwise,
+)
+from repro.sorting.ss_sort import SSSortResult, ss_sort_shared, ss_sort_with_ranks
+from repro.sorting.topk import TopKResult, probabilistic_top_k
+
+__all__ = [
+    "SSSortResult",
+    "SortingNetwork",
+    "TopKResult",
+    "apply_network",
+    "batcher_odd_even",
+    "bitonic",
+    "odd_even_transposition",
+    "pairwise",
+    "probabilistic_top_k",
+    "ss_sort_shared",
+    "ss_sort_with_ranks",
+]

@@ -1,0 +1,243 @@
+"""Data-oblivious sorting networks.
+
+A sorting network is a fixed sequence of compare-exchange gates
+``(i, j)`` with ``i < j``; applying each gate puts the smaller value on
+lane ``i``.  Because the gate sequence is independent of the data,
+networks compose with secret-shared comparators — the basis of the
+Jónsson et al. SMP sorting baseline, which the paper credits with
+``O(n (log n)²)`` comparisons (Batcher's odd-even mergesort).
+
+Arbitrary (non-power-of-two) sizes use the standard padding argument:
+generate the network for the next power of two, then drop every gate
+touching a lane ``≥ n``.  Dropped gates would only ever see the ``+∞``
+padding values, which an ascending network never moves downward, so the
+pruned network still sorts (asserted exhaustively in tests via the 0-1
+principle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import List, MutableSequence, Sequence, Tuple
+
+Comparator = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class SortingNetwork:
+    """An immutable comparator sequence with derived structure."""
+
+    name: str
+    size: int
+    comparators: Tuple[Comparator, ...]
+
+    def __post_init__(self):
+        for i, j in self.comparators:
+            if not 0 <= i < j < self.size:
+                raise ValueError(f"bad comparator ({i}, {j}) for size {self.size}")
+
+    @property
+    def comparator_count(self) -> int:
+        return len(self.comparators)
+
+    def layers(self) -> List[List[Comparator]]:
+        """Greedy layering: gates in one layer touch disjoint lanes.
+
+        The number of layers is the network depth — the round count when
+        comparators within a layer run in parallel.
+        """
+        layers: List[List[Comparator]] = []
+        busy_until: List[int] = [0] * self.size
+        for gate in self.comparators:
+            i, j = gate
+            layer_index = max(busy_until[i], busy_until[j])
+            if layer_index == len(layers):
+                layers.append([])
+            layers[layer_index].append(gate)
+            busy_until[i] = busy_until[j] = layer_index + 1
+        return layers
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers())
+
+
+def apply_network(network: SortingNetwork, values: Sequence) -> List:
+    """Run the network on plain values (ascending)."""
+    if len(values) != network.size:
+        raise ValueError("value count must equal the network size")
+    lanes: MutableSequence = list(values)
+    for i, j in network.comparators:
+        if lanes[i] > lanes[j]:
+            lanes[i], lanes[j] = lanes[j], lanes[i]
+    return list(lanes)
+
+
+def verify_zero_one(network: SortingNetwork) -> bool:
+    """0-1 principle: a network sorts all inputs iff it sorts all 0/1 inputs.
+
+    Exponential in ``size`` — meant for test sizes.
+    """
+    for bits in product((0, 1), repeat=network.size):
+        if apply_network(network, bits) != sorted(bits):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Batcher odd-even mergesort
+# ---------------------------------------------------------------------------
+
+def batcher_odd_even(n: int) -> SortingNetwork:
+    """Batcher's odd-even mergesort network for any ``n ≥ 1``.
+
+    ``O(n (log n)²)`` comparators, depth ``O((log n)²)`` — the network
+    the Jónsson et al. baseline uses ("a variant of the merge sort").
+    """
+    if n < 1:
+        raise ValueError("network size must be positive")
+    padded = _next_power_of_two(n)
+    gates: List[Comparator] = []
+    _batcher_sort(0, padded, gates)
+    pruned = tuple((i, j) for i, j in gates if j < n)
+    return SortingNetwork(name="batcher-odd-even", size=n, comparators=pruned)
+
+
+def _batcher_sort(lo: int, length: int, gates: List[Comparator]) -> None:
+    if length <= 1:
+        return
+    half = length // 2
+    _batcher_sort(lo, half, gates)
+    _batcher_sort(lo + half, half, gates)
+    _batcher_merge(lo, length, 1, gates)
+
+
+def _batcher_merge(lo: int, length: int, stride: int, gates: List[Comparator]) -> None:
+    double = stride * 2
+    if double < length:
+        _batcher_merge(lo, length, double, gates)
+        _batcher_merge(lo + stride, length, double, gates)
+        for i in range(lo + stride, lo + length - stride, double):
+            gates.append((i, i + stride))
+    else:
+        gates.append((lo, lo + stride))
+
+
+# ---------------------------------------------------------------------------
+# Bitonic sort
+# ---------------------------------------------------------------------------
+
+def bitonic(n: int) -> SortingNetwork:
+    """Bitonic sorting network for any ``n ≥ 1`` (padded and pruned).
+
+    Uses the monotone-comparator (V-merge) formulation: after sorting
+    both halves ascending, the first merge stage compares lane ``i``
+    with lane ``length−1−i`` (the "V"), after which each half is bitonic
+    and plain half-cleaners finish.  Every gate is ascending ``(i, j)``
+    with ``i < j``, so the padding/pruning argument applies.
+    """
+    if n < 1:
+        raise ValueError("network size must be positive")
+    padded = _next_power_of_two(n)
+    gates: List[Comparator] = []
+    _bitonic_sort(0, padded, gates)
+    pruned = tuple((i, j) for i, j in gates if j < n)
+    return SortingNetwork(name="bitonic", size=n, comparators=pruned)
+
+
+def _bitonic_sort(lo: int, length: int, gates: List[Comparator]) -> None:
+    if length <= 1:
+        return
+    half = length // 2
+    _bitonic_sort(lo, half, gates)
+    _bitonic_sort(lo + half, half, gates)
+    for i in range(half):
+        gates.append((lo + i, lo + length - 1 - i))
+    _bitonic_clean(lo, half, gates)
+    _bitonic_clean(lo + half, half, gates)
+
+
+def _bitonic_clean(lo: int, length: int, gates: List[Comparator]) -> None:
+    if length <= 1:
+        return
+    half = length // 2
+    for i in range(half):
+        gates.append((lo + i, lo + i + half))
+    _bitonic_clean(lo, half, gates)
+    _bitonic_clean(lo + half, half, gates)
+
+
+# ---------------------------------------------------------------------------
+# Pairwise sorting network (Parberry 1992)
+# ---------------------------------------------------------------------------
+
+def pairwise(n: int) -> SortingNetwork:
+    """A pairwise-style sorting network (after Parberry '92), padded/pruned.
+
+    The other classic ``O(n (log n)²)`` recipe: sort adjacent pairs,
+    recursively sort the odd- and even-indexed subsequences, then fix up
+    with decreasing-stride comparators.  This implementation's cleanup
+    stage is slightly heavier than the optimal Parberry wiring (~1.2×
+    Batcher's gate count, same asymptotics) — verified sorting via the
+    0-1 principle; useful as an independent construction for the
+    SS-baseline network ablation.
+    """
+    if n < 1:
+        raise ValueError("network size must be positive")
+    padded = _next_power_of_two(n)
+    gates: List[Comparator] = []
+    _pairwise_sort(list(range(padded)), gates)
+    pruned = tuple((i, j) for i, j in gates if j < n)
+    return SortingNetwork(name="pairwise", size=n, comparators=pruned)
+
+
+def _pairwise_sort(lanes: List[int], gates: List[Comparator]) -> None:
+    length = len(lanes)
+    if length <= 1:
+        return
+    # Stage 1: compare adjacent pairs.
+    for index in range(0, length - 1, 2):
+        gates.append((lanes[index], lanes[index + 1]))
+    # Stage 2: recursively sort evens and odds.
+    evens = lanes[0::2]
+    odds = lanes[1::2]
+    _pairwise_sort(evens, gates)
+    _pairwise_sort(odds, gates)
+    # Stage 3: merge with decreasing strides over the odd/even interleave.
+    stride = length // 2
+    while stride > 1:
+        half = stride // 2
+        for index in range(1, length - stride, 2):
+            partner = index + stride - 1
+            if partner < length:
+                gates.append((lanes[index], lanes[partner]))
+        stride = half
+    # Final cleanup pass: adjacent odd-even comparators.
+    for index in range(1, length - 1, 2):
+        gates.append((lanes[index], lanes[index + 1]))
+
+
+# ---------------------------------------------------------------------------
+# Odd-even transposition (brick) sort
+# ---------------------------------------------------------------------------
+
+def odd_even_transposition(n: int) -> SortingNetwork:
+    """The ``O(n²)``-comparator, depth-``n`` brick network (ablation)."""
+    if n < 1:
+        raise ValueError("network size must be positive")
+    gates: List[Comparator] = []
+    for round_index in range(n):
+        start = round_index % 2
+        for i in range(start, n - 1, 2):
+            gates.append((i, i + 1))
+    return SortingNetwork(
+        name="odd-even-transposition", size=n, comparators=tuple(gates)
+    )
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power

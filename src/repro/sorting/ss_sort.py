@@ -1,0 +1,103 @@
+"""The "SS framework" baseline: sorting-network SMP sort over shares.
+
+Mirrors the protocol of Jónsson, Kreitz and Uddin ("Secure multi-party
+sorting and applications"): embed a secret-shared comparison primitive
+into a data-oblivious sorting network.  Each comparator computes the
+shared bit ``c = [a < b]`` and conditionally swaps both the value lanes
+and parallel *index* lanes:
+
+    min = b + c·(a − b)          (one multiplication)
+    max = a + b − min            (free)
+
+The index lanes let each participant learn her rank at the end — and
+opening them reveals the *entire* permutation to every party, which is
+precisely the identity-linkability weakness the paper's framework
+removes.
+
+Cost per comparator: one shared comparison (≈ ``3·log p`` multiplications
+with our LSB gadget; ``279l + 5`` under the paper's Nishide-Ohta
+accounting) plus two conditional-swap multiplications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sharing.arithmetic import SSContext, SSMetrics, SharedValue
+from repro.sharing.comparison import less_than
+from repro.sorting.networks import SortingNetwork, batcher_odd_even
+
+
+@dataclass
+class SSSortResult:
+    """Outcome of a shared sort: ranks, opened order, and the bill."""
+
+    ranks: Dict[int, int]              # party id (1-based) -> rank (1 = largest)
+    sorted_values: List[int]           # ascending, opened
+    comparator_count: int
+    network_depth: int
+    metrics: SSMetrics
+
+
+def ss_sort_shared(
+    context: SSContext,
+    values: Sequence[SharedValue],
+    network: Optional[SortingNetwork] = None,
+) -> List[SharedValue]:
+    """Sort shared values ascending; returns the shared sorted lanes."""
+    network = network or batcher_odd_even(len(values))
+    lanes = list(values)
+    for i, j in network.comparators:
+        a, b = lanes[i], lanes[j]
+        swap_bit = less_than(context, a, b)
+        minimum = b + context.multiply(swap_bit, a - b)
+        maximum = a + b - minimum
+        lanes[i], lanes[j] = minimum, maximum
+    return lanes
+
+
+def ss_sort_with_ranks(
+    context: SSContext,
+    plain_values: Sequence[int],
+    network: Optional[SortingNetwork] = None,
+) -> SSSortResult:
+    """The full baseline: share inputs, sort with index tracking, open ranks.
+
+    ``plain_values[i]`` belongs to party ``i+1``.  Values must lie in
+    ``[0, p/2)`` (the comparison precondition); the β values always do.
+    Ranks are non-increasing in value: the largest value gets rank 1.
+    """
+    n = len(plain_values)
+    half = context.p // 2
+    for value in plain_values:
+        if not 0 <= value < half:
+            raise ValueError("values must lie in [0, p/2) for shared comparison")
+    network = network or batcher_odd_even(n)
+    value_lanes: List[SharedValue] = [context.share(v) for v in plain_values]
+    index_lanes: List[SharedValue] = [context.share(i + 1) for i in range(n)]
+    for i, j in network.comparators:
+        a, b = value_lanes[i], value_lanes[j]
+        ia, ib = index_lanes[i], index_lanes[j]
+        swap_bit = less_than(context, a, b)
+        minimum = b + context.multiply(swap_bit, a - b)
+        value_lanes[i], value_lanes[j] = minimum, a + b - minimum
+        index_min = ib + context.multiply(swap_bit, ia - ib)
+        index_lanes[i], index_lanes[j] = index_min, ia + ib - index_min
+    sorted_values = [lane.open() for lane in value_lanes]
+    opened_indexes = [lane.open() for lane in index_lanes]
+    # Ascending position pos holds the (pos+1)-th smallest; rank counts from
+    # the top, and equal values share the best rank among them (matching the
+    # framework's zero-count semantics).
+    ranks: Dict[int, int] = {}
+    for position, party in enumerate(opened_indexes):
+        value = sorted_values[position]
+        strictly_larger = sum(1 for other in sorted_values if other > value)
+        ranks[party] = strictly_larger + 1
+    return SSSortResult(
+        ranks=ranks,
+        sorted_values=sorted_values,
+        comparator_count=network.comparator_count,
+        network_depth=network.depth,
+        metrics=context.metrics,
+    )

@@ -1,0 +1,101 @@
+"""Probabilistic privacy-preserving top-k (Burkhart-Dimitropoulos style).
+
+The related-work baseline ("Fast privacy-preserving top-k queries using
+secret sharing", ICCCN'10) trades exactness for speed.  We reproduce its
+characteristic behaviour with a threshold-search variant over the same
+secret-sharing substrate:
+
+* binary-search a public threshold ``θ``;
+* at each probe, compute shared indicator bits ``[v_i ≥ θ]`` and open
+  only their *sum* (how many values clear the threshold);
+* stop when the count equals ``k`` — or fail after the search space is
+  exhausted, which happens exactly when ties straddle the k-th place.
+
+As the paper notes of the original, the protocol is fast but "cannot be
+guaranteed to terminate with a correct result every time"; the
+:class:`TopKResult` reports success or failure honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sharing.arithmetic import SSContext, SSMetrics, SharedValue
+from repro.sharing.comparison import less_than
+
+
+@dataclass
+class TopKResult:
+    """Outcome of a probabilistic top-k run."""
+
+    succeeded: bool
+    members: List[int]           # party ids (1-based) in the top-k, if succeeded
+    threshold: Optional[int]
+    probes: int
+    metrics: SSMetrics
+
+
+def probabilistic_top_k(
+    context: SSContext,
+    plain_values: Sequence[int],
+    k: int,
+    value_bound: int,
+) -> TopKResult:
+    """Find the parties holding the ``k`` largest values.
+
+    ``plain_values[i]`` belongs to party ``i+1``; all values must lie in
+    ``[0, value_bound)`` with ``value_bound ≤ p/2``.
+    """
+    n = len(plain_values)
+    if not 1 <= k <= n:
+        raise ValueError("k must be in [1, n]")
+    if value_bound > context.p // 2:
+        raise ValueError("value bound exceeds the comparison precondition")
+    shared: List[SharedValue] = [context.share(v) for v in plain_values]
+
+    low, high = 0, value_bound
+    probes = 0
+    while low < high:
+        theta = (low + high) // 2
+        count = _count_at_least(context, shared, theta)
+        probes += 1
+        if count == k:
+            members = _open_members(context, shared, theta)
+            return TopKResult(
+                succeeded=True, members=members, threshold=theta,
+                probes=probes, metrics=context.metrics,
+            )
+        if count > k:
+            low = theta + 1     # too many clear the bar: raise it
+        else:
+            high = theta        # too few: lower it
+    return TopKResult(
+        succeeded=False, members=[], threshold=None,
+        probes=probes, metrics=context.metrics,
+    )
+
+
+def _count_at_least(
+    context: SSContext, shared: Sequence[SharedValue], theta: int
+) -> int:
+    """Open ``Σ_i [v_i ≥ θ]`` — the count, not the individual bits."""
+    theta_shared = context.constant(theta)
+    total = context.constant(0)
+    for value in shared:
+        below = less_than(context, value, theta_shared)   # [v < θ]
+        total = total + (1 - below)
+    return context.open(total)
+
+
+def _open_members(
+    context: SSContext, shared: Sequence[SharedValue], theta: int
+) -> List[int]:
+    """Open each indicator bit once the threshold isolates exactly k."""
+    theta_shared = context.constant(theta)
+    members: List[int] = []
+    for party_index, value in enumerate(shared, start=1):
+        below = less_than(context, value, theta_shared)
+        if context.open(1 - below) == 1:
+            members.append(party_index)
+    return members

@@ -1,0 +1,18 @@
+"""Two-party secure comparison (paper references [8, 9, 17], Section II).
+
+The paper builds its multiparty comparison by modifying partially-HE
+two-party comparison protocols.  This package implements the underlying
+two-party primitive in the Damgård-Geisler-Krøigård style over
+exponential ElGamal — both as a self-contained millionaires'-problem
+solution and as the reference point the related-work discussion needs:
+the two-party protocol hands the *result* to one party, which is exactly
+what the group-ranking setting cannot afford (Section II), motivating
+the identity-unlinkable multiparty construction.
+"""
+
+from repro.twoparty.dgk import (
+    DGKComparison,
+    millionaires_problem,
+)
+
+__all__ = ["DGKComparison", "millionaires_problem"]

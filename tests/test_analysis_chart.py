@@ -1,0 +1,74 @@
+"""Tests for the ASCII chart renderer and the TCP-overhead link model."""
+
+import pytest
+
+from repro.analysis.ascii_chart import render_chart
+from repro.math.rng import SeededRNG
+from repro.netsim.simulator import LinkConfig, NetworkSimulator, SimMessage
+from repro.netsim.topology import complete_topology
+
+
+class TestChart:
+    def test_basic_render(self):
+        chart = render_chart(
+            "test", [1, 2, 3], {"a": [1.0, 10.0, 100.0], "b": [2.0, 2.0, 2.0]}
+        )
+        assert "test" in chart
+        assert "o = a" in chart and "x = b" in chart
+        assert "log10(y)" in chart
+
+    def test_marks_present(self):
+        chart = render_chart("t", [1, 2], {"only": [1.0, 5.0]})
+        assert chart.count("o") >= 2
+
+    def test_linear_scale(self):
+        chart = render_chart("t", [0, 1], {"s": [0.0, 5.0]}, log_y=False)
+        assert "(y)" in chart
+
+    def test_nonpositive_log_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart("t", [1, 2], {"s": [0.0, 5.0]})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart("t", [1, 2], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart("t", [], {})
+
+    def test_constant_series_renders(self):
+        chart = render_chart("t", [1, 2, 3], {"flat": [7.0, 7.0, 7.0]})
+        assert "flat" in chart
+
+    def test_deterministic(self):
+        args = ("t", [1, 2, 3], {"a": [1.0, 4.0, 9.0]})
+        assert render_chart(*args) == render_chart(*args)
+
+
+class TestTcpOverhead:
+    def _one_message_time(self, link, bits):
+        topo = complete_topology(4)
+        topo.place_parties([0, 1], SeededRNG(1))
+        sim = NetworkSimulator(topo, link)
+        return sim.deliver(
+            [SimMessage(src_node=topo.node_of(0), dst_node=topo.node_of(1),
+                        size_bits=bits)]
+        )
+
+    def test_overhead_charged_per_message(self):
+        base = LinkConfig(bandwidth_bps=1e6, latency_s=0.0)
+        tcp = base.with_tcp_overhead(640)
+        plain = self._one_message_time(base, 1000)
+        framed = self._one_message_time(tcp, 1000)
+        assert framed == pytest.approx(plain + 640 / 1e6)
+
+    def test_overhead_hurts_small_messages_relatively_more(self):
+        base = LinkConfig(bandwidth_bps=1e6, latency_s=0.0)
+        tcp = base.with_tcp_overhead(640)
+        small_ratio = self._one_message_time(tcp, 100) / self._one_message_time(base, 100)
+        big_ratio = self._one_message_time(tcp, 100_000) / self._one_message_time(base, 100_000)
+        assert small_ratio > 5 * big_ratio
+
+    def test_default_has_no_overhead(self):
+        assert LinkConfig().per_message_overhead_bits == 0

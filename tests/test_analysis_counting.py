@@ -1,0 +1,87 @@
+"""Tests for the inert CountingGroup and its faithfulness guarantees."""
+
+import pytest
+
+from repro.analysis.counting import CountingGroup
+from repro.math.rng import SeededRNG
+
+
+class TestStructure:
+    def test_like_dl_sizes(self):
+        group = CountingGroup.like_dl(1024)
+        assert group.element_bits == 1024
+        assert group.order.bit_length() == 1023
+        assert "DL" in group.name
+
+    def test_like_ecc_sizes(self):
+        group = CountingGroup.like_ecc(160)
+        assert group.element_bits == 161  # compressed point
+        assert group.order.bit_length() == 160
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CountingGroup(element_bits=4)
+
+    def test_serialize_length(self):
+        group = CountingGroup(element_bits=256)
+        assert len(group.serialize(group.generator())) == 32
+
+
+class TestInertSemantics:
+    def test_everything_is_one(self):
+        group = CountingGroup(element_bits=64)
+        assert group.mul(1, 1) == 1
+        assert group.exp(1, 999) == 1
+        assert group.inv(1) == 1
+        assert group.eq("anything", "else")
+        assert group.is_element(object())
+
+    def test_operations_counted(self):
+        group = CountingGroup(element_bits=64)
+        group.counter.reset()
+        group.exp(1, 5)
+        group.mul(1, 1)
+        group.inv(1)
+        assert group.counter.exponentiations == 1
+        assert group.counter.multiplications == 1
+        assert group.counter.inversions == 1
+        assert group.counter.exponent_bits == group.order.bit_length()
+
+    def test_random_element_consumes_randomness(self):
+        """Critical faithfulness property: a counting run must consume
+        the RNG stream exactly like a real run so both follow the same
+        protocol path."""
+        group = CountingGroup(element_bits=64)
+        rng = SeededRNG(1)
+        group.random_element(rng)
+        after_counting = rng.randbits(32)
+        rng2 = SeededRNG(1)
+        rng2.randrange(group.order)
+        after_manual = rng2.randbits(32)
+        assert after_counting == after_manual
+
+
+class TestProtocolCompatibility:
+    def test_elgamal_runs_on_counting_group(self):
+        from repro.crypto.elgamal import ExponentialElGamal
+
+        group = CountingGroup(element_bits=128)
+        scheme = ExponentialElGamal(group)
+        rng = SeededRNG(2)
+        keypair = scheme.generate_keypair(rng)
+        ct = scheme.encrypt(5, keypair.public, rng)
+        scheme.add(ct, ct)
+        scheme.scalar_mul(ct, 3)
+        assert group.counter.exponentiations > 0
+
+    def test_zkp_verifies_trivially(self):
+        """ZKPs 'pass' on the inert group (1 == 1) — counting runs keep
+        the honest control path without real verification."""
+        from repro.crypto.zkp import MultiVerifierSchnorrProof
+
+        group = CountingGroup(element_bits=128)
+        zkp = MultiVerifierSchnorrProof(group)
+        rng = SeededRNG(3)
+        transcript = zkp.prove_multi(5, rng, [SeededRNG(4)])
+        assert zkp.verify_multi(1, transcript.commitment,
+                                transcript.challenges, transcript.response)

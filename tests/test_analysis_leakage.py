@@ -1,0 +1,79 @@
+"""Tests for the masking-deniability analysis."""
+
+import pytest
+
+from repro.analysis.leakage import (
+    consistent_gain_count,
+    deniability_series,
+    is_consistent,
+    run_masking_experiment,
+)
+from repro.math.rng import SeededRNG
+
+
+class TestConsistency:
+    def test_true_gain_always_consistent(self):
+        """Whatever mask produced β, the true p must be in C(β, h)."""
+        rng = SeededRNG(1)
+        for _ in range(50):
+            h = rng.randint(4, 16)
+            p = rng.randint(1, 10_000)
+            rho = rng.randint(1 << (h - 1), (1 << h) - 1)
+            rho_j = rng.randrange(rho)
+            beta = rho * p + rho_j
+            assert is_consistent(beta, p, h), (beta, p, h)
+
+    def test_matches_brute_force(self):
+        """The O(1) interval test equals explicit enumeration of (ρ, ρ_j)."""
+        h = 5
+        rho_range = range(1 << (h - 1), 1 << h)
+        for beta in (100, 137, 513, 999):
+            for p in range(1, 80):
+                brute = any(
+                    0 <= beta - rho * p < rho for rho in rho_range
+                )
+                assert is_consistent(beta, p, h) == brute, (beta, p)
+
+    def test_impossible_values(self):
+        assert not is_consistent(0, 5, 4)
+        assert not is_consistent(100, 0, 4)
+        assert not is_consistent(100, -3, 4)
+
+    def test_far_off_candidates_inconsistent(self):
+        # β = ρ·p + ρ_j with ρ ≥ 2^(h-1): candidates near β itself can't
+        # work because ρ would have to be ≈ 1.
+        h = 8
+        beta = 128 * 1000 + 17
+        assert not is_consistent(beta, beta, h)
+        assert not is_consistent(beta, beta // 2, h)
+
+
+class TestCensus:
+    def test_count_includes_truth(self):
+        experiment = run_masking_experiment(500, h=10, window_radius=50,
+                                            rng=SeededRNG(2))
+        assert experiment.consistent_count >= 1
+        assert experiment.window[0] <= experiment.true_gain <= experiment.window[1]
+
+    def test_wider_mask_more_deniability(self):
+        """The paper's h parameter buys hiding: the consistent set grows
+        with the mask width."""
+        series = deniability_series(
+            true_gain=1000, hs=[6, 10, 14], window_radius=200, seed=3
+        )
+        counts = [experiment.consistent_count for experiment in series]
+        assert counts[0] < counts[1] < counts[2], counts
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            consistent_gain_count(100, 5, (10, 5))
+
+    def test_unsigned_gain_required(self):
+        with pytest.raises(ValueError):
+            run_masking_experiment(0, 5, 10)
+
+    def test_census_monotone_in_window(self):
+        beta = 12345
+        small = consistent_gain_count(beta, 8, (1, 100))
+        large = consistent_gain_count(beta, 8, (1, 1000))
+        assert large >= small

@@ -1,0 +1,97 @@
+"""Tests for the statistical machinery — and its use on the mixnet."""
+
+import pytest
+
+from repro.analysis.stats import (
+    binomial_advantage_interval,
+    chi_square_uniformity,
+    position_uniformity_experiment,
+)
+from repro.math.rng import SeededRNG
+
+
+class TestChiSquare:
+    def test_uniform_data_passes(self):
+        result = chi_square_uniformity([100, 95, 105, 100])
+        assert result.consistent_with_uniform()
+        assert result.observations == 400
+
+    def test_skewed_data_fails(self):
+        result = chi_square_uniformity([390, 4, 3, 3])
+        assert not result.consistent_with_uniform()
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError, match="too few"):
+            chi_square_uniformity([2, 1, 1])
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([100])
+        with pytest.raises(ValueError):
+            chi_square_uniformity([0, 0])
+
+    def test_seeded_rng_shuffle_is_uniform(self):
+        """The Fisher-Yates implementation under the chi-square lens."""
+        slots = 5
+
+        def run_once(seed):
+            rng = SeededRNG(10_000 + seed)
+            perm = rng.permutation(slots)
+            return perm.index(0)
+
+        result = position_uniformity_experiment(run_once, slots, trials=500)
+        assert result.consistent_with_uniform()
+
+    def test_biased_shuffle_detected(self):
+        """A deliberately broken shuffle (identity half the time) fails."""
+        slots = 4
+
+        def run_once(seed):
+            rng = SeededRNG(seed)
+            if seed % 2 == 0:
+                return 0  # broken branch: tracked item never moves
+            return rng.randrange(slots)
+
+        result = position_uniformity_experiment(run_once, slots, trials=400)
+        assert not result.consistent_with_uniform()
+
+
+class TestMixnetUniformity:
+    def test_tracked_message_position_uniform(self, small_dl_group):
+        """Statistical (not eyeball) version of the mixnet shuffle test."""
+        from repro.anonmsg.encoding import decode_message, encode_message
+        from repro.anonmsg.mixnet import DecryptionMixnet
+
+        group = small_dl_group
+        base = SeededRNG(77)
+        secrets, publics = {}, {}
+        for member in (1, 2, 3):
+            secrets[member] = group.random_exponent(base)
+            publics[member] = group.exp_generator(secrets[member])
+        mixnet = DecryptionMixnet(group, publics)
+        slots = 4
+
+        def run_once(seed):
+            rng = SeededRNG(5000 + seed)
+            messages = [11, 22, 33, 44]
+            batch = [mixnet.submit(encode_message(m, group), rng) for m in messages]
+            outputs = mixnet.mix_all(batch, secrets, rng)
+            decoded = [decode_message(e, group) for e in outputs]
+            return decoded.index(11)
+
+        result = position_uniformity_experiment(run_once, slots, trials=240)
+        assert result.consistent_with_uniform()
+
+
+class TestAdvantageIntervals:
+    def test_coin_flip_contains_zero(self):
+        interval = binomial_advantage_interval(52, 100)
+        assert abs(interval["advantage"]) < interval["half_width"]
+
+    def test_perfect_adversary_excludes_zero(self):
+        interval = binomial_advantage_interval(100, 100)
+        assert interval["advantage"] == 1.0
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_advantage_interval(0, 0)

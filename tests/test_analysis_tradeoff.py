@@ -1,0 +1,93 @@
+"""Tests for crossover analysis — including the paper's own crossovers."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    framework_participant_cost,
+    ss_framework_participant_cost,
+)
+from repro.analysis.tradeoff import Crossover, crossover_ratio_curve, find_crossover
+
+
+class TestMechanics:
+    def test_simple_polynomials(self):
+        # g = x² overtakes f = 10x at x = 10.
+        result = find_crossover(lambda x: 10.0 * x, lambda x: float(x * x), 1, 100)
+        assert result.at == 10
+
+    def test_no_crossover(self):
+        assert find_crossover(lambda x: 1000.0, lambda x: float(x), 1, 100) is None
+
+    def test_g_already_ahead(self):
+        result = find_crossover(lambda x: float(x), lambda x: x + 1.0, 5, 50)
+        assert result.at == 5
+
+    def test_boundary_exact(self):
+        result = find_crossover(lambda x: 7.0, lambda x: float(x), 1, 7)
+        assert result.at == 7
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            find_crossover(lambda x: 1.0, lambda x: 2.0, 5, 4)
+
+    def test_ratio_curve(self):
+        curve = crossover_ratio_curve(lambda x: float(x), lambda x: float(x * x),
+                                      [1, 2, 4])
+        assert curve == {1: 1.0, 2: 2.0, 4: 4.0}
+
+    def test_evaluation_count_logarithmic(self):
+        calls = [0]
+
+        def f(x):
+            calls[0] += 1
+            return 10.0 * x
+
+        result = find_crossover(f, lambda x: float(x * x), 1, 10**6)
+        assert result.at == 10
+        assert calls[0] < 60  # ~2·log2(1e6) + endpoints
+
+
+class TestPaperCrossovers:
+    def test_ss_overtakes_framework_near_paper_operating_point(self):
+        """Operation-count crossover between the SS baseline and ours.
+
+        Units differ (field vs group mults) so weight by the measured
+        per-op cost ratio at the 80-bit tier; the crossover should land
+        in the teens-to-low-twenties of n — consistent with the paper's
+        Fig. 2(a), where SS passes DL just around its n = 25 setting."""
+        from repro.analysis.costmodel import calibrate_dl, calibrate_field
+
+        l = 67
+        dl = calibrate_dl(1024)
+        field = calibrate_field(l + 9)
+
+        def ours_seconds(n: int) -> float:
+            # breakdown.total is in equivalent group multiplications with
+            # 1.5·λ ≈ 1535 mults per exponentiation at λ = 1023; convert
+            # back to exponentiations and price those (they dominate).
+            breakdown = framework_participant_cost(n, l, 1023)
+            equivalent_exponentiations = breakdown.total / 1535
+            return equivalent_exponentiations * dl.seconds_per_exponentiation
+
+        def ss_seconds(n: int) -> float:
+            return ss_framework_participant_cost(n, l) * field.seconds_per_multiplication
+
+        crossover = find_crossover(ours_seconds, ss_seconds, 5, 200)
+        assert crossover is not None
+        assert 10 <= crossover.at <= 40, crossover
+
+    def test_ss_never_catches_up_in_rounds(self):
+        from repro.analysis.complexity import (
+            framework_round_count,
+            ss_framework_round_count,
+        )
+
+        # SS rounds are already ahead (worse) at the smallest n and the
+        # gap only widens: crossover "SS <= ours" never happens.
+        result = find_crossover(
+            lambda n: ss_framework_round_count(n, 67),
+            lambda n: float(framework_round_count(n)),
+            3,
+            500,
+        )
+        assert result is None

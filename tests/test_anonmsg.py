@@ -1,0 +1,140 @@
+"""Tests for the anonymous-messaging substrate (mix-net + collection)."""
+
+import pytest
+
+from repro.anonmsg.collection import run_anonymous_collection
+from repro.anonmsg.encoding import decode_message, encode_message
+from repro.anonmsg.mixnet import DecryptionMixnet
+from repro.math.rng import SeededRNG
+
+
+class TestEncoding:
+    def test_roundtrip_exhaustive_small_group(self, tiny_dl_group):
+        group = tiny_dl_group
+        for message in list(range(1, 200)) + [group.order]:
+            element = encode_message(message, group)
+            assert group.is_element(element)
+            assert decode_message(element, group) == message
+
+    def test_out_of_range_rejected(self, small_dl_group):
+        with pytest.raises(ValueError):
+            encode_message(0, small_dl_group)
+        with pytest.raises(ValueError):
+            encode_message(small_dl_group.order + 1, small_dl_group)
+
+    def test_requires_dl_group(self, tiny_curve):
+        with pytest.raises(TypeError):
+            encode_message(5, tiny_curve)
+
+    def test_injective_on_sample(self, small_dl_group):
+        rng = SeededRNG(1)
+        messages = {rng.rand_nonzero(small_dl_group.order) for _ in range(200)}
+        encodings = {encode_message(m, small_dl_group) for m in messages}
+        assert len(encodings) == len(messages)
+
+
+@pytest.fixture
+def mixnet_setup(small_dl_group):
+    group = small_dl_group
+    rng = SeededRNG(71)
+    secrets = {}
+    publics = {}
+    for member_id in (1, 2, 3, 4):
+        secrets[member_id] = group.random_exponent(rng)
+        publics[member_id] = group.exp_generator(secrets[member_id])
+    return group, DecryptionMixnet(group, publics), secrets, rng
+
+
+class TestMixnet:
+    def test_multiset_preserved(self, mixnet_setup):
+        group, mixnet, secrets, rng = mixnet_setup
+        messages = [10, 20, 20, 30, 42]
+        batch = [
+            mixnet.submit(encode_message(m, group), rng) for m in messages
+        ]
+        outputs = mixnet.mix_all(batch, secrets, rng)
+        decoded = sorted(decode_message(e, group) for e in outputs)
+        assert decoded == sorted(messages)
+
+    def test_every_hop_rerandomizes(self, mixnet_setup):
+        group, mixnet, secrets, rng = mixnet_setup
+        batch = [mixnet.submit(encode_message(7, group), rng)]
+        current = batch
+        for member_id in mixnet.member_ids[:-1]:
+            nxt = mixnet.mix_hop(current, member_id, secrets[member_id], rng)
+            # Both components must change (peel + rerandomize).
+            assert not group.eq(nxt[0].c1, current[0].c1)
+            assert not group.eq(nxt[0].c2, current[0].c2)
+            current = nxt
+
+    def test_positions_shuffle_uniformly(self, mixnet_setup):
+        """Track one distinct message; its output slot must spread out."""
+        group, mixnet, secrets, _ = mixnet_setup
+        position_counts = [0, 0, 0]
+        for seed in range(60):
+            rng = SeededRNG(1000 + seed)
+            messages = [5, 6, 7]
+            batch = [
+                mixnet.submit(encode_message(m, group), rng) for m in messages
+            ]
+            outputs = mixnet.mix_all(batch, secrets, rng)
+            decoded = [decode_message(e, group) for e in outputs]
+            position_counts[decoded.index(5)] += 1
+        assert all(count >= 8 for count in position_counts), position_counts
+
+    def test_partial_coalition_cannot_decrypt(self, mixnet_setup):
+        """After k < n hops, remaining ciphertexts still hide plaintexts."""
+        group, mixnet, secrets, rng = mixnet_setup
+        encoded = encode_message(9, group)
+        batch = [mixnet.submit(encoded, rng)]
+        current = mixnet.mix_hop(batch, 1, secrets[1], rng)
+        current = mixnet.mix_hop(current, 2, secrets[2], rng)
+        # Two layers remain; c1 is not the plaintext.
+        assert not group.eq(current[0].c1, encoded)
+
+    def test_remaining_key_after(self, mixnet_setup):
+        group, mixnet, secrets, _ = mixnet_setup
+        expected = group.mul(
+            group.exp_generator(secrets[3]), group.exp_generator(secrets[4])
+        )
+        assert group.eq(mixnet.remaining_key_after(2), expected)
+        assert group.is_identity(mixnet.remaining_key_after(4))
+
+
+class TestCollectionProtocol:
+    def test_collector_gets_multiset(self, small_dl_group):
+        messages = [101, 55, 101, 7]
+        result = run_anonymous_collection(
+            small_dl_group, messages, rng=SeededRNG(81)
+        )
+        assert result.messages == sorted(messages)
+
+    def test_rounds_linear_in_members(self, small_dl_group):
+        rounds = {}
+        for n in (3, 5, 7):
+            result = run_anonymous_collection(
+                small_dl_group, list(range(1, n + 1)), rng=SeededRNG(82)
+            )
+            rounds[n] = result.rounds
+        assert rounds[5] - rounds[3] == 2
+        assert rounds[7] - rounds[5] == 2
+
+    def test_transcript_never_carries_plaintext_to_collector_early(
+        self, small_dl_group
+    ):
+        result = run_anonymous_collection(
+            small_dl_group, [11, 22, 33], rng=SeededRNG(83)
+        )
+        output_entries = [e for e in result.transcript if e.tag == "anon-output"]
+        assert len(output_entries) == 1
+        assert output_entries[0].dst == 0
+
+    def test_minimum_members_enforced(self, small_dl_group):
+        with pytest.raises(ValueError):
+            run_anonymous_collection(small_dl_group, [5], rng=SeededRNG(84))
+
+    def test_duplicate_messages_survive(self, small_dl_group):
+        result = run_anonymous_collection(
+            small_dl_group, [9, 9, 9], rng=SeededRNG(85)
+        )
+        assert result.messages == [9, 9, 9]

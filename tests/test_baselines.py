@@ -1,0 +1,106 @@
+"""Tests for the end-to-end SS-framework baseline, and the head-to-head
+comparison with the paper's framework on identical inputs."""
+
+import pytest
+
+from repro.baselines.ss_framework import SSGroupRankingFramework
+from repro.core.framework import FrameworkConfig, GroupRankingFramework
+from repro.core.gain import partial_gain
+from repro.math.rng import SeededRNG
+from tests.conftest import make_participants
+
+
+@pytest.fixture
+def instance(small_schema, small_initiator_input):
+    participants = make_participants(small_schema, 4, seed=51)
+    return small_schema, small_initiator_input, participants
+
+
+class TestSSFramework:
+    def test_end_to_end_ranks(self, instance):
+        schema, initiator_input, participants = instance
+        framework = SSGroupRankingFramework(
+            schema, initiator_input, participants, k=2, rng=SeededRNG(1)
+        )
+        result = framework.run()
+        gains = {
+            j + 1: partial_gain(schema, initiator_input, p)
+            for j, p in enumerate(participants)
+        }
+        for j, rank in result.ranks.items():
+            strictly_better = sum(1 for g in gains.values() if g > gains[j])
+            ties = sum(1 for g in gains.values() if g == gains[j])
+            assert strictly_better + 1 <= rank <= strictly_better + ties
+
+    def test_selection_matches_ranks(self, instance):
+        schema, initiator_input, participants = instance
+        result = SSGroupRankingFramework(
+            schema, initiator_input, participants, k=2, rng=SeededRNG(2)
+        ).run()
+        expected = {j for j, rank in result.ranks.items() if rank <= 2}
+        assert set(result.selected_ids()) == expected
+
+    def test_the_leak_is_exposed(self, instance):
+        """The property the paper's framework removes: the SS baseline
+        hands EVERY party the full ranking."""
+        schema, initiator_input, participants = instance
+        result = SSGroupRankingFramework(
+            schema, initiator_input, participants, k=1, rng=SeededRNG(3)
+        ).run()
+        assert result.public_ranking == result.ranks
+        assert len(result.public_ranking) == len(participants)
+
+    def test_minimum_parties_enforced(self, instance):
+        schema, initiator_input, participants = instance
+        with pytest.raises(ValueError):
+            SSGroupRankingFramework(
+                schema, initiator_input, participants[:2], k=1
+            )
+
+    def test_k_validated(self, instance):
+        schema, initiator_input, participants = instance
+        with pytest.raises(ValueError):
+            SSGroupRankingFramework(
+                schema, initiator_input, participants, k=5
+            )
+
+
+class TestHeadToHead:
+    def test_both_frameworks_agree_on_selection(self, small_dl_group, instance):
+        """Same inputs through both systems: same winners (masks are
+        drawn independently, so exact tie-breaks may differ, but with
+        distinct gains both selections must coincide)."""
+        schema, initiator_input, participants = instance
+        gains = [partial_gain(schema, initiator_input, p) for p in participants]
+        if len(set(gains)) != len(gains):
+            pytest.skip("tie in synthetic gains; pick another seed")
+
+        config = FrameworkConfig(
+            group=small_dl_group, schema=schema,
+            num_participants=len(participants), k=2, rho_bits=6,
+        )
+        ours = GroupRankingFramework(
+            config, initiator_input, participants, rng=SeededRNG(4)
+        ).run()
+        baseline = SSGroupRankingFramework(
+            schema, initiator_input, participants, k=2, rng=SeededRNG(5)
+        ).run()
+        assert ours.ranks == baseline.ranks
+        assert sorted(ours.selected_ids()) == sorted(baseline.selected_ids())
+
+    def test_baseline_burns_far_more_rounds(self, small_dl_group, instance):
+        """The paper's round-complexity point, end to end: the SS
+        baseline's interactive comparisons dwarf the chain's O(n)."""
+        schema, initiator_input, participants = instance
+        config = FrameworkConfig(
+            group=small_dl_group, schema=schema,
+            num_participants=len(participants), k=2, rho_bits=6,
+        )
+        ours = GroupRankingFramework(
+            config, initiator_input, participants, rng=SeededRNG(6)
+        ).run()
+        baseline = SSGroupRankingFramework(
+            schema, initiator_input, participants, k=2, rho_bits=6,
+            rng=SeededRNG(7),
+        ).run()
+        assert baseline.rounds > 20 * ours.rounds

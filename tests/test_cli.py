@@ -1,0 +1,83 @@
+"""Tests for the CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestDemo:
+    def test_default_demo(self):
+        code, text = run_cli(["demo", "-n", "4", "-k", "1", "--seed", "3"])
+        assert code == 0
+        assert "ranks:" in text
+        assert "consistency: OK" in text
+
+    def test_fiat_shamir_mode(self):
+        code, text = run_cli(["demo", "-n", "3", "--zkp", "fiat-shamir"])
+        assert code == 0
+        assert "zkp=fiat-shamir" in text
+
+    def test_attribute_count(self):
+        code, text = run_cli(["demo", "-n", "3", "-m", "6"])
+        assert code == 0
+
+    def test_deterministic_by_seed(self):
+        _, first = run_cli(["demo", "-n", "4", "--seed", "9"])
+        _, second = run_cli(["demo", "-n", "4", "--seed", "9"])
+        assert first == second
+
+
+class TestOtherCommands:
+    def test_games(self):
+        code, text = run_cli(["games", "--trials", "6"])
+        assert code == 0
+        assert "IND-CPA (honest):" in text
+        assert "no permute" in text
+
+    def test_netsim(self):
+        code, text = run_cli(["netsim", "-n", "4"])
+        assert code == 0
+        assert "communication time:" in text
+        assert "80 nodes / 320 edges" in text
+
+    def test_report(self):
+        # Seed one result so the test holds on a fresh clone (before any
+        # bench run has populated benchmarks/results/).
+        from benchmarks.harness import RESULTS_DIR, write_result
+
+        write_result("zz_cli_test", "CLI-TEST-SENTINEL")
+        try:
+            code, text = run_cli(["report"])
+            assert code == 0
+            assert "====" in text
+            assert "CLI-TEST-SENTINEL" in text
+        finally:
+            (RESULTS_DIR / "zz_cli_test.txt").unlink()
+
+    def test_plan(self):
+        code, text = run_cli(["plan", "-n", "5", "-m", "4"])
+        assert code == 0
+        assert "deployment estimate" in text
+        assert "participant compute" in text
+
+    def test_curves(self):
+        code, text = run_cli(["curves"])
+        assert code == 0
+        assert "secp160r1" in text
+        assert "MODP-3072" in text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli([])

@@ -1,0 +1,149 @@
+"""Tests for the γ/ω/τ comparison circuit, plaintext and homomorphic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.comparison import (
+    HomomorphicComparator,
+    compare_bits_plain,
+    tau_values_plain,
+)
+from repro.crypto.bitenc import BitwiseElGamal
+from repro.math.rng import SeededRNG
+
+
+class TestPlaintextCircuit:
+    def test_exhaustive_4_bits(self):
+        for a in range(16):
+            for b in range(16):
+                taus = tau_values_plain(a, b, 4)
+                zeros = taus.count(0)
+                assert zeros == (1 if a < b else 0), (a, b, taus)
+
+    def test_at_most_one_zero(self):
+        """The paper notes there is at most one 0 among the τ values."""
+        for a in range(32):
+            for b in range(32):
+                assert tau_values_plain(a, b, 5).count(0) <= 1
+
+    @given(st.integers(0, 2**24 - 1), st.integers(0, 2**24 - 1))
+    @settings(max_examples=80)
+    def test_wide_values(self, a, b):
+        assert compare_bits_plain(a, b, 24) == (a < b)
+
+    def test_equal_values_no_zero(self):
+        for value in (0, 5, 255):
+            assert not compare_bits_plain(value, value, 8)
+
+    def test_zero_position_is_first_difference(self):
+        """The zero sits exactly at the most significant differing bit."""
+        a, b = 0b0100, 0b1001  # differ first at bit 3 (paper's t=4)
+        taus = tau_values_plain(a, b, 4)
+        assert taus[3] == 0
+
+    def test_single_bit(self):
+        assert compare_bits_plain(0, 1, 1)
+        assert not compare_bits_plain(1, 0, 1)
+        assert not compare_bits_plain(1, 1, 1)
+
+
+@pytest.fixture
+def comparator_setup(small_dl_group):
+    group = small_dl_group
+    bitenc = BitwiseElGamal(group)
+    rng = SeededRNG(55)
+    keypair = bitenc.scheme.generate_keypair(rng)
+    return group, bitenc, keypair, rng
+
+
+class TestHomomorphicCircuit:
+    def _decrypt_taus(self, setup, taus, width):
+        group, bitenc, keypair, _ = setup
+        scheme = bitenc.scheme
+        return [
+            scheme.decrypt_small(tau, keypair.secret, 2 * (width + 2))
+            for tau in taus
+        ]
+
+    @pytest.mark.parametrize(
+        "mine,other", [(3, 9), (9, 3), (5, 5), (0, 15), (15, 0), (7, 8)]
+    )
+    def test_matches_plaintext_reference(self, comparator_setup, mine, other):
+        group, bitenc, keypair, rng = comparator_setup
+        width = 4
+        other_ct = bitenc.encrypt(other, width, keypair.public, rng)
+        comparator = HomomorphicComparator(group)
+        taus = comparator.encrypted_taus(mine, other_ct)
+        assert self._decrypt_taus(comparator_setup, taus, width) == tau_values_plain(
+            mine, other, width
+        )
+
+    def test_zero_count_gives_comparison(self, comparator_setup):
+        group, bitenc, keypair, rng = comparator_setup
+        width = 6
+        comparator = HomomorphicComparator(group)
+        for mine, other in ((10, 50), (50, 10), (33, 33)):
+            other_ct = bitenc.encrypt(other, width, keypair.public, rng)
+            taus = comparator.encrypted_taus(mine, other_ct)
+            zeros = sum(
+                1
+                for tau in taus
+                if bitenc.scheme.decrypt_is_zero(tau, keypair.secret)
+            )
+            assert zeros == (1 if mine < other else 0)
+
+    def test_naive_suffix_equivalent(self, comparator_setup):
+        group, bitenc, keypair, rng = comparator_setup
+        width = 5
+        other_ct = bitenc.encrypt(19, width, keypair.public, rng)
+        fast = HomomorphicComparator(group, naive_suffix=False)
+        slow = HomomorphicComparator(group, naive_suffix=True)
+        fast_taus = self._decrypt_taus(
+            comparator_setup, fast.encrypted_taus(12, other_ct), width
+        )
+        slow_taus = self._decrypt_taus(
+            comparator_setup, slow.encrypted_taus(12, other_ct), width
+        )
+        assert fast_taus == slow_taus == tau_values_plain(12, 19, width)
+
+    def test_naive_suffix_costs_more(self, comparator_setup):
+        group, bitenc, keypair, rng = comparator_setup
+        width = 8
+        other_ct = bitenc.encrypt(200, width, keypair.public, rng)
+        group.counter.reset()
+        HomomorphicComparator(group, naive_suffix=False).encrypted_taus(100, other_ct)
+        fast_cost = group.counter.multiplications
+        group.counter.reset()
+        HomomorphicComparator(group, naive_suffix=True).encrypted_taus(100, other_ct)
+        slow_cost = group.counter.multiplications
+        assert slow_cost > fast_cost
+
+    def test_works_on_elliptic_curve(self, tiny_curve):
+        rng = SeededRNG(66)
+        bitenc = BitwiseElGamal(tiny_curve)
+        keypair = bitenc.scheme.generate_keypair(rng)
+        comparator = HomomorphicComparator(tiny_curve)
+        other_ct = bitenc.encrypt(12, 4, keypair.public, rng)
+        taus = comparator.encrypted_taus(5, other_ct)
+        zeros = sum(
+            1 for tau in taus if bitenc.scheme.decrypt_is_zero(tau, keypair.secret)
+        )
+        assert zeros == 1  # 5 < 12
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 2**30))
+    @settings(max_examples=10, deadline=None)
+    def test_random_homomorphic_comparisons(self, mine, other, seed):
+        from repro.groups.dl import DLGroup
+
+        group = DLGroup.random(32, rng=SeededRNG(77))
+        rng = SeededRNG(seed)
+        bitenc = BitwiseElGamal(group)
+        keypair = bitenc.scheme.generate_keypair(rng)
+        comparator = HomomorphicComparator(group)
+        other_ct = bitenc.encrypt(other, 8, keypair.public, rng)
+        taus = comparator.encrypted_taus(mine, other_ct)
+        zeros = sum(
+            1 for tau in taus if bitenc.scheme.decrypt_is_zero(tau, keypair.secret)
+        )
+        assert zeros == (1 if mine < other else 0)

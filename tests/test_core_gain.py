@@ -1,0 +1,185 @@
+"""Tests for the gain model and dot-product embeddings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gain import (
+    AttributeSchema,
+    InitiatorInput,
+    ParticipantInput,
+    beta_bit_length,
+    gain,
+    gain_offset,
+    initiator_extended_vector,
+    partial_gain,
+    participant_extended_vector,
+    to_signed,
+    to_unsigned,
+)
+from repro.math.rng import SeededRNG
+
+
+def make_schema(m=4, t=2, d1=6, d2=4):
+    return AttributeSchema(
+        names=tuple(f"attr{i}" for i in range(m)),
+        num_equal=t,
+        value_bits=d1,
+        weight_bits=d2,
+    )
+
+
+class TestSchema:
+    def test_dimensions(self):
+        schema = make_schema(5, 2)
+        assert schema.dimension == 5
+        assert schema.extended_dimension == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSchema(names=(), num_equal=0, value_bits=4, weight_bits=4)
+
+    def test_num_equal_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_schema(3, 4)
+
+    def test_value_range_checked(self):
+        schema = make_schema(d1=4)
+        with pytest.raises(ValueError, match="outside"):
+            ParticipantInput.create(schema, [16, 0, 0, 0])
+        with pytest.raises(ValueError):
+            ParticipantInput.create(schema, [-1, 0, 0, 0])
+
+    def test_weight_range_checked(self):
+        schema = make_schema(d2=3)
+        with pytest.raises(ValueError):
+            InitiatorInput.create(schema, [0, 0, 0, 0], [8, 0, 0, 0])
+
+    def test_dimension_mismatch(self):
+        schema = make_schema()
+        with pytest.raises(ValueError):
+            ParticipantInput.create(schema, [1, 2, 3])
+
+
+class TestGainFormulas:
+    def test_definition_1_by_hand(self):
+        schema = make_schema(3, 1, d1=6, d2=4)
+        initiator = InitiatorInput.create(schema, [10, 0, 0], [2, 3, 4])
+        person = ParticipantInput.create(schema, [12, 5, 7])
+        # equal part: -2*(12-10)^2 = -8; greater part: 3*5 + 4*7 = 43
+        assert gain(schema, initiator, person) == 35
+
+    def test_partial_gain_by_hand(self):
+        schema = make_schema(3, 1, d1=6, d2=4)
+        initiator = InitiatorInput.create(schema, [10, 0, 0], [2, 3, 4])
+        person = ParticipantInput.create(schema, [12, 5, 7])
+        # greater: 3*5+4*7 = 43; equal: 2*144 - 2*2*12*10 = 288-480 = -192
+        assert partial_gain(schema, initiator, person) == 43 + 192
+
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_gain_equals_partial_minus_offset(self, seed_a, seed_b):
+        schema = make_schema(5, 2, d1=5, d2=3)
+        rng = SeededRNG(seed_a)
+        initiator = InitiatorInput.create(
+            schema,
+            [rng.randrange(32) for _ in range(5)],
+            [rng.randrange(8) for _ in range(5)],
+        )
+        rng2 = SeededRNG(seed_b)
+        person = ParticipantInput.create(schema, [rng2.randrange(32) for _ in range(5)])
+        offset = gain_offset(schema, initiator)
+        assert gain(schema, initiator, person) == partial_gain(schema, initiator, person) - offset
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_extended_vectors_reproduce_masked_partial_gain(self, seed):
+        """The framework's dot-product embedding: w'·v' + ρ_j = ρ·p + ρ_j."""
+        schema = make_schema(5, 3, d1=5, d2=3)
+        rng = SeededRNG(seed)
+        initiator = InitiatorInput.create(
+            schema,
+            [rng.randrange(32) for _ in range(5)],
+            [rng.randrange(8) for _ in range(5)],
+        )
+        person = ParticipantInput.create(schema, [rng.randrange(32) for _ in range(5)])
+        rho = rng.randint(2, 100)
+        w_ext = participant_extended_vector(schema, person)
+        v_ext = initiator_extended_vector(schema, initiator, rho)
+        assert len(w_ext) == len(v_ext) == schema.extended_dimension
+        dot = sum(a * b for a, b in zip(w_ext, v_ext))
+        assert dot == rho * partial_gain(schema, initiator, person)
+
+    def test_all_equal_attributes(self):
+        schema = make_schema(3, 3)
+        initiator = InitiatorInput.create(schema, [5, 5, 5], [1, 1, 1])
+        perfect = ParticipantInput.create(schema, [5, 5, 5])
+        off = ParticipantInput.create(schema, [6, 5, 5])
+        assert gain(schema, initiator, perfect) == 0
+        assert gain(schema, initiator, off) == -1
+
+    def test_all_greater_attributes(self):
+        schema = make_schema(2, 0)
+        initiator = InitiatorInput.create(schema, [0, 0], [2, 3])
+        person = ParticipantInput.create(schema, [4, 5])
+        assert gain(schema, initiator, person) == 23
+        assert partial_gain(schema, initiator, person) == 23
+
+
+class TestBetaBitLength:
+    def test_paper_formula(self):
+        assert beta_bit_length(10, 15, 15, 15, mode="paper") == 15 + 4 + 15 + 30 + 2
+
+    def test_safe_formula_larger_when_d1_dominates(self):
+        assert beta_bit_length(10, 20, 5, 15, mode="safe") > beta_bit_length(
+            10, 20, 5, 15, mode="paper"
+        )
+
+    def test_safe_bound_actually_bounds(self):
+        """Exhaustive check on a small schema: |ρp + ρ_j| < 2^(l-1)."""
+        schema = make_schema(2, 1, d1=3, d2=2)
+        l = beta_bit_length(2, 3, 2, h=3, mode="safe")
+        bound = 1 << (l - 1)
+        rho_max = (1 << 3) - 1
+        worst = 0
+        for v0 in range(8):
+            for w in range(4):
+                for vj in range(8):
+                    initiator = InitiatorInput.create(schema, [v0, 0], [w, w])
+                    person = ParticipantInput.create(schema, [vj, 7])
+                    p = partial_gain(schema, initiator, person)
+                    worst = max(worst, abs(rho_max * p + rho_max))
+        assert worst < bound
+
+    def test_monotone_in_all_parameters(self):
+        base = beta_bit_length(10, 15, 15, 15)
+        assert beta_bit_length(20, 15, 15, 15) >= base
+        assert beta_bit_length(10, 16, 15, 15) > base
+        assert beta_bit_length(10, 15, 16, 15) > base
+        assert beta_bit_length(10, 15, 15, 16) > base
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            beta_bit_length(4, 4, 4, 4, mode="wrong")
+
+    def test_m_one(self):
+        assert beta_bit_length(1, 4, 4, 4) > 0
+
+
+class TestSignedUnsigned:
+    @given(st.integers(-(2**15), 2**15 - 1))
+    def test_roundtrip(self, value):
+        assert to_signed(to_unsigned(value, 16), 16) == value
+
+    @given(st.integers(-(2**10), 2**10 - 1), st.integers(-(2**10), 2**10 - 1))
+    def test_order_preserving(self, a, b):
+        if a < b:
+            assert to_unsigned(a, 11) < to_unsigned(b, 11)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            to_unsigned(2**15, 16)
+        with pytest.raises(ValueError):
+            to_unsigned(-(2**15) - 1, 16)
+        with pytest.raises(ValueError):
+            to_signed(1 << 16, 16)

@@ -1,0 +1,83 @@
+"""Tests for the standalone identity-unlinkable sorting protocol."""
+
+import pytest
+
+from repro.core.sorting_protocol import SortingParty, unlinkable_sort
+from repro.math.rng import SeededRNG
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("values", [
+        [5, 3, 9],
+        [1, 2, 3, 4],
+        [100, 50, 75, 25, 60],
+        [0, 255],
+    ])
+    def test_ranks_are_competition_ranks(self, small_dl_group, values):
+        width = 8
+        result = unlinkable_sort(small_dl_group, values, width,
+                                 rng=SeededRNG(1))
+        assert result.ranks == result.expected_ranks(values)
+
+    def test_ties_share_rank(self, small_dl_group):
+        result = unlinkable_sort(small_dl_group, [7, 7, 3], 4,
+                                 rng=SeededRNG(2))
+        assert result.ranks == {1: 1, 2: 1, 3: 3}
+
+    def test_works_on_elliptic_curve(self, tiny_curve):
+        result = unlinkable_sort(tiny_curve, [9, 4, 13], 4, rng=SeededRNG(3))
+        assert result.ranks == {1: 2, 2: 3, 3: 1}
+
+    def test_multiple_seeds(self, small_dl_group):
+        values = [31, 8, 16, 2]
+        expected = {1: 1, 2: 3, 3: 2, 4: 4}
+        for seed in (5, 6, 7):
+            result = unlinkable_sort(small_dl_group, values, 5,
+                                     rng=SeededRNG(seed))
+            assert result.ranks == expected
+
+
+class TestStructure:
+    def test_rounds_linear_in_parties(self, small_dl_group):
+        rounds = {}
+        for n in (3, 5, 7):
+            values = list(range(n))
+            rounds[n] = unlinkable_sort(
+                small_dl_group, values, 4, rng=SeededRNG(8)
+            ).rounds
+        assert rounds[5] - rounds[3] == 2
+        assert rounds[7] - rounds[5] == 2
+
+    def test_traffic_quadratic_in_parties(self, small_dl_group):
+        bits = {}
+        for n in (3, 6):
+            values = list(range(n))
+            bits[n] = unlinkable_sort(
+                small_dl_group, values, 4, rng=SeededRNG(9)
+            ).transcript.total_bits
+        # chain dominates: n sets × w(n-1) ciphertexts × n hops → ~n³ total,
+        # so doubling n should grow traffic by well over 4x.
+        assert bits[6] / bits[3] > 4
+
+    def test_no_plaintext_values_on_the_wire(self, small_dl_group):
+        """The transcript must never carry a party's input in the clear —
+        message payload sizes are all ciphertext-scale."""
+        values = [3, 250, 77]
+        result = unlinkable_sort(small_dl_group, values, 8, rng=SeededRNG(10))
+        tags = set(entry.tag for entry in result.transcript)
+        assert tags == {"sort-key", "beta-bits", "sort-sets", "sort-chain",
+                        "sort-final"}
+
+
+class TestValidation:
+    def test_value_out_of_width_rejected(self, small_dl_group):
+        with pytest.raises(ValueError):
+            unlinkable_sort(small_dl_group, [16, 2], 4, rng=SeededRNG(11))
+
+    def test_single_party_rejected(self, small_dl_group):
+        with pytest.raises(ValueError):
+            unlinkable_sort(small_dl_group, [5], 4, rng=SeededRNG(12))
+
+    def test_bad_party_id_rejected(self, small_dl_group):
+        with pytest.raises(ValueError):
+            SortingParty(0, 3, small_dl_group, 4, 1, SeededRNG(13))

@@ -1,0 +1,96 @@
+"""Tests for Pedersen commitments."""
+
+import pytest
+
+from repro.crypto.commitment import Commitment, Opening, PedersenCommitment
+from repro.math.rng import SeededRNG
+
+
+@pytest.fixture
+def scheme(small_dl_group):
+    return PedersenCommitment(small_dl_group)
+
+
+class TestBasics:
+    def test_commit_verify(self, scheme):
+        commitment, opening = scheme.commit(42, SeededRNG(1))
+        assert scheme.verify(commitment, opening)
+
+    def test_wrong_message_rejected(self, scheme):
+        commitment, opening = scheme.commit(42, SeededRNG(2))
+        lie = Opening(message=43, randomness=opening.randomness)
+        assert not scheme.verify(commitment, lie)
+
+    def test_wrong_randomness_rejected(self, scheme):
+        commitment, opening = scheme.commit(42, SeededRNG(3))
+        lie = Opening(message=42, randomness=opening.randomness + 1)
+        assert not scheme.verify(commitment, lie)
+
+    def test_hiding(self, scheme):
+        """Same message commits to different values (random r)."""
+        first, _ = scheme.commit(7, SeededRNG(4))
+        second, _ = scheme.commit(7, SeededRNG(5))
+        assert not scheme.group.eq(first.value, second.value)
+
+    def test_distinct_messages_distinct_commitments_for_fixed_r(self, scheme):
+        group = scheme.group
+        rng1, rng2 = SeededRNG(6), SeededRNG(6)  # same randomness draw
+        c1, _ = scheme.commit(1, rng1)
+        c2, _ = scheme.commit(2, rng2)
+        assert not group.eq(c1.value, c2.value)
+
+    def test_second_generator_nontrivial(self, scheme):
+        assert not scheme.group.is_identity(scheme.second_generator)
+        assert not scheme.group.eq(scheme.second_generator, scheme.group.generator())
+
+    def test_works_on_curves(self, tiny_curve):
+        scheme = PedersenCommitment(tiny_curve)
+        commitment, opening = scheme.commit(9, SeededRNG(7))
+        assert scheme.verify(commitment, opening)
+
+
+class TestElementCommitment:
+    def test_commit_to_key_share(self, scheme, small_dl_group):
+        rng = SeededRNG(8)
+        share = small_dl_group.random_element(rng)
+        commitment, opening = scheme.commit_element(share, rng)
+        assert scheme.verify_element(commitment, share, opening)
+
+    def test_different_element_rejected(self, scheme, small_dl_group):
+        rng = SeededRNG(9)
+        share = small_dl_group.random_element(rng)
+        other = small_dl_group.random_element(rng)
+        commitment, opening = scheme.commit_element(share, rng)
+        assert not scheme.verify_element(commitment, other, opening)
+
+    def test_commit_then_reveal_flow(self, scheme, small_dl_group):
+        """The rushing-adversary mitigation: everyone commits, then
+        everyone reveals; late key-share choices can't depend on others."""
+        rng = SeededRNG(10)
+        shares = [small_dl_group.random_element(rng) for _ in range(4)]
+        sealed = [scheme.commit_element(share, rng) for share in shares]
+        # Reveal phase: each share checks against its earlier commitment.
+        for share, (commitment, opening) in zip(shares, sealed):
+            assert scheme.verify_element(commitment, share, opening)
+        # And a swapped reveal is caught.
+        assert not scheme.verify_element(sealed[0][0], shares[1], sealed[0][1])
+
+
+class TestHomomorphism:
+    def test_additive(self, scheme):
+        rng = SeededRNG(11)
+        c1, o1 = scheme.commit(10, rng)
+        c2, o2 = scheme.commit(32, rng)
+        combined = scheme.add(c1, c2)
+        opening = scheme.add_openings(o1, o2)
+        assert opening.message == 42
+        assert scheme.verify(combined, opening)
+
+    def test_sum_wraps_mod_order(self, scheme, small_dl_group):
+        rng = SeededRNG(12)
+        q = small_dl_group.order
+        c1, o1 = scheme.commit(q - 1, rng)
+        c2, o2 = scheme.commit(5, rng)
+        opening = scheme.add_openings(o1, o2)
+        assert opening.message == 4
+        assert scheme.verify(scheme.add(c1, c2), opening)

@@ -1,0 +1,130 @@
+"""Tests for standard and exponential ElGamal."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.elgamal import Ciphertext, ElGamal, ExponentialElGamal
+from repro.math.rng import SeededRNG
+
+
+@pytest.fixture
+def scheme(small_dl_group):
+    return ExponentialElGamal(small_dl_group)
+
+
+@pytest.fixture
+def keypair(scheme):
+    return scheme.generate_keypair(SeededRNG(1))
+
+
+class TestStandardElGamal:
+    def test_roundtrip(self, small_dl_group):
+        scheme = ElGamal(small_dl_group)
+        rng = SeededRNG(2)
+        keypair = scheme.generate_keypair(rng)
+        message = small_dl_group.random_element(rng)
+        ct = scheme.encrypt(message, keypair.public, rng)
+        assert small_dl_group.eq(scheme.decrypt(ct, keypair.secret), message)
+
+    def test_rejects_non_element_message(self, small_dl_group):
+        scheme = ElGamal(small_dl_group)
+        rng = SeededRNG(3)
+        keypair = scheme.generate_keypair(rng)
+        with pytest.raises(ValueError):
+            scheme.encrypt(-5, keypair.public, rng)
+
+    def test_rerandomize_preserves_plaintext(self, small_dl_group):
+        scheme = ElGamal(small_dl_group)
+        rng = SeededRNG(4)
+        keypair = scheme.generate_keypair(rng)
+        message = small_dl_group.random_element(rng)
+        ct = scheme.encrypt(message, keypair.public, rng)
+        ct2 = scheme.rerandomize(ct, keypair.public, rng)
+        assert not small_dl_group.eq(ct.c1, ct2.c1)  # fresh randomness
+        assert small_dl_group.eq(scheme.decrypt(ct2, keypair.secret), message)
+
+    def test_probabilistic(self, small_dl_group):
+        scheme = ElGamal(small_dl_group)
+        rng = SeededRNG(5)
+        keypair = scheme.generate_keypair(rng)
+        message = small_dl_group.generator()
+        ct1 = scheme.encrypt(message, keypair.public, rng)
+        ct2 = scheme.encrypt(message, keypair.public, rng)
+        assert not small_dl_group.eq(ct1.c1, ct2.c1)
+
+    def test_ciphertext_bits(self, small_dl_group):
+        scheme = ElGamal(small_dl_group)
+        assert scheme.ciphertext_bits() == 2 * small_dl_group.element_bits
+
+
+class TestExponentialElGamal:
+    def test_decrypt_is_zero(self, scheme, keypair):
+        rng = SeededRNG(6)
+        assert scheme.decrypt_is_zero(scheme.encrypt(0, keypair.public, rng), keypair.secret)
+        assert not scheme.decrypt_is_zero(scheme.encrypt(1, keypair.public, rng), keypair.secret)
+
+    def test_decrypt_small(self, scheme, keypair):
+        rng = SeededRNG(7)
+        ct = scheme.encrypt(37, keypair.public, rng)
+        assert scheme.decrypt_small(ct, keypair.secret, 100) == 37
+        assert scheme.decrypt_small(ct, keypair.secret, 10) is None
+
+    @given(st.integers(0, 50), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_additive_homomorphism(self, scheme, keypair, m1, m2):
+        rng = SeededRNG(m1 * 100 + m2)
+        ct = scheme.add(
+            scheme.encrypt(m1, keypair.public, rng),
+            scheme.encrypt(m2, keypair.public, rng),
+        )
+        assert scheme.decrypt_small(ct, keypair.secret, 100) == m1 + m2
+
+    @given(st.integers(0, 20), st.integers(0, 10))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_scalar_multiplication(self, scheme, keypair, m, k):
+        rng = SeededRNG(m * 37 + k)
+        ct = scheme.scalar_mul(scheme.encrypt(m, keypair.public, rng), k)
+        assert scheme.decrypt_small(ct, keypair.secret, 250) == m * k
+
+    def test_negate_and_subtract(self, scheme, keypair):
+        rng = SeededRNG(8)
+        a = scheme.encrypt(9, keypair.public, rng)
+        b = scheme.encrypt(4, keypair.public, rng)
+        assert scheme.decrypt_small(scheme.subtract(a, b), keypair.secret, 10) == 5
+        assert scheme.decrypt_is_zero(scheme.add(a, scheme.negate(a)), keypair.secret)
+
+    def test_add_plain(self, scheme, keypair):
+        rng = SeededRNG(9)
+        ct = scheme.add_plain(scheme.encrypt(3, keypair.public, rng), 8)
+        assert scheme.decrypt_small(ct, keypair.secret, 20) == 11
+
+    def test_negative_plaintexts_wrap_in_exponent(self, scheme, keypair):
+        # E(2) ∘ E(-2) = E(0): negation works through the group order.
+        rng = SeededRNG(10)
+        a = scheme.encrypt(2, keypair.public, rng)
+        b = scheme.encrypt(-2, keypair.public, rng)
+        assert scheme.decrypt_is_zero(scheme.add(a, b), keypair.secret)
+
+    def test_validate(self, scheme, keypair):
+        rng = SeededRNG(11)
+        good = scheme.encrypt(1, keypair.public, rng)
+        assert scheme.validate(good)
+        assert not scheme.validate("junk")
+        assert not scheme.validate(Ciphertext(c1=0, c2=good.c2))
+
+    def test_encrypt_zero(self, scheme, keypair):
+        ct = scheme.encrypt_zero(keypair.public, SeededRNG(12))
+        assert scheme.decrypt_is_zero(ct, keypair.secret)
+
+    def test_works_over_elliptic_curve(self, tiny_curve):
+        scheme = ExponentialElGamal(tiny_curve)
+        rng = SeededRNG(13)
+        keypair = scheme.generate_keypair(rng)
+        ct = scheme.add(
+            scheme.encrypt(4, keypair.public, rng),
+            scheme.encrypt(5, keypair.public, rng),
+        )
+        assert scheme.decrypt_small(ct, keypair.secret, 20) == 9

@@ -1,0 +1,204 @@
+"""Tests for Schnorr proofs: completeness, soundness, extraction."""
+
+import pytest
+
+from repro.crypto.zkp import (
+    MultiVerifierSchnorrProof,
+    NIZKProof,
+    NonInteractiveSchnorrProof,
+    SchnorrProof,
+    SchnorrTranscript,
+    extract_witness,
+)
+from repro.math.rng import SeededRNG
+
+
+@pytest.fixture
+def proof(small_dl_group):
+    return SchnorrProof(small_dl_group)
+
+
+@pytest.fixture
+def witness(small_dl_group):
+    rng = SeededRNG(31)
+    x = small_dl_group.random_exponent(rng)
+    return x, small_dl_group.exp_generator(x)
+
+
+class TestCompleteness:
+    def test_honest_proof_verifies(self, proof, witness):
+        x, y = witness
+        transcript = proof.prove(x, SeededRNG(1), SeededRNG(2))
+        assert proof.verify_transcript(y, transcript)
+
+    def test_many_runs(self, proof, witness):
+        x, y = witness
+        for seed in range(10):
+            transcript = proof.prove(x, SeededRNG(seed), SeededRNG(seed + 100))
+            assert proof.verify_transcript(y, transcript)
+
+
+class TestSoundness:
+    def test_wrong_secret_fails(self, proof, witness, small_dl_group):
+        x, y = witness
+        wrong = (x + 1) % small_dl_group.order
+        transcript = proof.prove(wrong, SeededRNG(3), SeededRNG(4))
+        assert not proof.verify_transcript(y, transcript)
+
+    def test_tampered_response_fails(self, proof, witness, small_dl_group):
+        x, y = witness
+        transcript = proof.prove(x, SeededRNG(5), SeededRNG(6))
+        bad = SchnorrTranscript(
+            commitment=transcript.commitment,
+            challenges=transcript.challenges,
+            response=(transcript.response + 1) % small_dl_group.order,
+        )
+        assert not proof.verify_transcript(y, bad)
+
+    def test_wrong_public_key_fails(self, proof, witness, small_dl_group):
+        x, _ = witness
+        transcript = proof.prove(x, SeededRNG(7), SeededRNG(8))
+        other = small_dl_group.exp_generator(x + 1)
+        assert not proof.verify_transcript(other, transcript)
+
+
+class TestMultiVerifier:
+    def test_n_verifier_completeness(self, small_dl_group, witness):
+        x, y = witness
+        zkp = MultiVerifierSchnorrProof(small_dl_group)
+        transcript = zkp.prove_multi(x, SeededRNG(9), [SeededRNG(i) for i in range(6)])
+        assert len(transcript.challenges) == 6
+        assert zkp.verify_multi(
+            y, transcript.commitment, transcript.challenges, transcript.response
+        )
+
+    def test_any_challenge_subset_change_breaks(self, small_dl_group, witness):
+        x, y = witness
+        zkp = MultiVerifierSchnorrProof(small_dl_group)
+        transcript = zkp.prove_multi(x, SeededRNG(10), [SeededRNG(i) for i in range(4)])
+        tampered = list(transcript.challenges)
+        tampered[2] = (tampered[2] + 1) % small_dl_group.order
+        assert not zkp.verify_multi(
+            y, transcript.commitment, tampered, transcript.response
+        )
+
+    def test_single_verifier_degenerates_to_schnorr(self, small_dl_group, witness):
+        x, y = witness
+        zkp = MultiVerifierSchnorrProof(small_dl_group)
+        transcript = zkp.prove_multi(x, SeededRNG(11), [SeededRNG(12)])
+        assert zkp.verify_transcript(y, transcript)
+
+
+class TestExtractor:
+    def test_extracts_witness(self, small_dl_group, witness):
+        """Special soundness: two transcripts with one commitment leak x."""
+        x, _ = witness
+        zkp = SchnorrProof(small_dl_group)
+        commitment, nonce = zkp.commit(SeededRNG(13))
+        t1 = SchnorrTranscript(commitment, (17,), zkp.respond(nonce, x, 17))
+        t2 = SchnorrTranscript(commitment, (23,), zkp.respond(nonce, x, 23))
+        assert extract_witness(small_dl_group, t1, t2) == x
+
+    def test_extracts_from_multi_verifier(self, small_dl_group, witness):
+        x, _ = witness
+        zkp = MultiVerifierSchnorrProof(small_dl_group)
+        commitment, nonce = zkp.commit(SeededRNG(14))
+        t1 = SchnorrTranscript(
+            commitment, (5, 9), zkp.respond_multi(nonce, x, [5, 9])
+        )
+        t2 = SchnorrTranscript(
+            commitment, (2, 4), zkp.respond_multi(nonce, x, [2, 4])
+        )
+        assert extract_witness(small_dl_group, t1, t2) == x
+
+    def test_different_commitments_rejected(self, small_dl_group, witness):
+        x, _ = witness
+        zkp = SchnorrProof(small_dl_group)
+        c1, n1 = zkp.commit(SeededRNG(15))
+        c2, n2 = zkp.commit(SeededRNG(16))
+        t1 = SchnorrTranscript(c1, (3,), zkp.respond(n1, x, 3))
+        t2 = SchnorrTranscript(c2, (4,), zkp.respond(n2, x, 4))
+        with pytest.raises(ValueError):
+            extract_witness(small_dl_group, t1, t2)
+
+    def test_equal_challenges_rejected(self, small_dl_group, witness):
+        x, _ = witness
+        zkp = SchnorrProof(small_dl_group)
+        commitment, nonce = zkp.commit(SeededRNG(17))
+        t = SchnorrTranscript(commitment, (3,), zkp.respond(nonce, x, 3))
+        with pytest.raises(ValueError):
+            extract_witness(small_dl_group, t, t)
+
+
+class TestFiatShamir:
+    def test_completeness(self, small_dl_group, witness):
+        x, y = witness
+        nizk = NonInteractiveSchnorrProof(small_dl_group)
+        proof = nizk.prove(x, SeededRNG(20))
+        assert nizk.verify(y, proof)
+
+    def test_wrong_secret_fails(self, small_dl_group, witness):
+        x, y = witness
+        nizk = NonInteractiveSchnorrProof(small_dl_group)
+        proof = nizk.prove((x + 1) % small_dl_group.order, SeededRNG(21))
+        assert not nizk.verify(y, proof)
+
+    def test_tampered_response_fails(self, small_dl_group, witness):
+        x, y = witness
+        nizk = NonInteractiveSchnorrProof(small_dl_group)
+        proof = nizk.prove(x, SeededRNG(22))
+        bad = NIZKProof(
+            commitment=proof.commitment,
+            response=(proof.response + 1) % small_dl_group.order,
+        )
+        assert not nizk.verify(y, bad)
+
+    def test_context_domain_separation(self, small_dl_group, witness):
+        """A proof made under one context must not verify under another —
+        the framework binds each proof to the prover's identity."""
+        x, y = witness
+        alice = NonInteractiveSchnorrProof(small_dl_group, context=b"party-1")
+        bob = NonInteractiveSchnorrProof(small_dl_group, context=b"party-2")
+        proof = alice.prove(x, SeededRNG(23))
+        assert alice.verify(y, proof)
+        assert not bob.verify(y, proof)
+
+    def test_invalid_commitment_rejected(self, small_dl_group, witness):
+        _, y = witness
+        nizk = NonInteractiveSchnorrProof(small_dl_group)
+        assert not nizk.verify(y, NIZKProof(commitment=0, response=5))
+
+    def test_deterministic_challenge(self, small_dl_group, witness):
+        """The same (statement, commitment) pair always hashes to the
+        same challenge — the whole point of Fiat-Shamir."""
+        x, y = witness
+        nizk = NonInteractiveSchnorrProof(small_dl_group)
+        proof = nizk.prove(x, SeededRNG(24))
+        assert nizk._challenge(y, proof.commitment) == nizk._challenge(
+            y, proof.commitment
+        )
+
+    def test_works_over_elliptic_curves(self, tiny_curve):
+        rng = SeededRNG(25)
+        x = tiny_curve.random_exponent(rng)
+        y = tiny_curve.exp_generator(x)
+        nizk = NonInteractiveSchnorrProof(tiny_curve)
+        assert nizk.verify(y, nizk.prove(x, rng))
+
+
+class TestZeroKnowledgeShape:
+    def test_transcripts_are_simulatable(self, small_dl_group, witness):
+        """HVZK: transcripts can be produced without the witness.
+
+        The simulator picks (c, z) first and sets h = g^z · y^(-c); the
+        resulting transcript verifies and is distributed like a real one.
+        """
+        _, y = witness
+        group = small_dl_group
+        proof = SchnorrProof(group)
+        rng = SeededRNG(18)
+        c = group.random_exponent(rng)
+        z = group.random_exponent(rng)
+        h = group.mul(group.exp_generator(z), group.inv(group.exp(y, c)))
+        simulated = SchnorrTranscript(h, (c,), z)
+        assert proof.verify_transcript(y, simulated)

@@ -1,0 +1,124 @@
+"""Tests for the Ioannidis-Grama-Atallah secure dot product."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dotproduct.ioannidis import DotProductProtocol
+from repro.math.primes import random_prime
+from repro.math.rng import SeededRNG
+
+FIELD = random_prime(96, SeededRNG(71))
+
+
+@pytest.fixture
+def protocol():
+    return DotProductProtocol(FIELD)
+
+
+class TestCorrectness:
+    def test_simple(self, protocol):
+        assert protocol.run_locally([1, 2, 3], [4, 5, 6], 0, SeededRNG(1)) == 32
+
+    def test_with_alpha(self, protocol):
+        assert protocol.run_locally([1, 2], [3, 4], 100, SeededRNG(2)) == 111
+
+    def test_negative_entries(self, protocol):
+        assert protocol.run_locally([-3, 5], [7, -2], -4, SeededRNG(3)) == -35
+
+    def test_single_dimension(self, protocol):
+        assert protocol.run_locally([9], [11], 1, SeededRNG(4)) == 100
+
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=1, max_size=8),
+        st.integers(-10**6, 10**6),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_vectors(self, w, alpha, seed):
+        protocol = DotProductProtocol(FIELD)
+        rng = SeededRNG(seed)
+        v = [rng.randint(-1000, 1000) for _ in w]
+        expected = sum(a * b for a, b in zip(w, v)) + alpha
+        assert protocol.run_locally(w, v, alpha, rng) == expected
+
+    def test_large_magnitudes_within_field(self, protocol):
+        # |result| must stay below p/2 for centered decoding.
+        big = 1 << 40
+        assert protocol.run_locally([big], [big], 0, SeededRNG(5)) == big * big
+
+
+class TestMessageStructure:
+    def test_dimension_mismatch_rejected(self, protocol):
+        request, _ = protocol.bob_request([1, 2, 3], SeededRNG(6))
+        with pytest.raises(ValueError):
+            protocol.alice_respond(request, [1, 2], 0)
+
+    def test_request_shape(self, protocol):
+        w = [5, 6, 7]
+        request, state = protocol.bob_request(w, SeededRNG(7))
+        d = len(w) + 1
+        s = d + protocol.expansion
+        assert len(request.qx) == s
+        assert all(len(row) == d for row in request.qx)
+        assert len(request.c_blinded) == d
+        assert len(request.g_blinded) == d
+        assert state.b != 0
+
+    def test_message_bits_accounting(self, protocol):
+        bob_bits, alice_bits = protocol.message_bits(4)
+        d, s = 5, 5 + protocol.expansion
+        field_bits = FIELD.bit_length()
+        assert bob_bits == (s * d + 2 * d) * field_bits
+        assert alice_bits == 2 * field_bits
+
+    def test_size_field_elements(self, protocol):
+        request, _ = protocol.bob_request([1, 2], SeededRNG(8))
+        assert request.size_field_elements() == len(request.qx) * 3 + 6
+
+
+class TestHiding:
+    def test_responses_differ_per_run(self, protocol):
+        """Fresh randomness every run: Alice sees different messages."""
+        r1, _ = protocol.bob_request([1, 2, 3], SeededRNG(9))
+        r2, _ = protocol.bob_request([1, 2, 3], SeededRNG(10))
+        assert r1.qx != r2.qx
+        assert r1.c_blinded != r2.c_blinded
+
+    def test_underdetermined_system(self, protocol):
+        """Alice's view has more unknowns than equations (the paper's
+        security argument): QX has s·d entries, but Q and X together
+        have s·s + s·d unknowns."""
+        w = [1, 2, 3, 4]
+        request, _ = protocol.bob_request(w, SeededRNG(11))
+        s = len(request.qx)
+        d = len(request.qx[0])
+        equations = s * d + 2 * d
+        unknowns = s * s + s * d + d + 3  # Q, X, f, R1, R2, R3
+        assert unknowns > equations
+
+    def test_alpha_masks_result(self, protocol):
+        """Bob's output with unknown alpha reveals nothing about w·v:
+        two different (v, alpha) pairs give the same β."""
+        w = [2, 3]
+        request, state = protocol.bob_request(w, SeededRNG(12))
+        resp_a = protocol.alice_respond(request, [10, 10], 5)     # w·v=50, β=55
+        resp_b = protocol.alice_respond(request, [10, 11], 2)     # w·v=53, β=55
+        assert protocol.bob_recover(state, resp_a) == protocol.bob_recover(state, resp_b)
+
+
+class TestValidation:
+    def test_tiny_field_rejected(self):
+        with pytest.raises(ValueError):
+            DotProductProtocol(3)
+
+    def test_bad_expansion_rejected(self):
+        with pytest.raises(ValueError):
+            DotProductProtocol(FIELD, expansion=0)
+
+    def test_result_magnitude_beyond_field_misdecodes(self):
+        """Documents the precondition: |result| ≥ p/2 wraps."""
+        small_field = 101
+        protocol = DotProductProtocol(small_field)
+        result = protocol.run_locally([20], [20], 0, SeededRNG(13))
+        assert result != 400  # 400 mod 101 = 97, decoded centered as -4

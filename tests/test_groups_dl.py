@@ -1,0 +1,135 @@
+"""Tests for the quadratic-residue DL group."""
+
+import pytest
+
+from repro.groups.dl import DLGroup
+from repro.math.modular import jacobi_symbol
+from repro.math.rng import SeededRNG
+
+
+class TestGroupLaws:
+    def test_identity(self, small_dl_group):
+        g = small_dl_group
+        element = g.random_element(SeededRNG(1))
+        assert g.eq(g.mul(element, g.identity()), element)
+
+    def test_associativity(self, small_dl_group):
+        g = small_dl_group
+        rng = SeededRNG(2)
+        a, b, c = (g.random_element(rng) for _ in range(3))
+        assert g.eq(g.mul(g.mul(a, b), c), g.mul(a, g.mul(b, c)))
+
+    def test_inverse(self, small_dl_group):
+        g = small_dl_group
+        a = g.random_element(SeededRNG(3))
+        assert g.is_identity(g.mul(a, g.inv(a)))
+
+    def test_generator_order(self, small_dl_group):
+        g = small_dl_group
+        assert g.is_identity(g.exp(g.generator(), g.order))
+        assert not g.is_identity(g.exp(g.generator(), 1))
+
+    def test_exponent_laws(self, small_dl_group):
+        g = small_dl_group
+        a, b = 12345, 67890
+        lhs = g.mul(g.exp_generator(a), g.exp_generator(b))
+        assert g.eq(lhs, g.exp_generator(a + b))
+        assert g.eq(g.exp(g.exp_generator(a), b), g.exp_generator(a * b))
+
+    def test_exponent_reduced_mod_order(self, small_dl_group):
+        g = small_dl_group
+        assert g.eq(g.exp_generator(g.order + 5), g.exp_generator(5))
+        assert g.eq(g.exp_generator(-1), g.exp_generator(g.order - 1))
+
+
+class TestMembership:
+    def test_elements_are_residues(self, small_dl_group):
+        g = small_dl_group
+        rng = SeededRNG(4)
+        for _ in range(20):
+            element = g.random_element(rng)
+            assert jacobi_symbol(element, g.modulus) == 1
+            assert g.is_element(element)
+
+    def test_non_residue_rejected(self, small_dl_group):
+        g = small_dl_group
+        # Find a non-residue by scanning.
+        candidate = 2
+        while jacobi_symbol(candidate, g.modulus) != -1:
+            candidate += 1
+        assert not g.is_element(candidate)
+
+    def test_out_of_range_rejected(self, small_dl_group):
+        g = small_dl_group
+        assert not g.is_element(0)
+        assert not g.is_element(g.modulus)
+        assert not g.is_element("not an int")
+
+
+class TestConstruction:
+    def test_rejects_non_safe_prime(self):
+        with pytest.raises(ValueError):
+            DLGroup(13)  # prime but (13-1)/2 = 6 is composite
+
+    def test_rejects_bad_generator(self, small_dl_group):
+        p = small_dl_group.modulus
+        candidate = 2
+        while jacobi_symbol(candidate, p) != -1:
+            candidate += 1
+        with pytest.raises(ValueError):
+            DLGroup(p, generator=candidate, verify=False)
+
+    def test_standard_1024(self):
+        g = DLGroup.standard(1024)
+        assert g.element_bits == 1024
+        assert g.security_bits == 80
+        assert g.order == (g.modulus - 1) // 2
+        # Generator 4 has order q.
+        assert g.is_identity(g.exp(g.generator(), g.order))
+
+    def test_serialize_length(self, small_dl_group):
+        g = small_dl_group
+        data = g.serialize(g.random_element(SeededRNG(5)))
+        assert len(data) == (g.element_bits + 7) // 8
+
+
+class TestMetering:
+    def test_counts_operations(self):
+        g = DLGroup.random(32, rng=SeededRNG(11))
+        g.counter.reset()
+        a = g.exp_generator(123)
+        b = g.exp_generator(77)
+        g.mul(a, b)
+        g.inv(a)
+        assert g.counter.exponentiations == 2
+        assert g.counter.multiplications == 1
+        assert g.counter.inversions == 1
+        assert g.counter.exponent_bits == 2 * g.order.bit_length()
+
+    def test_equivalent_multiplications(self):
+        g = DLGroup.random(32, rng=SeededRNG(12))
+        g.counter.reset()
+        g.exp_generator(5)
+        expected = (3 * g.order.bit_length()) // 2
+        assert g.counter.equivalent_multiplications == expected
+
+    def test_counter_swap(self):
+        from repro.groups.base import OperationCounter
+
+        g = DLGroup.random(32, rng=SeededRNG(13))
+        mine = OperationCounter()
+        g.attach_counter(mine)
+        g.exp_generator(9)
+        assert mine.exponentiations == 1
+        g.attach_counter(None)
+        g.exp_generator(9)
+        assert mine.exponentiations == 1  # detached
+
+    def test_snapshot_diff(self):
+        from repro.groups.base import OperationCounter
+
+        counter = OperationCounter()
+        counter.record_mul(5)
+        before = counter.snapshot()
+        counter.record_mul(3)
+        assert counter.diff(before).multiplications == 3

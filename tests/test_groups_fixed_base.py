@@ -1,0 +1,78 @@
+"""Tests for fixed-base precomputed exponentiation."""
+
+import pytest
+
+from repro.groups.fixed_base import PrecomputedBase
+from repro.math.rng import SeededRNG
+
+
+class TestCorrectness:
+    def test_matches_plain_exp(self, small_dl_group):
+        group = small_dl_group
+        table = PrecomputedBase(group, group.generator())
+        rng = SeededRNG(1)
+        for _ in range(30):
+            exponent = group.random_exponent(rng)
+            assert group.eq(table.exp(exponent), group.exp_generator(exponent))
+
+    def test_edge_exponents(self, small_dl_group):
+        group = small_dl_group
+        table = PrecomputedBase(group, group.generator())
+        assert group.is_identity(table.exp(0))
+        assert group.eq(table.exp(1), group.generator())
+        assert group.eq(table.exp(group.order), table.exp(0))
+        assert group.eq(table.exp(-1), group.exp_generator(-1))
+
+    def test_arbitrary_base(self, small_dl_group):
+        group = small_dl_group
+        rng = SeededRNG(2)
+        base = group.random_element(rng)
+        table = PrecomputedBase(group, base)
+        exponent = group.random_exponent(rng)
+        assert group.eq(table.exp(exponent), group.exp(base, exponent))
+
+    def test_works_on_curves(self, tiny_curve):
+        table = PrecomputedBase(tiny_curve, tiny_curve.generator())
+        rng = SeededRNG(3)
+        for _ in range(10):
+            k = tiny_curve.random_exponent(rng)
+            assert tiny_curve.eq(table.exp(k), tiny_curve.exp_generator(k))
+
+    @pytest.mark.parametrize("window", [1, 2, 4, 6])
+    def test_window_sizes(self, small_dl_group, window):
+        group = small_dl_group
+        table = PrecomputedBase(group, group.generator(), window_bits=window)
+        exponent = group.random_exponent(SeededRNG(4))
+        assert group.eq(table.exp(exponent), group.exp_generator(exponent))
+
+    def test_bad_window_rejected(self, small_dl_group):
+        with pytest.raises(ValueError):
+            PrecomputedBase(small_dl_group, small_dl_group.generator(), window_bits=0)
+        with pytest.raises(ValueError):
+            PrecomputedBase(small_dl_group, small_dl_group.generator(), window_bits=9)
+
+
+class TestEfficiency:
+    def test_fewer_multiplications_than_square_and_multiply(self, small_dl_group):
+        """The whole point: per-exp cost drops well below 1.5λ."""
+        group = small_dl_group
+        table = PrecomputedBase(group, group.generator(), window_bits=4)
+        lam = group.order.bit_length()
+        assert table.multiplications_per_exp() < 0.5 * lam
+
+    def test_measured_operation_counts(self, small_dl_group):
+        group = small_dl_group
+        table = PrecomputedBase(group, group.generator(), window_bits=4)
+        exponent = group.random_exponent(SeededRNG(5))
+        group.counter.reset()
+        table.exp(exponent)
+        used = group.counter.multiplications
+        # One multiplication per non-zero window, no exponentiations.
+        assert group.counter.exponentiations == 0
+        assert used <= table._windows
+
+    def test_table_size_accounting(self, small_dl_group):
+        group = small_dl_group
+        table = PrecomputedBase(group, group.generator(), window_bits=4)
+        windows = (group.order.bit_length() + 3) // 4
+        assert table.table_entries == windows * 15

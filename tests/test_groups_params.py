@@ -1,0 +1,61 @@
+"""Tests for the security-level parameter registry."""
+
+import pytest
+
+from repro.groups.base import OperationCounter
+from repro.groups.params import (
+    SECURITY_LEVELS,
+    group_for_security_level,
+    make_dl_group,
+    make_ecc_group,
+    make_test_group,
+)
+
+
+class TestSecurityLevels:
+    def test_registry_shape(self):
+        assert set(SECURITY_LEVELS) == {80, 112, 128}
+        assert SECURITY_LEVELS[80] == (1024, "secp160r1")
+        assert SECURITY_LEVELS[128] == (3072, "secp256r1")
+
+    def test_dl_for_level(self):
+        group = group_for_security_level(80, "DL")
+        assert group.element_bits == 1024
+        assert group.security_bits == 80
+
+    def test_ecc_for_level(self):
+        group = group_for_security_level(112, "ECC")
+        assert group.name == "secp224r1"
+        assert group.security_bits == 112
+
+    def test_family_case_insensitive(self):
+        assert group_for_security_level(80, "ecc").name == "secp160r1"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            group_for_security_level(96, "DL")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            group_for_security_level(80, "RSA")
+
+
+class TestConstructors:
+    def test_make_dl_group_standard(self):
+        group = make_dl_group(1024)
+        assert group.is_identity(group.exp(group.generator(), group.order))
+
+    def test_make_ecc_group_counter_attaches(self):
+        counter = OperationCounter()
+        group = make_ecc_group("secp160r1", counter=counter)
+        group.exp_generator(5)
+        assert counter.exponentiations == 1
+
+    def test_make_test_group_deterministic(self):
+        a = make_test_group(48, seed=3)
+        b = make_test_group(48, seed=3)
+        assert a.modulus == b.modulus
+        assert make_test_group(48, seed=4).modulus != a.modulus
+
+    def test_test_group_reports_low_security(self):
+        assert make_test_group(64).security_bits < 20

@@ -1,0 +1,156 @@
+"""Unit and property tests for repro.math.modular."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math.modular import (
+    crt_pair,
+    egcd,
+    int_from_bits,
+    int_to_bits,
+    is_quadratic_residue,
+    jacobi_symbol,
+    mod_inverse,
+    mod_sqrt,
+)
+
+PRIMES = [3, 5, 7, 11, 13, 101, 257, 7919, 104729]
+
+
+class TestEgcd:
+    def test_basic(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_coprime(self):
+        g, x, y = egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    def test_zero_operand(self):
+        assert egcd(0, 5)[0] == 5
+        assert egcd(5, 0)[0] == 5
+
+    @given(st.integers(1, 10**12), st.integers(1, 10**12))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+
+class TestModInverse:
+    @given(st.integers(1, 10**9))
+    def test_inverse_mod_prime(self, a):
+        p = 1_000_000_007
+        if a % p == 0:
+            return
+        inv = mod_inverse(a, p)
+        assert a * inv % p == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ValueError):
+            mod_inverse(6, 9)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            mod_inverse(3, 0)
+
+    def test_large_values(self):
+        p = (1 << 521) - 1  # Mersenne prime
+        a = 0xDEADBEEF
+        assert a * mod_inverse(a, p) % p == 1
+
+
+class TestJacobi:
+    def test_legendre_matches_euler_criterion(self):
+        for p in PRIMES[:6]:
+            for a in range(1, p):
+                euler = pow(a, (p - 1) // 2, p)
+                expected = 1 if euler == 1 else -1
+                assert jacobi_symbol(a, p) == expected
+
+    def test_zero_when_divides(self):
+        assert jacobi_symbol(21, 7) == 0
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            jacobi_symbol(3, 8)
+
+    def test_composite_jacobi_multiplicative(self):
+        # (a/15) = (a/3)(a/5)
+        for a in range(1, 15):
+            assert jacobi_symbol(a, 15) == jacobi_symbol(a, 3) * jacobi_symbol(a, 5)
+
+
+class TestModSqrt:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_roundtrip_all_residues(self, p):
+        for a in range(p if p < 300 else 50):
+            square = a * a % p
+            root = mod_sqrt(square, p)
+            assert root * root % p == square
+
+    def test_non_residue_raises(self):
+        # 3 is a non-residue mod 7 (residues are 1, 2, 4).
+        with pytest.raises(ValueError):
+            mod_sqrt(3, 7)
+
+    def test_zero(self):
+        assert mod_sqrt(0, 13) == 0
+
+    def test_tonelli_branch(self):
+        # p ≡ 1 (mod 4) exercises the full Tonelli-Shanks loop.
+        p = 104729
+        assert p % 4 == 1
+        for a in (2, 3, 5, 12345):
+            square = a * a % p
+            root = mod_sqrt(square, p)
+            assert root * root % p == square
+
+    @given(st.integers(0, 10**6))
+    def test_root_is_canonical(self, a):
+        p = 1_000_003
+        square = a * a % p
+        root = mod_sqrt(square, p)
+        assert root <= p - root
+
+
+class TestCrt:
+    def test_basic(self):
+        r, m = crt_pair(2, 3, 3, 5)
+        assert m == 15 and r % 3 == 2 and r % 5 == 3
+
+    def test_non_coprime_raises(self):
+        with pytest.raises(ValueError):
+            crt_pair(1, 6, 2, 9)
+
+    @given(st.integers(0, 10**6))
+    def test_reconstructs(self, x):
+        m1, m2 = 10007, 10009
+        r, m = crt_pair(x % m1, m1, x % m2, m2)
+        assert r == x % m
+
+
+class TestBits:
+    @given(st.integers(0, 2**64 - 1))
+    def test_roundtrip(self, value):
+        bits = int_to_bits(value, 64)
+        assert len(bits) == 64
+        assert int_from_bits(bits) == value
+
+    def test_little_endian_order(self):
+        assert int_to_bits(0b110, 4) == [0, 1, 1, 0]
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_bad_bit_raises(self):
+        with pytest.raises(ValueError):
+            int_from_bits([0, 2, 1])

@@ -1,0 +1,130 @@
+"""Tests for primality testing, safe primes, and MODP derivation."""
+
+import pytest
+
+from repro.math.pi import pi_times_power_of_two
+from repro.math.primes import (
+    is_prime,
+    is_safe_prime,
+    modp_safe_prime,
+    next_prime,
+    random_prime,
+    random_safe_prime,
+)
+from repro.math.rng import SeededRNG
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 7919, 104729, 2**31 - 1, 2**61 - 1, 2**89 - 1]
+KNOWN_COMPOSITES = [1, 0, -7, 4, 100, 7917, 2**32 - 1, 2**67 - 1]
+# Carmichael numbers fool Fermat tests; Miller-Rabin must reject them.
+CARMICHAEL = [561, 1105, 1729, 41041, 825265, 321197185]
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites(self, c):
+        assert not is_prime(c)
+
+    @pytest.mark.parametrize("c", CARMICHAEL)
+    def test_carmichael_rejected(self, c):
+        assert not is_prime(c)
+
+    def test_matches_sieve_below_10000(self):
+        sieve = [True] * 10000
+        sieve[0] = sieve[1] = False
+        for i in range(2, 100):
+            if sieve[i]:
+                for j in range(i * i, 10000, i):
+                    sieve[j] = False
+        for n in range(10000):
+            assert is_prime(n) == sieve[n], n
+
+    def test_large_probabilistic_path(self):
+        # Above the deterministic limit the random-witness path is taken.
+        p = (1 << 127) - 1  # Mersenne prime, above 3.3e24
+        assert is_prime(p, rng=SeededRNG(1))
+        assert not is_prime(p + 2, rng=SeededRNG(1))
+
+
+class TestSafePrimes:
+    def test_known_safe_primes(self):
+        for p in (5, 7, 11, 23, 47, 59, 83, 107, 167, 179):
+            assert is_safe_prime(p)
+
+    def test_known_non_safe_primes(self):
+        for p in (2, 3, 13, 17, 29, 31, 37, 41):
+            assert not is_safe_prime(p)
+
+    def test_random_safe_prime_structure(self):
+        rng = SeededRNG(7)
+        p = random_safe_prime(40, rng)
+        assert p.bit_length() == 40
+        assert is_prime(p) and is_prime((p - 1) // 2)
+
+    def test_random_safe_prime_deterministic(self):
+        assert random_safe_prime(32, SeededRNG(3)) == random_safe_prime(32, SeededRNG(3))
+
+
+class TestNextPrime:
+    def test_small_values(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(13) == 17
+        assert next_prime(7918) == 7919
+
+    def test_power_of_two(self):
+        p = next_prime(1 << 64)
+        assert p > (1 << 64) and is_prime(p)
+
+
+class TestRandomPrime:
+    def test_bit_length_and_primality(self):
+        rng = SeededRNG(5)
+        for bits in (8, 16, 48, 128):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            random_prime(1)
+
+
+class TestPi:
+    def test_known_prefix(self):
+        # π in binary: 11.001001000011111101101010100010001000010110100011...
+        assert pi_times_power_of_two(0) == 3
+        assert pi_times_power_of_two(4) == 50          # 3.1415... * 16 = 50.26
+        assert pi_times_power_of_two(16) == 205887     # floor(π·65536)
+
+    def test_consistency_between_precisions(self):
+        coarse = pi_times_power_of_two(100)
+        fine = pi_times_power_of_two(200)
+        assert fine >> 100 == coarse
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            pi_times_power_of_two(-1)
+
+
+class TestModpPrimes:
+    def test_1024_is_safe_prime(self):
+        p = modp_safe_prime(1024)
+        assert p.bit_length() == 1024
+        assert p % 8 == 7  # safe primes from this construction are ≡ 7 (mod 8)
+
+    def test_known_tail_of_1024(self):
+        # The Oakley Group 2 prime ends in ...FFFFFFFF (all MODP primes do).
+        p = modp_safe_prime(1024)
+        assert p & 0xFFFFFFFFFFFFFFFF == 0xFFFFFFFFFFFFFFFF
+        assert (p >> (1024 - 64)) == 0xFFFFFFFFFFFFFFFF
+
+    def test_unsupported_size(self):
+        with pytest.raises(ValueError):
+            modp_safe_prime(512)
+
+    def test_cached(self):
+        assert modp_safe_prime(1024) is modp_safe_prime(1024)

@@ -1,0 +1,112 @@
+"""Tests for the randomness discipline layer."""
+
+import pytest
+
+from repro.math.rng import SeededRNG, SystemRNG
+
+
+class TestSeededRNG:
+    def test_deterministic(self):
+        a = SeededRNG(42)
+        b = SeededRNG(42)
+        assert [a.randbits(32) for _ in range(10)] == [b.randbits(32) for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert SeededRNG(1).randbits(64) != SeededRNG(2).randbits(64)
+
+    def test_fork_streams_independent(self):
+        base = SeededRNG(9)
+        left = base.fork("left")
+        right = base.fork("right")
+        assert left.randbits(64) != right.randbits(64)
+        # Forking is a pure function of (seed, label).
+        assert SeededRNG(9).fork("left").randbits(64) == SeededRNG(9).fork("left").randbits(64)
+
+    def test_zero_bits(self):
+        assert SeededRNG(0).randbits(0) == 0
+
+    def test_negative_bits_raises(self):
+        with pytest.raises(ValueError):
+            SeededRNG(0).randbits(-1)
+
+
+class TestRanges:
+    def test_randrange_bounds(self):
+        rng = SeededRNG(3)
+        for _ in range(200):
+            assert 0 <= rng.randrange(7) < 7
+
+    def test_randrange_covers_all_values(self):
+        rng = SeededRNG(4)
+        seen = {rng.randrange(5) for _ in range(200)}
+        assert seen == {0, 1, 2, 3, 4}
+
+    def test_randrange_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            SeededRNG(0).randrange(0)
+
+    def test_randint_inclusive(self):
+        rng = SeededRNG(5)
+        values = {rng.randint(3, 5) for _ in range(100)}
+        assert values == {3, 4, 5}
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            SeededRNG(0).randint(5, 4)
+
+    def test_rand_nonzero(self):
+        rng = SeededRNG(6)
+        for _ in range(100):
+            assert 1 <= rng.rand_nonzero(5) <= 4
+
+    def test_rand_nonzero_tiny_modulus(self):
+        assert SeededRNG(0).rand_nonzero(2) == 1
+        with pytest.raises(ValueError):
+            SeededRNG(0).rand_nonzero(1)
+
+
+class TestShuffleAndSample:
+    def test_shuffle_is_permutation(self):
+        rng = SeededRNG(7)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    def test_permutation_uniform_ish(self):
+        # Every position should see every value across many draws.
+        rng = SeededRNG(8)
+        counts = [[0] * 4 for _ in range(4)]
+        for _ in range(400):
+            perm = rng.permutation(4)
+            for position, value in enumerate(perm):
+                counts[position][value] += 1
+        for row in counts:
+            for count in row:
+                assert 50 < count < 150  # expectation 100
+
+    def test_sample_distinct(self):
+        rng = SeededRNG(9)
+        sample = rng.sample_distinct(10, 5)
+        assert len(sample) == 5
+        assert len(set(sample)) == 5
+        assert all(0 <= value < 10 for value in sample)
+
+    def test_sample_too_large_raises(self):
+        with pytest.raises(ValueError):
+            SeededRNG(0).sample_distinct(3, 4)
+
+    def test_choice(self):
+        rng = SeededRNG(10)
+        assert rng.choice(["only"]) == "only"
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+
+class TestSystemRNG:
+    def test_basic_shape(self):
+        rng = SystemRNG()
+        value = rng.randbits(128)
+        assert 0 <= value < (1 << 128)
+        assert 0 <= rng.randrange(1000) < 1000

@@ -1,0 +1,176 @@
+"""Focused tests for corners the module suites don't reach.
+
+Not filler: each case pins a behaviour another part of the system (or a
+user) relies on — engine guard rails, metric aggregation, game-harness
+preconditions, synthetic trace generation.
+"""
+
+import pytest
+
+from repro.math.rng import SeededRNG
+from repro.runtime.engine import Engine
+from repro.runtime.errors import ProtocolError
+from repro.runtime.metrics import PartyMetrics, merge_max
+from repro.runtime.party import Party
+
+
+class TestEngineGuards:
+    def test_max_rounds_cap(self):
+        """A livelocked protocol (endless ping-pong) hits the cap instead
+        of spinning forever."""
+
+        class Forever(Party):
+            def __init__(self, pid, peer):
+                super().__init__(pid, SeededRNG(pid))
+                self.peer = peer
+
+            def protocol(self):
+                if self.party_id == 0:
+                    self.send(self.peer, "ping", None)
+                while True:
+                    yield from self.recv(self.peer, "ping")
+                    self.send(self.peer, "ping", None)
+
+        engine = Engine(max_rounds=20)
+        engine.add_parties([Forever(0, 1), Forever(1, 0)])
+        with pytest.raises(ProtocolError, match="max_rounds"):
+            engine.run()
+
+    def test_metered_group_counter_scoped_to_running_party(self, small_dl_group):
+        """Ops performed while party A runs land on A's counter only."""
+
+        class Worker(Party):
+            def __init__(self, pid, group, exponent):
+                super().__init__(pid, SeededRNG(pid))
+                self.group = group
+                self.exponent = exponent
+
+            def protocol(self):
+                for _ in range(self.exponent):
+                    self.group.exp_generator(7)
+                self.output = "done"
+                return
+                yield  # pragma: no cover
+
+        engine = Engine(metered_groups=[small_dl_group])
+        engine.add_parties([
+            Worker(0, small_dl_group, 3),
+            Worker(1, small_dl_group, 5),
+        ])
+        engine.run()
+        assert engine.parties[0].metrics.ops.exponentiations == 3
+        assert engine.parties[1].metrics.ops.exponentiations == 5
+
+    def test_party_without_engine_cannot_send(self):
+        party = Party(0, SeededRNG(0))
+        with pytest.raises(RuntimeError):
+            party.send(1, "x", None)
+
+
+class TestMetricsAggregation:
+    def test_merge_max_picks_worst_per_dimension(self):
+        a = PartyMetrics(party_id=1)
+        a.ops.record_exp(100)
+        a.record_send(500)
+        b = PartyMetrics(party_id=2)
+        b.ops.record_mul(10)
+        b.record_send(100)
+        b.record_send(100)
+        merged = merge_max({1: a, 2: b})
+        assert merged["group_multiplications"] == a.ops.equivalent_multiplications
+        assert merged["bits_sent"] == 500
+        assert merged["messages_sent"] == 2
+
+    def test_merge_max_empty(self):
+        assert merge_max({}) == {}
+
+    def test_summary_fields(self):
+        metrics = PartyMetrics(party_id=3)
+        metrics.record_send(64)
+        metrics.record_receive(32)
+        summary = metrics.summary()
+        assert summary["party"] == 3
+        assert summary["bits_sent"] == 64
+        assert summary["bits_received"] == 32
+
+
+class TestGameHarnessPreconditions:
+    def test_three_honest_parties_rejected(self):
+        from repro.analysis.games import FrameworkGame
+        from repro.core.gain import AttributeSchema, InitiatorInput, ParticipantInput
+
+        schema = AttributeSchema(names=("a",), num_equal=0,
+                                 value_bits=4, weight_bits=3)
+        game = FrameworkGame(
+            schema=schema,
+            initiator_input=InitiatorInput.create(schema, [0], [1]),
+            adversary_inputs={4: ParticipantInput.create(schema, [1])},
+            honest_ids=[1, 2, 3],
+            candidates=(
+                ParticipantInput.create(schema, [2]),
+                ParticipantInput.create(schema, [3]),
+            ),
+        )
+        with pytest.raises(ValueError, match="one or two honest"):
+            game.run(0, seed=1)
+
+    def test_estimate_advantage_odd_trials_truncated(self):
+        from repro.analysis.games import estimate_advantage
+
+        # 7 trials -> 3 per branch; still balanced.
+        assert estimate_advantage(lambda b, rng: b, 7) == pytest.approx(1.0)
+
+
+class TestSyntheticTraces:
+    def test_shape(self):
+        from repro.netsim.transport import synthetic_round_trace
+
+        trace = synthetic_round_trace(4, 6, 100, [0, 1, 2])
+        assert trace.rounds == 4
+        assert len(trace) == 24
+        assert trace.total_bits == 2400
+        for entry in trace:
+            assert entry.src != entry.dst
+
+    def test_needs_two_parties(self):
+        from repro.netsim.transport import synthetic_round_trace
+
+        with pytest.raises(ValueError):
+            synthetic_round_trace(1, 1, 8, [0])
+
+
+class TestCostModelSurface:
+    def test_seconds_for_counts(self):
+        from repro.analysis.costmodel import CostModel
+
+        model = CostModel("t", 1e-3, 1e-6)
+        assert model.seconds_for_counts(10, 1000) == pytest.approx(0.011)
+
+    def test_cost_model_for_families(self):
+        from repro.analysis.costmodel import cost_model_for
+
+        dl = cost_model_for("DL", 80)
+        ecc = cost_model_for("ecc", 80)
+        assert "DL" in dl.name and "secp" in ecc.name
+
+    def test_complexity_breakdown_totals(self):
+        from repro.analysis.complexity import framework_participant_cost
+
+        breakdown = framework_participant_cost(10, 40, 160)
+        parts = (breakdown.keying + breakdown.encryption
+                 + breakdown.comparison_circuit + breakdown.shuffle_chain
+                 + breakdown.ranking)
+        assert breakdown.total == pytest.approx(parts)
+
+    def test_extrapolation_requires_three_points(self):
+        from benchmarks.harness import extrapolate_counts
+
+        with pytest.raises(ValueError):
+            extrapolate_counts({1: 1.0, 2: 4.0}, 10)
+
+    def test_extrapolation_exact_on_true_quadratic(self):
+        from benchmarks.harness import extrapolate_counts
+
+        poly = lambda n: 3 * n * n + 5 * n + 7
+        samples = {n: float(poly(n)) for n in (2, 5, 9)}
+        assert extrapolate_counts(samples, 40) == pytest.approx(poly(40))

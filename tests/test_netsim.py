@@ -1,0 +1,137 @@
+"""Tests for topology generation and the network simulator."""
+
+import networkx as nx
+import pytest
+
+from repro.math.rng import SeededRNG
+from repro.netsim.simulator import LinkConfig, NetworkSimulator, SimMessage
+from repro.netsim.topology import Topology, paper_topology, random_connected_topology
+from repro.netsim.transport import replay_transcript, synthetic_round_trace
+from repro.runtime.transcript import Transcript
+
+
+@pytest.fixture(scope="module")
+def topology():
+    topo = random_connected_topology(20, 30, SeededRNG(41))
+    topo.place_parties(list(range(6)), SeededRNG(42))
+    return topo
+
+
+class TestTopology:
+    def test_paper_recipe(self):
+        topo = paper_topology(SeededRNG(1))
+        assert topo.node_count == 80
+        assert topo.edge_count == 320
+        assert nx.is_connected(topo.graph)
+
+    def test_deterministic_by_seed(self):
+        a = random_connected_topology(20, 30, SeededRNG(2))
+        b = random_connected_topology(20, 30, SeededRNG(2))
+        assert set(a.graph.edges) == set(b.graph.edges)
+
+    def test_different_seeds_differ(self):
+        a = random_connected_topology(20, 30, SeededRNG(3))
+        b = random_connected_topology(20, 30, SeededRNG(4))
+        assert set(a.graph.edges) != set(b.graph.edges)
+
+    def test_stays_connected_at_tree_density(self):
+        topo = random_connected_topology(15, 14, SeededRNG(5))
+        assert nx.is_connected(topo.graph)
+        assert topo.edge_count == 14
+
+    def test_target_bounds_checked(self):
+        with pytest.raises(ValueError):
+            random_connected_topology(10, 8, SeededRNG(6))   # below n-1
+        with pytest.raises(ValueError):
+            random_connected_topology(10, 46, SeededRNG(7))  # above complete
+
+    def test_placement(self, topology):
+        assert len(set(topology.placements.values())) == 6
+        with pytest.raises(KeyError):
+            topology.node_of(99)
+
+    def test_placement_too_many_parties(self):
+        topo = random_connected_topology(5, 5, SeededRNG(8))
+        with pytest.raises(ValueError):
+            topo.place_parties(list(range(6)), SeededRNG(9))
+
+
+class TestSimulator:
+    def test_single_message_time(self, topology):
+        sim = NetworkSimulator(topology, LinkConfig(bandwidth_bps=1e6, latency_s=0.05))
+        src, dst = topology.node_of(0), topology.node_of(1)
+        message = SimMessage(src_node=src, dst_node=dst, size_bits=100_000)
+        finish = sim.deliver([message])
+        hops = sim.path_length(src, dst)
+        expected = hops * (100_000 / 1e6 + 0.05)
+        assert finish == pytest.approx(expected)
+        assert message.hops == hops
+
+    def test_same_node_is_instant(self, topology):
+        sim = NetworkSimulator(topology)
+        node = topology.node_of(0)
+        message = SimMessage(src_node=node, dst_node=node, size_bits=10**6)
+        assert sim.deliver([message]) == 0.0
+
+    def test_fifo_queueing_serializes(self, topology):
+        """Two big messages on the same first link: the second waits."""
+        sim = NetworkSimulator(topology, LinkConfig(bandwidth_bps=1e6, latency_s=0.0))
+        src, dst = topology.node_of(0), topology.node_of(1)
+        a = SimMessage(src_node=src, dst_node=dst, size_bits=1_000_000)
+        b = SimMessage(src_node=src, dst_node=dst, size_bits=1_000_000)
+        finish = sim.deliver([a, b])
+        solo = NetworkSimulator(topology, LinkConfig(bandwidth_bps=1e6, latency_s=0.0)).deliver(
+            [SimMessage(src_node=src, dst_node=dst, size_bits=1_000_000)]
+        )
+        assert finish >= solo + 1.0  # second message waits ≥ one serialization
+
+    def test_congestion_grows_with_load(self, topology):
+        def run(count):
+            sim = NetworkSimulator(topology)
+            src, dst = topology.node_of(0), topology.node_of(1)
+            return sim.deliver(
+                [SimMessage(src_node=src, dst_node=dst, size_bits=200_000)
+                 for _ in range(count)]
+            )
+
+        assert run(1) < run(5) < run(20)
+
+    def test_unreachable_rejected(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        topo = Topology(graph=graph, placements={0: 0, 1: 1})
+        sim = NetworkSimulator(topo)
+        with pytest.raises(ValueError):
+            sim.deliver([SimMessage(src_node=0, dst_node=1, size_bits=8)])
+
+
+class TestReplay:
+    def test_rounds_are_barriers(self, topology):
+        transcript = Transcript()
+        transcript.record(0, 0, 1, "a", 80_000)
+        transcript.record(1, 1, 2, "b", 80_000)
+        replay = replay_transcript(transcript, topology)
+        assert replay.rounds == 2
+        assert replay.total_time_s == pytest.approx(sum(replay.round_times_s))
+        assert replay.message_count == 2
+        assert replay.total_bits == 160_000
+
+    def test_more_rounds_cost_more_time(self, topology):
+        few = synthetic_round_trace(5, 4, 10_000, list(range(6)))
+        many = synthetic_round_trace(50, 4, 10_000, list(range(6)))
+        time_few = replay_transcript(few, topology).total_time_s
+        time_many = replay_transcript(many, topology).total_time_s
+        assert time_many > 5 * time_few
+
+    def test_bigger_messages_cost_more_time(self, topology):
+        small = synthetic_round_trace(10, 4, 1_000, list(range(6)))
+        big = synthetic_round_trace(10, 4, 1_000_000, list(range(6)))
+        assert (
+            replay_transcript(big, topology).total_time_s
+            > replay_transcript(small, topology).total_time_s
+        )
+
+    def test_empty_transcript(self, topology):
+        replay = replay_transcript(Transcript(), topology)
+        assert replay.total_time_s == 0.0
+        assert replay.rounds == 0

@@ -1,0 +1,96 @@
+"""Tests for the reference topology variants and their network behaviour."""
+
+import networkx as nx
+import pytest
+
+from repro.math.rng import SeededRNG
+from repro.netsim.simulator import LinkConfig, NetworkSimulator, SimMessage
+from repro.netsim.topology import (
+    complete_topology,
+    grid_topology,
+    ring_topology,
+    star_topology,
+)
+
+
+class TestConstruction:
+    def test_star(self):
+        topo = star_topology(10)
+        assert topo.node_count == 10
+        assert topo.edge_count == 9
+        degrees = dict(topo.graph.degree())
+        assert max(degrees.values()) == 9  # the hub
+
+    def test_ring(self):
+        topo = ring_topology(8)
+        assert topo.edge_count == 8
+        assert all(degree == 2 for _, degree in topo.graph.degree())
+
+    def test_grid(self):
+        topo = grid_topology(3, 4)
+        assert topo.node_count == 12
+        assert topo.edge_count == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+
+    def test_complete(self):
+        topo = complete_topology(6)
+        assert topo.edge_count == 15
+
+    def test_all_connected(self):
+        for topo in (star_topology(7), ring_topology(7), grid_topology(2, 5),
+                     complete_topology(5)):
+            assert nx.is_connected(topo.graph)
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            star_topology(1)
+        with pytest.raises(ValueError):
+            ring_topology(2)
+        with pytest.raises(ValueError):
+            grid_topology(0, 3)
+        with pytest.raises(ValueError):
+            complete_topology(1)
+
+
+class TestPathStructure:
+    def test_ring_paths_longer_than_complete(self):
+        ring = NetworkSimulator(ring_topology(12))
+        full = NetworkSimulator(complete_topology(12))
+        assert ring.average_path_length() > full.average_path_length()
+        assert full.average_path_length() == 1.0
+
+    def test_star_routes_through_hub(self):
+        topo = star_topology(8)
+        sim = NetworkSimulator(topo)
+        # Any leaf-to-leaf path is exactly two hops (via the hub).
+        assert sim.path_length(1, 2) == 2
+        assert sim.path_length(0, 3) == 1
+
+
+class TestCongestionProfiles:
+    def _all_to_all_batch(self, topo, parties, bits):
+        topo.place_parties(list(range(parties)), SeededRNG(1))
+        messages = [
+            SimMessage(
+                src_node=topo.node_of(a), dst_node=topo.node_of(b),
+                size_bits=bits,
+            )
+            for a in range(parties)
+            for b in range(parties)
+            if a != b
+        ]
+        return NetworkSimulator(topo, LinkConfig(bandwidth_bps=1e6,
+                                                 latency_s=0.01)).deliver(messages)
+
+    def test_star_congests_worst(self):
+        """All-to-all traffic funnels through the star's hub links."""
+        parties, bits = 8, 200_000
+        star_time = self._all_to_all_batch(star_topology(16), parties, bits)
+        complete_time = self._all_to_all_batch(complete_topology(16), parties, bits)
+        assert star_time > 1.5 * complete_time
+
+    def test_complete_is_lower_bound(self):
+        parties, bits = 6, 100_000
+        complete_time = self._all_to_all_batch(complete_topology(12), parties, bits)
+        for build in (lambda: star_topology(12), lambda: ring_topology(12),
+                      lambda: grid_topology(3, 4)):
+            assert self._all_to_all_batch(build(), parties, bits) >= complete_time

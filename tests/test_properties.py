@@ -1,0 +1,175 @@
+"""Property-based tests of the library's cross-cutting invariants.
+
+Each property here is one the paper's correctness or security argument
+leans on; hypothesis searches for counterexamples instead of trusting
+the handful of unit cases.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.comparison import compare_bits_plain, tau_values_plain
+from repro.core.gain import to_signed, to_unsigned
+from repro.math.modular import int_from_bits, int_to_bits
+from repro.math.rng import SeededRNG
+from repro.sorting.networks import (
+    apply_network,
+    batcher_odd_even,
+    bitonic,
+    odd_even_transposition,
+)
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+
+class TestMaskingInvariants:
+    """β = ρ·p + ρ_j preserves the order of partial gains."""
+
+    @given(
+        st.integers(-(2**20), 2**20),
+        st.integers(-(2**20), 2**20),
+        st.integers(2, 2**10),
+        st.integers(0, 2**10 - 1),
+        st.integers(0, 2**10 - 1),
+    )
+    @settings(max_examples=200, **COMMON)
+    def test_strict_order_preserved(self, p1, p2, rho, r1, r2):
+        r1, r2 = r1 % rho, r2 % rho          # masks strictly below ρ
+        beta1, beta2 = rho * p1 + r1, rho * p2 + r2
+        if p1 < p2:
+            assert beta1 < beta2
+        elif p1 > p2:
+            assert beta1 > beta2
+
+    @given(st.integers(-(2**30), 2**30 - 1), st.integers(-(2**30), 2**30 - 1))
+    @settings(max_examples=100, **COMMON)
+    def test_unsigned_conversion_preserves_order(self, a, b):
+        width = 32
+        if a < b:
+            assert to_unsigned(a, width) < to_unsigned(b, width)
+        assert to_signed(to_unsigned(a, width), width) == a
+
+
+class TestComparisonCircuitInvariants:
+    @given(st.integers(0, 2**30 - 1), st.integers(0, 2**30 - 1))
+    @settings(max_examples=200, **COMMON)
+    def test_circuit_decides_less_than(self, a, b):
+        assert compare_bits_plain(a, b, 30) == (a < b)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    @settings(max_examples=100, **COMMON)
+    def test_at_most_one_zero(self, a, b):
+        assert tau_values_plain(a, b, 16).count(0) <= 1
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    @settings(max_examples=100, **COMMON)
+    def test_taus_bounded(self, a, b):
+        """Every τ value fits in the dictionary the adversary (and the
+        rerandomization argument) assumes: 0 ≤ τ ≤ 2(l+1)."""
+        width = 16
+        for tau in tau_values_plain(a, b, width):
+            assert 0 <= tau <= 2 * (width + 1)
+
+    @given(st.integers(0, 2**12 - 1), st.integers(0, 2**12 - 1))
+    @settings(max_examples=100, **COMMON)
+    def test_antisymmetry(self, a, b):
+        width = 12
+        forward = compare_bits_plain(a, b, width)
+        backward = compare_bits_plain(b, a, width)
+        if a != b:
+            assert forward != backward
+        else:
+            assert not forward and not backward
+
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=100, **COMMON)
+    def test_bit_decomposition_roundtrip(self, value):
+        assert int_from_bits(int_to_bits(value, 64)) == value
+
+
+class TestRankSemantics:
+    """rank = 1 + #{i : β_i > β_j} — what the zero count computes."""
+
+    @given(st.lists(st.integers(0, 2**12 - 1), min_size=2, max_size=10))
+    @settings(max_examples=100, **COMMON)
+    def test_zero_counts_give_competition_ranks(self, betas):
+        """Counting circuit zeros against every other β equals the
+        competition rank ``1 + #{larger}`` — including under ties."""
+        width = 12
+        competition_ranks = [
+            1 + sum(1 for other in betas if other > mine) for mine in betas
+        ]
+        zero_ranks = []
+        for i, mine in enumerate(betas):
+            zeros = sum(
+                1
+                for j, other in enumerate(betas)
+                if j != i and compare_bits_plain(mine, other, width)
+            )
+            zero_ranks.append(zeros + 1)
+        assert zero_ranks == competition_ranks
+
+    @given(st.lists(st.integers(0, 2**10), min_size=2, max_size=8))
+    @settings(max_examples=50, **COMMON)
+    def test_rank_one_exists_and_bounds_hold(self, betas):
+        ranks = [1 + sum(1 for other in betas if other > mine) for mine in betas]
+        assert min(ranks) == 1
+        assert all(1 <= rank <= len(betas) for rank in ranks)
+
+
+class TestSortingNetworkInvariants:
+    @given(st.lists(st.integers(-(10**6), 10**6), min_size=1, max_size=33))
+    @settings(max_examples=60, **COMMON)
+    def test_batcher_equals_sorted(self, values):
+        assert apply_network(batcher_odd_even(len(values)), values) == sorted(values)
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=20))
+    @settings(max_examples=40, **COMMON)
+    def test_bitonic_equals_sorted(self, values):
+        assert apply_network(bitonic(len(values)), values) == sorted(values)
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=16))
+    @settings(max_examples=40, **COMMON)
+    def test_brick_equals_sorted(self, values):
+        assert apply_network(odd_even_transposition(len(values)), values) == sorted(values)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=16))
+    @settings(max_examples=30, **COMMON)
+    def test_batcher_handles_any_orderable_type(self, values):
+        assert apply_network(batcher_odd_even(len(values)), values) == sorted(values)
+
+
+class TestShamirInvariants:
+    @given(st.integers(0, 2**30), st.integers(0, 2**30))
+    @settings(max_examples=60, **COMMON)
+    def test_sharing_is_linear(self, a, b):
+        """share(a) + share(b) reconstructs to a+b without interaction."""
+        from repro.math.primes import random_prime
+        from repro.sharing.shamir import ShamirScheme, Share
+
+        prime = random_prime(36, SeededRNG(7))
+        scheme = ShamirScheme(threshold=2, parties=5, prime=prime)
+        shares_a = scheme.share(a % prime, SeededRNG(a & 0xFFFF))
+        shares_b = scheme.share(b % prime, SeededRNG(b & 0xFFFF))
+        summed = [
+            Share(x=sa.x, y=(sa.y + sb.y) % prime)
+            for sa, sb in zip(shares_a, shares_b)
+        ]
+        assert scheme.reconstruct(summed) == (a + b) % prime
+
+
+class TestRngInvariants:
+    @given(st.integers(0, 2**32), st.integers(1, 1000))
+    @settings(max_examples=60, **COMMON)
+    def test_randrange_always_in_bounds(self, seed, bound):
+        rng = SeededRNG(seed)
+        for _ in range(5):
+            assert 0 <= rng.randrange(bound) < bound
+
+    @given(st.integers(0, 2**32), st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=60, **COMMON)
+    def test_shuffle_multiset_invariant(self, seed, items):
+        shuffled = list(items)
+        SeededRNG(seed).shuffle(shuffled)
+        assert sorted(shuffled) == sorted(items)

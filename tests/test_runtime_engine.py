@@ -1,0 +1,239 @@
+"""Tests for the synchronous-round protocol engine."""
+
+import pytest
+
+from repro.math.rng import SeededRNG
+from repro.runtime.channels import Mailbox, Message, Recv
+from repro.runtime.engine import Engine
+from repro.runtime.errors import DeadlockError, ProtocolError
+from repro.runtime.party import Party, estimate_size_bits
+
+
+class EchoParty(Party):
+    """Receives one message and echoes it back."""
+
+    def __init__(self, pid, peer):
+        super().__init__(pid, SeededRNG(pid))
+        self.peer = peer
+
+    def protocol(self):
+        message = yield from self.recv(self.peer, "ping")
+        self.send(self.peer, "pong", message.payload, size_bits=8)
+        self.output = "echoed"
+
+
+class StarterParty(Party):
+    def __init__(self, pid, peer):
+        super().__init__(pid, SeededRNG(pid))
+        self.peer = peer
+
+    def protocol(self):
+        self.send(self.peer, "ping", "hello", size_bits=8)
+        message = yield from self.recv(self.peer, "pong")
+        self.output = message.payload
+
+
+class TestBasicScheduling:
+    def test_two_party_exchange(self):
+        engine = Engine()
+        engine.add_parties([StarterParty(0, 1), EchoParty(1, 0)])
+        outputs = engine.run()
+        assert outputs == {0: "hello", 1: "echoed"}
+
+    def test_round_semantics(self):
+        """A send in round r is receivable in round r+1, not earlier."""
+        engine = Engine()
+        engine.add_parties([StarterParty(0, 1), EchoParty(1, 0)])
+        engine.run()
+        entries = engine.transcript.entries
+        ping = next(e for e in entries if e.tag == "ping")
+        pong = next(e for e in entries if e.tag == "pong")
+        assert pong.round > ping.round
+
+    def test_duplicate_party_rejected(self):
+        engine = Engine()
+        engine.add_party(StarterParty(0, 1))
+        with pytest.raises(ValueError):
+            engine.add_party(StarterParty(0, 1))
+
+    def test_unknown_destination_rejected(self):
+        class Lost(Party):
+            def protocol(self):
+                self.send(99, "x", None)
+                return
+                yield  # pragma: no cover
+
+        engine = Engine()
+        engine.add_party(Lost(0, SeededRNG(0)))
+        with pytest.raises(ProtocolError):
+            engine.run()
+
+    def test_self_send_rejected(self):
+        class Narcissist(Party):
+            def protocol(self):
+                self.send(0, "x", None)
+                return
+                yield  # pragma: no cover
+
+        engine = Engine()
+        engine.add_party(Narcissist(0, SeededRNG(0)))
+        with pytest.raises(ProtocolError):
+            engine.run()
+
+    def test_deadlock_detected(self):
+        class Waiter(Party):
+            def protocol(self):
+                yield from self.recv(1, "never")
+
+        engine = Engine()
+        engine.add_parties([Waiter(0, SeededRNG(0)), EchoParty(1, 0)])
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        assert 0 in excinfo.value.blocked
+
+    def test_non_recv_yield_rejected(self):
+        class Weird(Party):
+            def protocol(self):
+                yield "not an effect"
+
+        engine = Engine()
+        engine.add_party(Weird(0, SeededRNG(0)))
+        with pytest.raises(ProtocolError):
+            engine.run()
+
+
+class TestGatheringAndOrdering:
+    def test_recv_from_all(self):
+        class Collector(Party):
+            def __init__(self):
+                super().__init__(0, SeededRNG(0))
+
+            def protocol(self):
+                payloads = yield from self.recv_from_all([1, 2, 3], "report")
+                self.output = payloads
+
+        class Reporter(Party):
+            def protocol(self):
+                self.send(0, "report", self.party_id * 10)
+                return
+                yield  # pragma: no cover
+
+        engine = Engine()
+        engine.add_party(Collector())
+        engine.add_parties([Reporter(i, SeededRNG(i)) for i in (1, 2, 3)])
+        outputs = engine.run()
+        assert outputs[0] == {1: 10, 2: 20, 3: 30}
+
+    def test_wildcard_recv_is_deterministic(self):
+        class AnyCollector(Party):
+            def __init__(self):
+                super().__init__(0, SeededRNG(0))
+
+            def protocol(self):
+                order = []
+                for _ in range(3):
+                    message = yield from self.recv(None, "report")
+                    order.append(message.src)
+                self.output = order
+
+        class Reporter(Party):
+            def protocol(self):
+                self.send(0, "report", None)
+                return
+                yield  # pragma: no cover
+
+        engine = Engine()
+        engine.add_party(AnyCollector())
+        engine.add_parties([Reporter(i, SeededRNG(i)) for i in (3, 1, 2)])
+        outputs = engine.run()
+        assert outputs[0] == [1, 2, 3]  # lowest sender first
+
+    def test_fifo_per_channel(self):
+        class Sender(Party):
+            def protocol(self):
+                for i in range(5):
+                    self.send(0, "seq", i)
+                return
+                yield  # pragma: no cover
+
+        class Receiver(Party):
+            def __init__(self):
+                super().__init__(0, SeededRNG(0))
+
+            def protocol(self):
+                values = []
+                for _ in range(5):
+                    message = yield from self.recv(1, "seq")
+                    values.append(message.payload)
+                self.output = values
+
+        engine = Engine()
+        engine.add_party(Receiver())
+        engine.add_party(Sender(1, SeededRNG(1)))
+        assert engine.run()[0] == [0, 1, 2, 3, 4]
+
+
+class TestAccounting:
+    def test_transcript_records_all_messages(self):
+        engine = Engine()
+        engine.add_parties([StarterParty(0, 1), EchoParty(1, 0)])
+        engine.run()
+        assert len(engine.transcript) == 2
+        assert engine.transcript.total_bits == 16
+        assert engine.transcript.tags() == ["ping", "pong"]
+
+    def test_party_metrics(self):
+        engine = Engine()
+        starter = StarterParty(0, 1)
+        echo = EchoParty(1, 0)
+        engine.add_parties([starter, echo])
+        engine.run()
+        assert starter.metrics.messages_sent == 1
+        assert starter.metrics.bits_sent == 8
+        assert starter.metrics.messages_received == 1
+        assert echo.metrics.messages_received == 1
+
+    def test_bits_per_party(self):
+        engine = Engine()
+        engine.add_parties([StarterParty(0, 1), EchoParty(1, 0)])
+        engine.run()
+        totals = engine.transcript.bits_per_party()
+        assert totals[0] == (8, 8)
+        assert totals[1] == (8, 8)
+
+
+class TestMailbox:
+    def test_wrong_owner_rejected(self):
+        mailbox = Mailbox(owner=1)
+        with pytest.raises(ProtocolError):
+            mailbox.deliver(Message(src=0, dst=2, tag="x", payload=None, size_bits=1))
+
+    def test_try_take_empty(self):
+        mailbox = Mailbox(owner=1)
+        assert mailbox.try_take(Recv(src=0, tag="x")) is None
+
+
+class TestSizeEstimation:
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [
+            (None, 1),
+            (True, 1),
+            (255, 8),
+            (b"ab", 16),
+            ("abc", 24),
+            ([1, 255], 9),
+            ({"a": 15}, 4),
+        ],
+    )
+    def test_estimates(self, payload, expected):
+        assert estimate_size_bits(payload) == expected
+
+    def test_object_with_size_attribute(self):
+        class Sized:
+            size_bits = 123
+
+        assert estimate_size_bits(Sized()) == 123
+
+    def test_unknown_object_costs_a_word(self):
+        assert estimate_size_bits(object()) == 64

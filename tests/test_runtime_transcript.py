@@ -1,0 +1,65 @@
+"""Dedicated tests for transcript bookkeeping."""
+
+import pytest
+
+from repro.runtime.transcript import Transcript, TranscriptEntry
+
+
+@pytest.fixture
+def transcript():
+    t = Transcript()
+    t.record(0, 1, 2, "alpha", 100)
+    t.record(0, 2, 1, "beta", 50)
+    t.record(1, 1, 3, "alpha", 200)
+    t.record(2, 3, 1, "gamma", 25)
+    return t
+
+
+class TestAggregation:
+    def test_length_and_iteration(self, transcript):
+        assert len(transcript) == 4
+        assert all(isinstance(e, TranscriptEntry) for e in transcript)
+
+    def test_total_bits(self, transcript):
+        assert transcript.total_bits == 375
+
+    def test_rounds(self, transcript):
+        assert transcript.rounds == 3
+
+    def test_empty_rounds(self):
+        assert Transcript().rounds == 0
+        assert Transcript().total_bits == 0
+
+    def test_by_round(self, transcript):
+        grouped = transcript.by_round()
+        assert sorted(grouped) == [0, 1, 2]
+        assert len(grouped[0]) == 2
+        assert grouped[2][0].tag == "gamma"
+
+    def test_bits_per_party(self, transcript):
+        totals = transcript.bits_per_party()
+        assert totals[1] == (300, 75)   # sent 100+200, received 50+25
+        assert totals[2] == (50, 100)
+        assert totals[3] == (25, 200)
+
+    def test_tags_in_first_seen_order(self, transcript):
+        assert transcript.tags() == ["alpha", "beta", "gamma"]
+
+    def test_entries_immutable(self, transcript):
+        with pytest.raises(AttributeError):
+            transcript.entries[0].size_bits = 1
+
+
+class TestOrdering:
+    def test_entries_preserve_recording_order(self):
+        t = Transcript()
+        for i in range(10):
+            t.record(i % 3, 0, 1, f"t{i}", i)
+        assert [e.tag for e in t.entries] == [f"t{i}" for i in range(10)]
+
+    def test_round_gaps_allowed(self):
+        t = Transcript()
+        t.record(0, 0, 1, "a", 1)
+        t.record(5, 0, 1, "b", 1)
+        assert t.rounds == 6
+        assert sorted(t.by_round()) == [0, 5]

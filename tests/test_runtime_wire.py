@@ -1,0 +1,129 @@
+"""Tests for the canonical wire codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.bitenc import BitwiseCiphertext, BitwiseElGamal
+from repro.crypto.elgamal import ExponentialElGamal
+from repro.math.rng import SeededRNG
+from repro.runtime.wire import WireCodec
+
+
+@pytest.fixture
+def codec(small_dl_group):
+    return WireCodec(small_dl_group)
+
+
+@pytest.fixture
+def curve_codec(tiny_curve):
+    return WireCodec(tiny_curve)
+
+
+class TestIntegers:
+    @given(st.integers(-(10**30), 10**30))
+    @settings(max_examples=50)
+    def test_roundtrip(self, value):
+        from repro.groups.dl import DLGroup
+
+        codec = WireCodec(DLGroup.random(32, rng=SeededRNG(99)))
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_zero(self, codec):
+        assert codec.decode(codec.encode(0)) == 0
+
+    def test_sign_distinction(self, codec):
+        assert codec.decode(codec.encode(-5)) == -5
+        assert codec.decode(codec.encode(5)) == 5
+
+
+class TestGroupValues:
+    def test_element_roundtrip(self, codec, small_dl_group):
+        element = small_dl_group.random_element(SeededRNG(1))
+        decoded = codec.decode(codec.encode_element(element))
+        assert small_dl_group.eq(decoded, element)
+
+    def test_curve_element_roundtrip(self, curve_codec, tiny_curve):
+        point = tiny_curve.random_element(SeededRNG(2))
+        decoded = curve_codec.decode(curve_codec.encode_element(point))
+        assert tiny_curve.eq(decoded, point)
+
+    def test_encode_element_rejects_non_elements(self, codec, small_dl_group):
+        with pytest.raises(TypeError):
+            codec.encode_element(small_dl_group.modulus + 1)
+
+    def test_ciphertext_roundtrip(self, codec, small_dl_group):
+        scheme = ExponentialElGamal(small_dl_group)
+        rng = SeededRNG(3)
+        keypair = scheme.generate_keypair(rng)
+        ciphertext = scheme.encrypt(7, keypair.public, rng)
+        decoded = codec.decode(codec.encode(ciphertext))
+        assert scheme.decrypt_small(decoded, keypair.secret, 10) == 7
+
+    def test_bitwise_ciphertext_roundtrip(self, codec, small_dl_group):
+        bitenc = BitwiseElGamal(small_dl_group)
+        rng = SeededRNG(4)
+        keypair = bitenc.scheme.generate_keypair(rng)
+        ciphertext = bitenc.encrypt(0b1011, 6, keypair.public, rng)
+        decoded = codec.decode(codec.encode(ciphertext))
+        assert isinstance(decoded, BitwiseCiphertext)
+        assert bitenc.decrypt(decoded, keypair.secret) == 0b1011
+
+    def test_nested_lists(self, codec, small_dl_group):
+        scheme = ExponentialElGamal(small_dl_group)
+        rng = SeededRNG(5)
+        keypair = scheme.generate_keypair(rng)
+        payload = [
+            [scheme.encrypt(1, keypair.public, rng)],
+            [scheme.encrypt(0, keypair.public, rng), 42],
+        ]
+        decoded = codec.decode(codec.encode(payload))
+        assert len(decoded) == 2
+        assert decoded[1][1] == 42
+
+
+class TestRobustness:
+    def test_truncated_data_rejected(self, codec):
+        encoded = codec.encode(12345)
+        with pytest.raises(ValueError):
+            codec.decode(encoded[:-1])
+
+    def test_trailing_garbage_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode(codec.encode(1) + b"\x00")
+
+    def test_unknown_tag_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode(b"X\x00\x00\x00\x01\x00")
+
+    def test_non_element_bytes_rejected(self, codec, small_dl_group):
+        import struct
+
+        # Encode an out-of-range "element".
+        fake = small_dl_group.modulus.to_bytes(
+            (small_dl_group.element_bits + 7) // 8, "big"
+        )
+        frame = b"E" + struct.pack(">I", len(fake)) + fake
+        with pytest.raises(ValueError):
+            codec.decode(frame)
+
+    def test_unencodable_type_rejected(self, codec):
+        with pytest.raises(TypeError):
+            codec.encode(object())
+        with pytest.raises(TypeError):
+            codec.encode(True)
+
+
+class TestSizeAccounting:
+    def test_declared_protocol_sizes_are_realistic(self, codec, small_dl_group):
+        """The engine's declared size for a bitwise ciphertext
+        (2·l·element_bits) must be within the framing overhead of the
+        real encoding."""
+        bitenc = BitwiseElGamal(small_dl_group)
+        rng = SeededRNG(6)
+        keypair = bitenc.scheme.generate_keypair(rng)
+        width = 16
+        ciphertext = bitenc.encrypt(1234, width, keypair.public, rng)
+        declared = bitenc.ciphertext_bits(width)
+        actual = codec.encoded_bits(ciphertext)
+        assert declared <= actual <= declared * 1.6  # framing overhead only

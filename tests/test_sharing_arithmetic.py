@@ -1,0 +1,115 @@
+"""Tests for secret-shared arithmetic and its cost accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math.primes import random_prime
+from repro.math.rng import SeededRNG
+from repro.sharing.arithmetic import SSContext
+
+PRIME = random_prime(36, SeededRNG(93))
+
+
+@pytest.fixture
+def context():
+    return SSContext(parties=5, prime=PRIME, rng=SeededRNG(1))
+
+
+class TestLinearOps:
+    @given(st.integers(0, PRIME - 1), st.integers(0, PRIME - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_addition(self, a, b):
+        context = SSContext(parties=5, prime=PRIME, rng=SeededRNG(a % 97))
+        assert (context.share(a) + context.share(b)).open() == (a + b) % PRIME
+
+    def test_add_constant(self, context):
+        assert (context.share(10) + 5).open() == 15
+        assert (7 + context.share(10)).open() == 17
+
+    def test_subtraction(self, context):
+        assert (context.share(10) - context.share(4)).open() == 6
+        assert (context.share(4) - 10).open() == (4 - 10) % PRIME
+        assert (10 - context.share(4)).open() == 6
+
+    def test_scalar_multiplication_is_free(self, context):
+        before = context.metrics.multiplications
+        assert (context.share(6) * 7).open() == 42
+        assert (3 * context.share(6)).open() == 18
+        assert context.metrics.multiplications == before
+
+    def test_negation(self, context):
+        assert (-context.share(5)).open() == PRIME - 5
+
+    def test_constant_sharing(self, context):
+        assert context.constant(9).open() == 9
+
+
+class TestMultiplication:
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_correctness(self, a, b):
+        context = SSContext(parties=5, prime=PRIME, rng=SeededRNG((a + b) % 89))
+        assert context.multiply(context.share(a), context.share(b)).open() == a * b % PRIME
+
+    def test_result_is_degree_t(self, context):
+        """After degree reduction, any t+1 shares reconstruct."""
+        product = context.multiply(context.share(6), context.share(7))
+        from repro.sharing.shamir import Share
+
+        shares = [Share(x=i + 1, y=y) for i, y in enumerate(product.shares)]
+        assert context.scheme.reconstruct(shares[:3]) == 42
+        assert context.scheme.reconstruct(shares[2:5]) == 42
+
+    def test_chained_multiplications(self, context):
+        x = context.share(3)
+        assert context.multiply(context.multiply(x, x), x).open() == 27
+
+    def test_operator_syntax(self, context):
+        assert (context.share(6) * context.share(7)).open() == 42
+
+    def test_threshold_bound_enforced(self):
+        # n=4 admits at most t=1 for GRR (2t+1 <= n).
+        with pytest.raises(ValueError):
+            SSContext(parties=4, prime=PRIME, threshold=2)
+        SSContext(parties=4, prime=PRIME, threshold=1)  # fine
+
+
+class TestAccounting:
+    def test_multiplication_counts(self, context):
+        a, b = context.share(2), context.share(3)
+        before_rounds = context.metrics.rounds
+        context.multiply(a, b)
+        assert context.metrics.multiplications == 1
+        assert context.metrics.rounds == before_rounds + 1
+        assert context.metrics.field_messages >= 5 * 4  # n(n-1) resharing
+
+    def test_opening_counts(self, context):
+        value = context.share(5)
+        before = context.metrics.openings
+        value.open()
+        assert context.metrics.openings == before + 1
+
+    def test_parallel_round_batches(self, context):
+        values = [context.share(i) for i in range(4)]
+        before = context.metrics.rounds
+        with context.parallel_round():
+            for value in values:
+                context.multiply(value, value)
+        # Four multiplications, one communication round.
+        assert context.metrics.rounds == before + 1
+        assert context.metrics.multiplications == 4
+
+    def test_empty_parallel_round_costs_nothing(self, context):
+        before = context.metrics.rounds
+        with context.parallel_round():
+            pass
+        assert context.metrics.rounds == before
+
+    def test_nested_parallel_rounds_count_once(self, context):
+        before = context.metrics.rounds
+        with context.parallel_round():
+            context.multiply(context.share(1), context.share(2))
+            with context.parallel_round():
+                context.multiply(context.share(3), context.share(4))
+        assert context.metrics.rounds == before + 1

@@ -1,0 +1,198 @@
+"""Tests for shared randomness and the Nishide-Ohta-style comparison."""
+
+import pytest
+
+from repro.math.primes import random_prime
+from repro.math.rng import SeededRNG
+from repro.sharing.arithmetic import SSContext
+from repro.sharing.comparison import (
+    equals,
+    interval_test,
+    less_than,
+    less_than_general,
+    lsb_of_shared,
+    nishide_ohta_cost,
+    public_less_than_shared_bits,
+    xor_shared,
+)
+from repro.sharing.randomness import (
+    random_shared_bit,
+    random_shared_bits,
+    random_shared_value,
+)
+
+PRIME = random_prime(20, SeededRNG(95))
+
+
+@pytest.fixture
+def context():
+    return SSContext(parties=5, prime=PRIME, rng=SeededRNG(11))
+
+
+class TestRandomness:
+    def test_random_value_in_field(self, context):
+        for _ in range(5):
+            assert 0 <= random_shared_value(context).open() < PRIME
+
+    def test_random_values_vary(self, context):
+        values = {random_shared_value(context).open() for _ in range(8)}
+        assert len(values) > 4
+
+    def test_random_bit_is_bit(self, context):
+        for _ in range(20):
+            assert random_shared_bit(context).open() in (0, 1)
+
+    def test_random_bit_balanced(self):
+        context = SSContext(parties=3, prime=PRIME, rng=SeededRNG(12))
+        ones = sum(random_shared_bit(context).open() for _ in range(60))
+        assert 15 < ones < 45
+
+    def test_random_bits_match_value(self, context):
+        bits, value = random_shared_bits(context, 8)
+        opened_bits = [bit.open() for bit in bits]
+        assert value.open() == sum(b << i for i, b in enumerate(opened_bits))
+
+    def test_width_overflow_rejected(self, context):
+        with pytest.raises(ValueError):
+            random_shared_bits(context, PRIME.bit_length() + 1)
+
+
+class TestXor:
+    def test_all_combinations(self, context):
+        for a in (0, 1):
+            for b in (0, 1):
+                result = xor_shared(context, context.share(a), context.share(b))
+                assert result.open() == a ^ b
+
+
+class TestPublicLessThan:
+    def test_exhaustive_small(self):
+        context = SSContext(parties=3, prime=PRIME, rng=SeededRNG(13))
+        width = 4
+        for r in range(16):
+            bits = [context.share((r >> i) & 1) for i in range(width)]
+            for c in range(16):
+                got = context.open(public_less_than_shared_bits(context, c, bits))
+                assert got == (1 if c < r else 0), (c, r)
+
+    def test_public_out_of_range(self, context):
+        bits = [context.share(1)] * 4
+        assert context.open(public_less_than_shared_bits(context, 16, bits)) == 0
+
+    def test_negative_public_rejected(self, context):
+        with pytest.raises(ValueError):
+            public_less_than_shared_bits(context, -1, [context.share(0)])
+
+
+class TestLsb:
+    @pytest.mark.parametrize("value", [0, 1, 2, 7, 100, 255])
+    def test_lsb_values(self, context, value):
+        assert lsb_of_shared(context, context.share(value)).open() == value & 1
+
+    def test_lsb_near_field_boundary(self, context):
+        for value in (PRIME - 1, PRIME - 2, PRIME // 2):
+            assert lsb_of_shared(context, context.share(value)).open() == value & 1
+
+
+class TestLessThan:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(0, 0), (0, 1), (1, 0), (5, 5), (3, 200), (200, 3),
+         (PRIME // 2 - 1, PRIME // 2 - 2), (PRIME // 2 - 2, PRIME // 2 - 1)],
+    )
+    def test_pairs(self, context, a, b):
+        got = less_than(context, context.share(a), context.share(b)).open()
+        assert got == (1 if a < b else 0), (a, b)
+
+    def test_randomized(self):
+        context = SSContext(parties=5, prime=PRIME, rng=SeededRNG(14))
+        rng = SeededRNG(15)
+        half = PRIME // 2
+        for _ in range(10):
+            a, b = rng.randrange(half), rng.randrange(half)
+            got = less_than(context, context.share(a), context.share(b)).open()
+            assert got == (1 if a < b else 0), (a, b)
+
+    def test_cost_scales_with_field_bits(self):
+        """The comparison costs Θ(log p) multiplications."""
+        context = SSContext(parties=3, prime=PRIME, rng=SeededRNG(16))
+        before = context.metrics.multiplications
+        less_than(context, context.share(1), context.share(2))
+        cost = context.metrics.multiplications - before
+        width = PRIME.bit_length()
+        assert width <= cost <= 8 * width
+
+
+class TestGeneralComparison:
+    """The full-range three-LSB protocol (values may exceed p/2)."""
+
+    def test_half_range_agreement(self, context):
+        rng = SeededRNG(41)
+        half = PRIME // 2
+        for _ in range(6):
+            a, b = rng.randrange(half), rng.randrange(half)
+            got = less_than_general(context, context.share(a), context.share(b)).open()
+            assert got == (1 if a < b else 0), (a, b)
+
+    def test_full_range_values(self, context):
+        cases = [
+            (PRIME - 1, 1),          # high vs low
+            (1, PRIME - 1),          # low vs high
+            (PRIME - 2, PRIME - 1),  # both high
+            (PRIME - 1, PRIME - 1),  # equal high
+            (PRIME // 2, PRIME // 2 + 1),  # straddling the midpoint
+        ]
+        for a, b in cases:
+            got = less_than_general(context, context.share(a), context.share(b)).open()
+            assert got == (1 if a < b else 0), (a, b)
+
+    def test_randomized_full_range(self):
+        context = SSContext(parties=5, prime=PRIME, rng=SeededRNG(42))
+        rng = SeededRNG(43)
+        for _ in range(8):
+            a, b = rng.randrange(PRIME), rng.randrange(PRIME)
+            got = less_than_general(context, context.share(a), context.share(b)).open()
+            assert got == (1 if a < b else 0), (a, b)
+
+    def test_costs_about_three_lsbs(self):
+        context = SSContext(parties=3, prime=PRIME, rng=SeededRNG(44))
+        before = context.metrics.multiplications
+        less_than(context, context.share(1), context.share(2))
+        half_cost = context.metrics.multiplications - before
+        before = context.metrics.multiplications
+        less_than_general(context, context.share(1), context.share(2))
+        general_cost = context.metrics.multiplications - before
+        assert 2 * half_cost < general_cost < 6 * half_cost
+
+
+class TestEqualsAndIntervals:
+    def test_equals(self, context):
+        for a, b in ((5, 5), (5, 6), (0, 0), (100, 3)):
+            got = equals(context, context.share(a), context.share(b)).open()
+            assert got == (1 if a == b else 0), (a, b)
+
+    def test_interval_membership(self, context):
+        for x, low, high, expected in (
+            (5, 3, 10, 1),
+            (2, 3, 10, 0),
+            (10, 3, 10, 0),   # half-open: high excluded
+            (3, 3, 10, 1),    # low included
+            (7, 0, 8, 1),     # low == 0 fast path
+        ):
+            got = interval_test(context, context.share(x), low, high).open()
+            assert got == expected, (x, low, high)
+
+    def test_interval_bounds_validated(self, context):
+        with pytest.raises(ValueError):
+            interval_test(context, context.share(1), 5, 5)
+        with pytest.raises(ValueError):
+            interval_test(context, context.share(1), 0, PRIME)
+
+
+class TestPaperCostModel:
+    def test_nishide_ohta_formula(self):
+        assert nishide_ohta_cost(10) == 2795
+        assert nishide_ohta_cost(64) == 279 * 64 + 5
+
+    def test_formula_linear(self):
+        assert nishide_ohta_cost(20) - nishide_ohta_cost(10) == 2790

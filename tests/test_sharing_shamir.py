@@ -1,0 +1,98 @@
+"""Tests for Shamir secret sharing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math.primes import random_prime
+from repro.math.rng import SeededRNG
+from repro.sharing.shamir import ShamirScheme, Share
+
+PRIME = random_prime(40, SeededRNG(91))
+
+
+class TestShareReconstruct:
+    @given(st.integers(0, PRIME - 1))
+    @settings(max_examples=30)
+    def test_roundtrip(self, secret):
+        scheme = ShamirScheme(threshold=2, parties=5, prime=PRIME)
+        shares = scheme.share(secret, SeededRNG(secret & 0xFFFF))
+        assert scheme.reconstruct(shares) == secret
+
+    def test_any_t_plus_one_subset_works(self):
+        scheme = ShamirScheme(threshold=2, parties=6, prime=PRIME)
+        secret = 424242
+        shares = scheme.share(secret, SeededRNG(1))
+        import itertools
+
+        for subset in itertools.combinations(shares, 3):
+            assert scheme.reconstruct(list(subset)) == secret
+
+    def test_too_few_shares_rejected(self):
+        scheme = ShamirScheme(threshold=3, parties=5, prime=PRIME)
+        shares = scheme.share(7, SeededRNG(2))
+        with pytest.raises(ValueError):
+            scheme.reconstruct(shares[:3])
+
+    def test_duplicate_points_rejected(self):
+        scheme = ShamirScheme(threshold=1, parties=3, prime=PRIME)
+        shares = scheme.share(7, SeededRNG(3))
+        with pytest.raises(ValueError):
+            scheme.reconstruct([shares[0], shares[0]])
+
+    def test_higher_degree_sharing(self):
+        scheme = ShamirScheme(threshold=2, parties=7, prime=PRIME)
+        shares = scheme.share(99, SeededRNG(4), degree=4)
+        assert scheme.reconstruct(shares, degree=4) == 99
+        # Reconstructing with too low an assumed degree gives garbage.
+        assert scheme.reconstruct(shares[:3], degree=2) != 99
+
+
+class TestSecrecy:
+    def test_t_shares_consistent_with_any_secret(self):
+        """Information-theoretic hiding: for any t shares and any claimed
+        secret there exists a consistent polynomial."""
+        scheme = ShamirScheme(threshold=2, parties=5, prime=PRIME)
+        shares = scheme.share(1234, SeededRNG(5))[:2]
+        # Interpolating 2 shares + any (0, s) point succeeds for every s.
+        for claimed in (0, 1, 999999):
+            points = [Share(x=0, y=claimed)] + shares
+            value = scheme.reconstruct(points, degree=2)
+            assert value == claimed
+
+    def test_shares_differ_between_runs(self):
+        scheme = ShamirScheme(threshold=2, parties=5, prime=PRIME)
+        a = scheme.share(7, SeededRNG(6))
+        b = scheme.share(7, SeededRNG(7))
+        assert [s.y for s in a] != [s.y for s in b]
+
+    def test_share_distribution_uniform_ish(self):
+        """A single party's share of a fixed secret should look uniform."""
+        scheme = ShamirScheme(threshold=1, parties=3, prime=17)
+        buckets = [0] * 17
+        for seed in range(1700):
+            shares = scheme.share(5, SeededRNG(seed))
+            buckets[shares[0].y] += 1
+        assert min(buckets) > 50  # expectation 100
+
+
+class TestParameters:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ShamirScheme(threshold=0, parties=5, prime=PRIME)
+        with pytest.raises(ValueError):
+            ShamirScheme(threshold=5, parties=5, prime=PRIME)
+
+    def test_too_few_parties(self):
+        with pytest.raises(ValueError):
+            ShamirScheme(threshold=1, parties=1, prime=PRIME)
+
+    def test_field_must_exceed_parties(self):
+        with pytest.raises(ValueError):
+            ShamirScheme(threshold=1, parties=5, prime=5)
+
+    def test_lagrange_coefficients_sum_property(self):
+        """Coefficients at 0 for a constant polynomial sum to 1."""
+        scheme = ShamirScheme(threshold=2, parties=5, prime=PRIME)
+        coefficients = scheme.lagrange_coefficients([1, 2, 3, 4, 5])
+        assert sum(coefficients.values()) % PRIME == 1

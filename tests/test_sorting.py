@@ -1,0 +1,166 @@
+"""Tests for sorting networks, the SS sort baseline, and top-k."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math.primes import random_prime
+from repro.math.rng import SeededRNG
+from repro.sharing.arithmetic import SSContext
+from repro.sorting.networks import (
+    apply_network,
+    batcher_odd_even,
+    bitonic,
+    odd_even_transposition,
+    pairwise,
+    verify_zero_one,
+)
+from repro.sorting.ss_sort import ss_sort_shared, ss_sort_with_ranks
+from repro.sorting.topk import probabilistic_top_k
+
+PRIME = random_prime(22, SeededRNG(97))
+
+
+class TestNetworks:
+    @pytest.mark.parametrize(
+        "builder", [batcher_odd_even, bitonic, odd_even_transposition, pairwise]
+    )
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 8, 11])
+    def test_zero_one_principle(self, builder, n):
+        assert verify_zero_one(builder(n))
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=40))
+    @settings(max_examples=30)
+    def test_batcher_sorts_anything(self, values):
+        network = batcher_odd_even(len(values))
+        assert apply_network(network, values) == sorted(values)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=24))
+    @settings(max_examples=20)
+    def test_bitonic_sorts_anything(self, values):
+        assert apply_network(bitonic(len(values)), values) == sorted(values)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=24))
+    @settings(max_examples=20)
+    def test_pairwise_sorts_anything(self, values):
+        assert apply_network(pairwise(len(values)), values) == sorted(values)
+
+    def test_pairwise_same_asymptotics_as_batcher(self):
+        for n in (32, 128, 512):
+            ratio = pairwise(n).comparator_count / batcher_odd_even(n).comparator_count
+            assert 1.0 <= ratio < 1.5, (n, ratio)
+
+    def test_batcher_comparator_count_order(self):
+        """O(n (log n)²): ratio to n·log²n stays bounded."""
+        import math
+
+        for n in (8, 32, 128, 512):
+            count = batcher_odd_even(n).comparator_count
+            bound = n * math.log2(n) ** 2
+            assert count < bound
+
+    def test_brick_is_quadratic(self):
+        network = odd_even_transposition(10)
+        assert network.comparator_count == 45  # n(n-1)/2
+
+    def test_depth_layering_is_consistent(self):
+        network = batcher_odd_even(16)
+        layers = network.layers()
+        assert sum(len(layer) for layer in layers) == network.comparator_count
+        for layer in layers:
+            lanes = [lane for gate in layer for lane in gate]
+            assert len(lanes) == len(set(lanes))  # disjoint within a layer
+
+    def test_batcher_shallower_than_brick(self):
+        assert batcher_odd_even(32).depth < odd_even_transposition(32).depth
+
+    def test_bad_sizes_rejected(self):
+        for builder in (batcher_odd_even, bitonic, odd_even_transposition):
+            with pytest.raises(ValueError):
+                builder(0)
+
+    def test_apply_network_size_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_network(batcher_odd_even(4), [1, 2, 3])
+
+    def test_invalid_comparator_rejected(self):
+        from repro.sorting.networks import SortingNetwork
+
+        with pytest.raises(ValueError):
+            SortingNetwork(name="bad", size=4, comparators=((2, 1),))
+        with pytest.raises(ValueError):
+            SortingNetwork(name="bad", size=4, comparators=((0, 4),))
+
+
+class TestSSSort:
+    def test_sorted_values_and_ranks(self):
+        context = SSContext(parties=5, prime=PRIME, rng=SeededRNG(21))
+        values = [40, 7, 99, 23, 56]
+        result = ss_sort_with_ranks(context, values)
+        assert result.sorted_values == sorted(values)
+        assert result.ranks == {3: 1, 5: 2, 1: 3, 4: 4, 2: 5}
+
+    def test_random_instances(self):
+        rng = SeededRNG(22)
+        for trial in range(3):
+            n = 4 + trial
+            context = SSContext(parties=n, prime=PRIME, rng=SeededRNG(23 + trial))
+            values = [rng.randrange(PRIME // 4) for _ in range(n)]
+            result = ss_sort_with_ranks(context, values)
+            assert result.sorted_values == sorted(values)
+            for party, rank in result.ranks.items():
+                expected = 1 + sum(1 for v in values if v > values[party - 1])
+                assert rank == expected
+
+    def test_ties_share_best_rank(self):
+        context = SSContext(parties=4, prime=PRIME, rng=SeededRNG(24))
+        result = ss_sort_with_ranks(context, [9, 9, 3, 1])
+        assert result.ranks[1] == result.ranks[2] == 1
+        assert result.ranks[3] == 3
+
+    def test_value_bound_enforced(self):
+        context = SSContext(parties=3, prime=PRIME, rng=SeededRNG(25))
+        with pytest.raises(ValueError):
+            ss_sort_with_ranks(context, [PRIME - 1, 1, 2])
+
+    def test_shared_sort_without_opening(self):
+        context = SSContext(parties=4, prime=PRIME, rng=SeededRNG(26))
+        lanes = ss_sort_shared(context, [context.share(v) for v in (5, 2, 9, 1)])
+        assert [lane.open() for lane in lanes] == [1, 2, 5, 9]
+
+    def test_cost_reported(self):
+        context = SSContext(parties=4, prime=PRIME, rng=SeededRNG(27))
+        result = ss_sort_with_ranks(context, [4, 3, 2, 1])
+        assert result.comparator_count == 5  # batcher for n=4
+        assert result.metrics.multiplications > result.comparator_count
+
+
+class TestTopK:
+    def test_finds_top_k(self):
+        context = SSContext(parties=6, prime=PRIME, rng=SeededRNG(31))
+        values = [10, 50, 30, 90, 20, 70]
+        result = probabilistic_top_k(context, values, k=3, value_bound=128)
+        assert result.succeeded
+        assert sorted(result.members) == [2, 4, 6]
+
+    def test_k_equals_n(self):
+        context = SSContext(parties=3, prime=PRIME, rng=SeededRNG(32))
+        result = probabilistic_top_k(context, [5, 6, 7], k=3, value_bound=16)
+        assert result.succeeded
+        assert sorted(result.members) == [1, 2, 3]
+
+    def test_tie_straddling_k_fails_honestly(self):
+        """Ties across the k-th place make the count never equal k —
+        the documented failure mode of the probabilistic baseline."""
+        context = SSContext(parties=4, prime=PRIME, rng=SeededRNG(33))
+        result = probabilistic_top_k(context, [9, 9, 9, 1], k=2, value_bound=16)
+        assert not result.succeeded
+        assert result.members == []
+        assert result.probes > 0
+
+    def test_parameter_validation(self):
+        context = SSContext(parties=3, prime=PRIME, rng=SeededRNG(34))
+        with pytest.raises(ValueError):
+            probabilistic_top_k(context, [1, 2, 3], k=0, value_bound=16)
+        with pytest.raises(ValueError):
+            probabilistic_top_k(context, [1, 2, 3], k=2, value_bound=PRIME)

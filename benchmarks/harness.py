@@ -226,10 +226,13 @@ def format_series_table(
     return "\n".join(lines)
 
 
-def write_result(name: str, content: str) -> None:
+def write_result(name: str, content: str, suffix: str = "txt") -> Path:
+    """Write one result artifact (``suffix="json"`` for machine-readable
+    outputs like BENCH_parallel.json); returns the written path."""
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
+    path = RESULTS_DIR / f"{name}.{suffix}"
     path.write_text(content + "\n")
+    return path
 
 
 def growth_exponent(xs: List[float], ys: List[float]) -> float:

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Repo smoke check: tier-1 tests plus lint (when available).
+# Usage: sh scripts/smoke.sh
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q
+
+echo "== lint =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src
+elif python -c "import ruff" >/dev/null 2>&1; then
+    python -m ruff check src
+else
+    echo "ruff not installed; skipping lint"
+fi
+
+echo "smoke OK"

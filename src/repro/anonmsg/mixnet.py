@@ -21,12 +21,16 @@ hence re-randomization by multiplying in ``E(1)``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.crypto.distkey import DistributedKey
 from repro.crypto.elgamal import Ciphertext, ElGamal
 from repro.groups.base import Element, Group
 from repro.math.rng import RNG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.crypto.precompute import RandomnessPool
+    from repro.runtime.parallel import WorkerPool
 
 
 class DecryptionMixnet:
@@ -59,17 +63,85 @@ class DecryptionMixnet:
         member_id: int,
         secret: int,
         rng: RNG,
+        *,
+        pool: Optional["RandomnessPool"] = None,
+        executor: Optional["WorkerPool"] = None,
     ) -> List[Ciphertext]:
-        """One member's peel + re-randomize + permute."""
+        """One member's peel + re-randomize + permute.
+
+        ``pool`` (keyed to this hop's *remaining* joint key) serves the
+        re-randomization pairs offline; ``executor`` fans the peel +
+        re-randomize work out across worker slices with pre-drawn
+        randomness, keeping the permutation draw on this side so the RNG
+        consumption — and hence the transcript — matches the serial hop
+        byte for byte.
+        """
         remaining = self.remaining_key_after(member_id)
-        processed: List[Ciphertext] = []
         is_last = member_id == self.member_ids[-1]
-        for ciphertext in ciphertexts:
-            peeled = self._distkey.peel_layer(ciphertext, secret)
-            if not is_last:
-                peeled = self.scheme.rerandomize(peeled, remaining, rng)
-            processed.append(peeled)
+        if executor is not None and executor.parallel:
+            processed = self._mix_hop_parallel(
+                ciphertexts, secret, remaining, is_last, rng, pool, executor
+            )
+        else:
+            scheme = (
+                ElGamal(self.group, pool=pool) if pool is not None else self.scheme
+            )
+            processed = []
+            for ciphertext in ciphertexts:
+                peeled = self._distkey.peel_layer(ciphertext, secret)
+                if not is_last:
+                    peeled = scheme.rerandomize(peeled, remaining, rng)
+                processed.append(peeled)
         rng.shuffle(processed)
+        return processed
+
+    def _mix_hop_parallel(
+        self,
+        ciphertexts: Sequence[Ciphertext],
+        secret: int,
+        remaining: Element,
+        is_last: bool,
+        rng: RNG,
+        pool: Optional["RandomnessPool"],
+        executor: "WorkerPool",
+    ) -> List[Ciphertext]:
+        from repro.runtime.parallel import MixHopJob, evaluate_mix_hop_job
+
+        # Pre-draw every re-randomizer in serial order (from the pool when
+        # one serves the remaining key, else from the hop's RNG); workers
+        # recompute y^r / g^r from the exponent, so the resulting elements
+        # are identical to the serial hop's.
+        rerandomizers: Optional[List[int]] = None
+        if not is_last:
+            if pool is not None and pool.matches_key(remaining):
+                rerandomizers = [pool.take().r for _ in ciphertexts]
+            else:
+                rerandomizers = [
+                    self.group.random_exponent(rng) for _ in ciphertexts
+                ]
+        slice_count = min(executor.workers, max(1, len(ciphertexts)))
+        bounds = [
+            (len(ciphertexts) * k // slice_count,
+             len(ciphertexts) * (k + 1) // slice_count)
+            for k in range(slice_count)
+        ]
+        jobs = [
+            MixHopJob(
+                group=self.group,
+                ciphertexts=tuple(ciphertexts[lo:hi]),
+                secret=secret,
+                remaining_key=remaining,
+                rerandomizers=(
+                    tuple(rerandomizers[lo:hi]) if rerandomizers is not None else None
+                ),
+            )
+            for lo, hi in bounds
+            if hi > lo
+        ]
+        processed: List[Ciphertext] = []
+        for chunk, counter in executor.map(evaluate_mix_hop_job, jobs):
+            processed.extend(chunk)
+            self.group.counter.merge(counter)
         return processed
 
     def open_outputs(self, ciphertexts: Sequence[Ciphertext]) -> List[Element]:

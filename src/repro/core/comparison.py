@@ -22,12 +22,15 @@ the suffix sums are ciphertext additions.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.crypto.bitenc import BitwiseCiphertext
 from repro.crypto.elgamal import Ciphertext, ExponentialElGamal
 from repro.groups.base import Group
 from repro.math.modular import int_to_bits
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.crypto.precompute import RandomnessPool
 
 
 def tau_values_plain(beta_j: int, beta_i: int, width: int) -> List[int]:
@@ -56,12 +59,29 @@ class HomomorphicComparator:
     (``O(l²)`` ciphertext additions, matching the paper's step-7 cost
     accounting); the default reuses a running suffix sum (``O(l)``).
     The outputs are identical; the ablation bench contrasts the costs.
+
+    ``multiexp`` routes the circuit's short scalars (``±weight``, the
+    plaintext shifts) through :mod:`repro.math.multiexp` kernels;
+    ``pool`` additionally serves generator powers from a fixed-base
+    table.  Both produce element-identical τ sets — only the operation
+    counts (and wall-clock) change.
     """
 
-    def __init__(self, group: Group, naive_suffix: bool = False):
+    def __init__(
+        self,
+        group: Group,
+        naive_suffix: bool = False,
+        *,
+        multiexp: bool = False,
+        pool: Optional["RandomnessPool"] = None,
+    ):
         self.group = group
-        self.scheme = ExponentialElGamal(group)
+        self.scheme = ExponentialElGamal(group, pool=pool, multiexp=multiexp)
         self.naive_suffix = naive_suffix
+        # Set by every encrypted_taus call: homomorphic additions spent on
+        # suffix sums.  The default path is asserted O(l); the naive path
+        # is the paper's O(l²) accounting, kept for the ablation benches.
+        self.last_suffix_adds = 0
 
     def encrypted_taus(
         self, my_beta: int, other_bits: BitwiseCiphertext
@@ -75,12 +95,19 @@ class HomomorphicComparator:
             self._encrypted_xor_with_plain(bit_ct, my_bit)
             for bit_ct, my_bit in zip(other_bits, my_bits)
         ]
+        self.last_suffix_adds = 0
         if self.naive_suffix:
             suffix_sums = [
                 self._sum_ciphertexts(gammas[t:]) for t in range(1, width + 1)
             ]
         else:
             suffix_sums = self._running_suffix_sums(gammas)
+            # Regression guard: the running-suffix pass must stay linear in
+            # the bit width — at most one addition per position, never the
+            # O(l²) recomputation the naive path pays.
+            assert self.last_suffix_adds <= width, (
+                "running suffix pass exceeded its O(l) budget"
+            )
         taus: List[Ciphertext] = []
         for t in range(1, width + 1):
             weight = width - t + 1
@@ -106,6 +133,7 @@ class HomomorphicComparator:
         running = zero
         for t in range(width - 1, 0, -1):
             running = self.scheme.add(running, gammas[t])
+            self.last_suffix_adds += 1
             sums[t - 1] = running
         return sums
 
@@ -113,4 +141,5 @@ class HomomorphicComparator:
         total = Ciphertext(c1=self.group.identity(), c2=self.group.identity())
         for item in items:
             total = self.scheme.add(total, item)
+            self.last_suffix_adds += 1
         return total

@@ -77,7 +77,12 @@ class GroupRankingFramework:
 
     def run(self) -> FrameworkResult:
         config = self.config
-        engine = Engine(metered_groups=[config.group])
+        worker_pool = None
+        if config.workers > 1:
+            from repro.runtime.parallel import WorkerPool
+
+            worker_pool = WorkerPool(config.workers)
+        engine = Engine(metered_groups=[config.group], worker_pool=worker_pool)
         rng = self._rng
         initiator = InitiatorParty(
             config, self.initiator_input, _fork(rng, "initiator")
@@ -88,7 +93,11 @@ class GroupRankingFramework:
             party = ParticipantParty(config, j, secret_input, _fork(rng, f"P{j}"))
             engine.add_party(party)
             participants.append(party)
-        outputs = engine.run()
+        try:
+            outputs = engine.run()
+        finally:
+            if worker_pool is not None:
+                worker_pool.shutdown()
         # Kept for the security-game harness, which inspects *adversarial*
         # parties' internals after a run.
         self.last_parties = engine.parties

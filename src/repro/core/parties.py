@@ -30,6 +30,7 @@ from repro.core.shuffle import ShuffleProcessor
 from repro.crypto.bitenc import BitwiseCiphertext, BitwiseElGamal
 from repro.crypto.distkey import DistributedKey
 from repro.crypto.elgamal import Ciphertext
+from repro.crypto.precompute import RandomnessPool
 from repro.crypto.zkp import MultiVerifierSchnorrProof, NonInteractiveSchnorrProof
 from repro.dotproduct.ioannidis import DotProductProtocol
 from repro.groups.base import Element, Group
@@ -60,6 +61,18 @@ class FrameworkConfig:
 
     ``rerandomize``/``permute``/``naive_suffix`` are ablation switches
     (defaults reproduce the paper's protocol).
+
+    Performance switches (all default-off; they change operation cost,
+    never protocol values):
+
+    * ``multiexp`` — Straus-interleaved encryption and short-scalar
+      ladders in the comparison circuit.
+    * ``precompute`` — per-party offline randomness pool size; each
+      party pre-generates this many ``(g^r, y^r)`` pairs under the joint
+      key before the online comparison phase.
+    * ``workers`` — process-pool width for the comparison and shuffle
+      fan-out.  ``1`` (default) runs fully serial; any value produces
+      the same ranks and a byte-identical transcript for the same seed.
     """
 
     group: Group
@@ -76,10 +89,17 @@ class FrameworkConfig:
     naive_suffix: bool = False
     verify_zkp: bool = True
     zkp_mode: str = "interactive"   # or "fiat-shamir" (NIZK, fewer rounds)
+    multiexp: bool = False
+    precompute: int = 0
+    workers: int = 1
 
     def __post_init__(self):
         if self.zkp_mode not in ("interactive", "fiat-shamir"):
             raise ValueError("zkp_mode must be 'interactive' or 'fiat-shamir'")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.precompute < 0:
+            raise ValueError("precompute must be non-negative")
         from repro.core.gain import beta_bit_length
         from repro.math.primes import next_prime
 
@@ -311,8 +331,16 @@ class ParticipantParty(Party):
 
         joint_key = distkey.joint_public_key()
 
+        # Offline phase: pre-generate randomness under the joint key so the
+        # online bit encryptions cost table lookups and multiplications.
+        pool: Optional[RandomnessPool] = None
+        if config.precompute > 0:
+            pool = RandomnessPool(
+                group, joint_key, self.rng, size=config.precompute
+            )
+
         # Step 6: publish bitwise encryption of β under the joint key.
-        bitwise = BitwiseElGamal(group)
+        bitwise = BitwiseElGamal(group, pool=pool, multiexp=config.multiexp)
         my_bits_ct = self._published_beta_bits(bitwise, beta, joint_key)
         beta_bits_size = bitwise.ciphertext_bits(config.beta_bits)
         self.broadcast(others, TAG_BETA_BITS, my_bits_ct, size_bits=beta_bits_size)
@@ -322,14 +350,43 @@ class ParticipantParty(Party):
                 raise ProtocolError(f"P{src} sent a malformed bitwise ciphertext")
 
         # Step 7: homomorphic comparisons; flatten into this party's set ℰ_j.
-        comparator = HomomorphicComparator(group, naive_suffix=config.naive_suffix)
+        # One comparison per peer, each RNG-free — the parallel engine fans
+        # them out as independent jobs and merges the workers' counters.
         my_set: List[Ciphertext] = []
-        for i in sorted(other_bits):
-            my_set.extend(comparator.encrypted_taus(beta, other_bits[i]))
+        worker_pool = self._worker_pool()
+        if worker_pool is not None and worker_pool.parallel:
+            from repro.runtime.parallel import TauJob, evaluate_tau_job
+
+            jobs = [
+                TauJob(
+                    group=group,
+                    beta=beta,
+                    other_bits=tuple(other_bits[i].bits),
+                    naive_suffix=config.naive_suffix,
+                    multiexp=config.multiexp,
+                )
+                for i in sorted(other_bits)
+            ]
+            for taus, ops in worker_pool.map(evaluate_tau_job, jobs):
+                my_set.extend(taus)
+                self.metrics.ops.merge(ops)
+        else:
+            comparator = HomomorphicComparator(
+                group,
+                naive_suffix=config.naive_suffix,
+                multiexp=config.multiexp,
+                pool=pool,
+            )
+            for i in sorted(other_bits):
+                my_set.extend(comparator.encrypted_taus(beta, other_bits[i]))
 
         # Step 8: the chain P_1 → P_2 → … → P_n.
         rank_zeros = yield from self._run_shuffle_chain(my_set, share.secret)
         return rank_zeros + 1
+
+    def _worker_pool(self):
+        """The engine-owned process pool, when one is configured."""
+        return getattr(self._engine, "worker_pool", None)
 
     def _run_keying_zkps(self, distkey: DistributedKey, share):
         """Broadcast own key share + Schnorr proof; verify everyone else's.
@@ -428,6 +485,7 @@ class ParticipantParty(Party):
         processor = ShuffleProcessor(
             config.group, rerandomize=config.rerandomize, permute=config.permute
         )
+        executor = self._worker_pool()
         set_bits = len(my_set) * config.ciphertext_bits()
         vector_bits = n * set_bits
         # Every ℰ_j must hold exactly l·(n−1) ciphertexts; anyone in the
@@ -452,7 +510,9 @@ class ParticipantParty(Party):
             for j in sorted(received):
                 vector.append(received[j])
             check_vector(vector)
-            vector = processor.process_vector(vector, own_index=0, secret=secret, rng=self.rng)
+            vector = processor.process_vector(
+                vector, own_index=0, secret=secret, rng=self.rng, executor=executor
+            )
             self.send(2, TAG_CHAIN, vector, size_bits=vector_bits)
             final_msg = yield from self.recv(n, TAG_FINAL_SET)
             final_set = final_msg.payload
@@ -462,7 +522,8 @@ class ParticipantParty(Party):
             chain_msg = yield from self.recv(me - 1, TAG_CHAIN)
             check_vector(chain_msg.payload)
             vector = processor.process_vector(
-                chain_msg.payload, own_index=me - 1, secret=secret, rng=self.rng
+                chain_msg.payload, own_index=me - 1, secret=secret, rng=self.rng,
+                executor=executor,
             )
             if me < n:
                 self.send(me + 1, TAG_CHAIN, vector, size_bits=vector_bits)

@@ -18,14 +18,19 @@ sorting step; it is what buys *identity unlinkability* (paper Lemma 4).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.crypto.distkey import DistributedKey
 from repro.crypto.elgamal import Ciphertext
 from repro.groups.base import Group
 from repro.math.rng import RNG
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.parallel import WorkerPool
+
 CiphertextSet = List[Ciphertext]
+
+SetRandomness = Tuple[Optional[Tuple[int, ...]], Optional[Tuple[int, ...]]]
 
 
 class ShuffleProcessor:
@@ -45,14 +50,48 @@ class ShuffleProcessor:
         self, ciphertexts: Sequence[Ciphertext], secret: int, rng: RNG
     ) -> CiphertextSet:
         """Apply peel + rerandomize + permute to one set ``ℰ_i``."""
-        processed: CiphertextSet = []
-        for ciphertext in ciphertexts:
-            peeled = self._distkey.peel_layer(ciphertext, secret)
-            if self.rerandomize:
-                peeled = self._distkey.rerandomize_exponent(peeled, rng)
-            processed.append(peeled)
+        rerandomizers, permutation = self.draw_set_randomness(len(ciphertexts), rng)
+        return self.apply_set(ciphertexts, secret, rerandomizers, permutation)
+
+    def draw_set_randomness(self, count: int, rng: RNG) -> SetRandomness:
+        """Draw one set's randomness in the exact serial order.
+
+        Returns ``(rerandomizers, permutation)`` (each ``None`` when the
+        corresponding ablation switch is off).  ``rng.permutation``
+        consumes the source identically to the in-place ``rng.shuffle``
+        the serial path historically used, so pre-drawing here and
+        applying deterministically — possibly in a worker process —
+        yields byte-identical transcripts.
+        """
+        rerandomizers: Optional[Tuple[int, ...]] = None
+        if self.rerandomize:
+            rerandomizers = tuple(
+                self.group.random_nonzero_exponent(rng) for _ in range(count)
+            )
+        permutation: Optional[Tuple[int, ...]] = None
         if self.permute:
-            rng.shuffle(processed)
+            permutation = tuple(rng.permutation(count))
+        return rerandomizers, permutation
+
+    def apply_set(
+        self,
+        ciphertexts: Sequence[Ciphertext],
+        secret: int,
+        rerandomizers: Optional[Sequence[int]],
+        permutation: Optional[Sequence[int]],
+    ) -> CiphertextSet:
+        """RNG-free half of :meth:`process_set`: peel + rerandomize with
+        the pre-drawn exponents + apply the pre-drawn permutation."""
+        processed: CiphertextSet = []
+        for index, ciphertext in enumerate(ciphertexts):
+            peeled = self._distkey.peel_layer(ciphertext, secret)
+            if rerandomizers is not None:
+                peeled = self._distkey.rerandomize_with_exponent(
+                    peeled, rerandomizers[index]
+                )
+            processed.append(peeled)
+        if permutation is not None:
+            processed = [processed[source] for source in permutation]
         return processed
 
     def process_vector(
@@ -61,14 +100,61 @@ class ShuffleProcessor:
         own_index: int,
         secret: int,
         rng: RNG,
+        executor: Optional["WorkerPool"] = None,
     ) -> List[CiphertextSet]:
-        """Process every set except the party's own (paper: ``ℰ_i, i ≠ j``)."""
+        """Process every set except the party's own (paper: ``ℰ_i, i ≠ j``).
+
+        With a parallel ``executor``, randomness for every foreign set is
+        pre-drawn in vector order (matching the serial draw sequence
+        exactly) and the RNG-free application fans out across workers;
+        per-job operation counters are merged back into this group's
+        attached counter so metrics match the serial run.
+        """
+        if executor is not None and executor.parallel:
+            return self._process_vector_parallel(
+                vector, own_index, secret, rng, executor
+            )
         result: List[CiphertextSet] = []
         for index, ciphertext_set in enumerate(vector):
             if index == own_index:
                 result.append(list(ciphertext_set))
             else:
                 result.append(self.process_set(ciphertext_set, secret, rng))
+        return result
+
+    def _process_vector_parallel(
+        self,
+        vector: List[CiphertextSet],
+        own_index: int,
+        secret: int,
+        rng: RNG,
+        executor: "WorkerPool",
+    ) -> List[CiphertextSet]:
+        from repro.runtime.parallel import ShuffleJob, evaluate_shuffle_job
+
+        jobs: List[ShuffleJob] = []
+        foreign_indices: List[int] = []
+        for index, ciphertext_set in enumerate(vector):
+            if index == own_index:
+                continue
+            rerandomizers, permutation = self.draw_set_randomness(
+                len(ciphertext_set), rng
+            )
+            jobs.append(
+                ShuffleJob(
+                    group=self.group,
+                    ciphertexts=tuple(ciphertext_set),
+                    secret=secret,
+                    rerandomizers=rerandomizers,
+                    permutation=permutation,
+                )
+            )
+            foreign_indices.append(index)
+        outcomes = executor.map(evaluate_shuffle_job, jobs)
+        result: List[CiphertextSet] = [list(s) for s in vector]
+        for index, (processed, counter) in zip(foreign_indices, outcomes):
+            result[index] = processed
+            self.group.counter.merge(counter)
         return result
 
     def count_zero_plaintexts(

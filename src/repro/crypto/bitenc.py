@@ -13,12 +13,15 @@ encryption of the paper's bit ``β^{t+1}`` (little-endian, as in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.crypto.elgamal import Ciphertext, ExponentialElGamal
 from repro.groups.base import Element, Group
 from repro.math.modular import int_from_bits, int_to_bits
 from repro.math.rng import RNG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.crypto.precompute import RandomnessPool
 
 
 @dataclass(frozen=True)
@@ -39,11 +42,23 @@ class BitwiseCiphertext:
 
 
 class BitwiseElGamal:
-    """Encrypt/decrypt integers bit by bit under exponential ElGamal."""
+    """Encrypt/decrypt integers bit by bit under exponential ElGamal.
 
-    def __init__(self, group: Group):
+    ``pool``/``multiexp`` flow straight into the underlying scheme: with
+    an offline :class:`~repro.crypto.precompute.RandomnessPool` the ``l``
+    per-value encryptions cost ``l`` pooled pairs plus ``l``
+    multiplications online instead of ``2l`` exponentiations.
+    """
+
+    def __init__(
+        self,
+        group: Group,
+        *,
+        pool: Optional["RandomnessPool"] = None,
+        multiexp: bool = False,
+    ):
         self.group = group
-        self.scheme = ExponentialElGamal(group)
+        self.scheme = ExponentialElGamal(group, pool=pool, multiexp=multiexp)
 
     def encrypt(
         self, value: int, width: int, public_key: Element, rng: RNG

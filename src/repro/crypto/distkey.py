@@ -83,6 +83,11 @@ class DistributedKey:
         the value of every non-zero plaintext.
         """
         r = self.group.random_nonzero_exponent(rng)
+        return self.rerandomize_with_exponent(ciphertext, r)
+
+    def rerandomize_with_exponent(self, ciphertext: Ciphertext, r: int) -> Ciphertext:
+        """Deterministic half of :meth:`rerandomize_exponent` — the parallel
+        engine pre-draws ``r`` in serial order and ships it to a worker."""
         return Ciphertext(
             c1=self.group.exp(ciphertext.c1, r), c2=self.group.exp(ciphertext.c2, r)
         )

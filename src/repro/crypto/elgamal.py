@@ -12,15 +12,38 @@ Two variants:
   discrete log for small plaintext ranges when tests want the value.
 
 Both are IND-CPA secure when DDH is hard in the group.
+
+Performance wiring (all opt-in; the defaults reproduce the textbook
+operation pattern exactly):
+
+* ``pool`` — a :class:`repro.crypto.precompute.RandomnessPool` keyed to
+  one public key.  ``encrypt``/``rerandomize`` then consume precomputed
+  ``(g^r, y^r)`` pairs and cost plain multiplications online.
+* ``multiexp`` — route ``g^M·y^r`` through one Straus-interleaved pass
+  (:func:`repro.math.multiexp.multi_exp`) and short scalars through the
+  :func:`repro.math.multiexp.small_exp` ladder instead of a full-width
+  native exponentiation.
+
+Either switch changes *cost only*: the produced group elements are
+identical to the plain path for the same randomness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.groups.base import Element, Group
+from repro.math.multiexp import (
+    SMALL_EXPONENT_BITS,
+    centered_exponent,
+    multi_exp,
+    small_exp,
+)
 from repro.math.rng import RNG
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (precompute imports us)
+    from repro.crypto.precompute import RandomnessPool, RandomPair
 
 
 @dataclass(frozen=True)
@@ -42,16 +65,35 @@ class KeyPair:
 class ElGamal:
     """Textbook multiplicative ElGamal over ``group``."""
 
-    def __init__(self, group: Group):
+    def __init__(
+        self,
+        group: Group,
+        *,
+        pool: Optional["RandomnessPool"] = None,
+        multiexp: bool = False,
+    ):
         self.group = group
+        self.pool = pool
+        self.multiexp = multiexp
 
     def generate_keypair(self, rng: RNG) -> KeyPair:
         x = self.group.random_exponent(rng)
         return KeyPair(secret=x, public=self.group.exp_generator(x))
 
+    def _pooled_pair(self, public_key: Element) -> Optional["RandomPair"]:
+        """A precomputed ``(r, g^r, y^r)`` if the pool serves this key."""
+        if self.pool is None or not self.pool.matches_key(public_key):
+            return None
+        return self.pool.take()
+
     def encrypt(self, message: Element, public_key: Element, rng: RNG) -> Ciphertext:
         if not self.group.is_element(message):
             raise ValueError("message must be a group element")
+        pair = self._pooled_pair(public_key)
+        if pair is not None:
+            return Ciphertext(
+                c1=self.group.mul(message, pair.y_r), c2=pair.g_r
+            )
         r = self.group.random_exponent(rng)
         return Ciphertext(
             c1=self.group.mul(message, self.group.exp(public_key, r)),
@@ -66,6 +108,12 @@ class ElGamal:
         self, ciphertext: Ciphertext, public_key: Element, rng: RNG
     ) -> Ciphertext:
         """A fresh encryption of the same plaintext (multiply in E(1))."""
+        pair = self._pooled_pair(public_key)
+        if pair is not None:
+            return Ciphertext(
+                c1=self.group.mul(ciphertext.c1, pair.y_r),
+                c2=self.group.mul(ciphertext.c2, pair.g_r),
+            )
         r = self.group.random_exponent(rng)
         return Ciphertext(
             c1=self.group.mul(ciphertext.c1, self.group.exp(public_key, r)),
@@ -82,7 +130,21 @@ class ExponentialElGamal(ElGamal):
 
     def encrypt(self, message: int, public_key: Element, rng: RNG) -> Ciphertext:
         """Encrypt the *integer* ``message`` as ``(g^M·y^r, g^r)``."""
+        pair = self._pooled_pair(public_key)
+        if pair is not None:
+            # Offline/online split: both exponentiations were precomputed;
+            # online cost is one fixed-base table evaluation and one mul.
+            return Ciphertext(
+                c1=self.group.mul(self.pool.g_pow(message), pair.y_r),
+                c2=pair.g_r,
+            )
         r = self.group.random_exponent(rng)
+        if self.multiexp:
+            # g^M·y^r in ONE interleaved pass instead of two exponentiations.
+            return Ciphertext(
+                c1=multi_exp(self.group, [self.group.generator(), public_key], [message, r]),
+                c2=self.group.exp_generator(r),
+            )
         return Ciphertext(
             c1=self.group.mul(
                 self.group.exp_generator(message), self.group.exp(public_key, r)
@@ -130,16 +192,42 @@ class ExponentialElGamal(ElGamal):
         return self.add(a, self.negate(b))
 
     def scalar_mul(self, a: Ciphertext, k: int) -> Ciphertext:
-        """``E(M) -> E(k·M)`` by exponentiation of both components."""
+        """``E(M) -> E(k·M)`` by exponentiation of both components.
+
+        With ``multiexp`` enabled, short scalars (the comparison circuit
+        only ever multiplies by ``±weight`` with ``weight ≤ l``) run on
+        the :func:`small_exp` ladder — a handful of group
+        multiplications instead of two λ-bit exponentiations, because
+        native ``exp`` first reduces ``-w`` to the enormous ``q - w``.
+        """
+        if self.multiexp:
+            e = centered_exponent(k, self.group.order)
+            if abs(e) < (1 << SMALL_EXPONENT_BITS):
+                return Ciphertext(
+                    c1=small_exp(self.group, a.c1, e),
+                    c2=small_exp(self.group, a.c2, e),
+                )
         return Ciphertext(c1=self.group.exp(a.c1, k), c2=self.group.exp(a.c2, k))
+
+    def _generator_power(self, m: int) -> Element:
+        """``g^m`` through the cheapest wired-in path."""
+        if self.pool is not None:
+            return self.pool.g_pow(m)
+        if self.multiexp:
+            e = centered_exponent(m, self.group.order)
+            if abs(e) < (1 << SMALL_EXPONENT_BITS):
+                return small_exp(self.group, self.group.generator(), e)
+        return self.group.exp_generator(m)
 
     def add_plain(self, a: Ciphertext, m: int) -> Ciphertext:
         """``E(M) -> E(M + m)`` without randomness (deterministic shift)."""
         return Ciphertext(
-            c1=self.group.mul(a.c1, self.group.exp_generator(m)), c2=a.c2
+            c1=self.group.mul(a.c1, self._generator_power(m)), c2=a.c2
         )
 
     def encrypt_zero(self, public_key: Element, rng: RNG) -> Ciphertext:
+        if self.pool is not None and self.pool.matches_key(public_key):
+            return self.pool.encryption_of_zero()
         return self.encrypt(0, public_key, rng)
 
     def validate(self, ciphertext: Any) -> bool:

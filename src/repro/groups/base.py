@@ -56,6 +56,19 @@ class OperationCounter:
             inversions=self.inversions,
         )
 
+    def merge(self, other: "OperationCounter") -> None:
+        """Fold another counter into this one (in place).
+
+        The parallel engine meters each worker-side job on a private
+        counter shipped back with the result; the owning party merges
+        them so per-party metrics stay exact regardless of how the work
+        was distributed across processes.
+        """
+        self.multiplications += other.multiplications
+        self.exponentiations += other.exponentiations
+        self.exponent_bits += other.exponent_bits
+        self.inversions += other.inversions
+
     def diff(self, earlier: "OperationCounter") -> "OperationCounter":
         return OperationCounter(
             multiplications=self.multiplications - earlier.multiplications,

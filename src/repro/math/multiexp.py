@@ -1,0 +1,164 @@
+"""Multi-exponentiation kernels: Straus/Shamir interleaving and batching.
+
+Three complementary tricks, all expressed over the abstract
+:class:`repro.groups.base.Group` interface (``mul``/``inv`` only, so the
+operation meters record what is *actually* spent):
+
+* :func:`multi_exp` — Straus's simultaneous ("Shamir's trick")
+  exponentiation: ``Π base_i^{e_i}`` in ONE interleaved window pass.
+  The squaring chain is shared between all bases, so a 2-base product
+  such as ElGamal's ``g^M·y^r`` costs ≈ ``λ + 2λ/w`` multiplications
+  instead of the ``2·1.5λ`` of two independent square-and-multiply runs.
+* :func:`small_exp` — plain square-and-multiply over ``group.mul`` for
+  *short* exponents.  ``group.exp`` implementations reduce the exponent
+  modulo the (full-size) group order first, so a tiny negative scalar
+  like the comparison circuit's ``-ω`` weight otherwise explodes into a
+  full λ-bit exponentiation; ``inv`` + a 5-bit ladder is hundreds of
+  times cheaper and produces the identical group element.
+* :func:`exp_many` — batched fixed-base exponentiation: one windowed
+  table (reusing :class:`repro.groups.fixed_base.PrecomputedBase`)
+  amortized over many exponents of the same base — the workhorse of the
+  offline randomness pool (:mod:`repro.crypto.precompute`).
+
+Every function returns exactly the element the naive ``group.exp``
+composition would: callers may switch kernels freely without perturbing
+protocol transcripts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.groups.base import Element, Group
+from repro.groups.fixed_base import PrecomputedBase
+
+#: Exponents at most this many bits take the :func:`small_exp` ladder when
+#: an accelerated scheme asks for a scalar multiple; anything longer falls
+#: back to the group's native exponentiation.
+SMALL_EXPONENT_BITS = 16
+
+
+def centered_exponent(exponent: int, order: int) -> int:
+    """The representative of ``exponent`` mod ``order`` in ``(-q/2, q/2]``.
+
+    ``base^e = (base^{-1})^{q-e}``, so the cheaper of the two signed
+    representatives decides whether one inversion buys a much shorter
+    exponent — the comparison circuit's ``-weight`` scalars reduce from
+    λ bits to ~5 bits this way.
+    """
+    e = exponent % order
+    if e > order - e:
+        return e - order
+    return e
+
+
+def small_exp(group: Group, base: Element, exponent: int) -> Element:
+    """``base^exponent`` by square-and-multiply over ``group.mul``.
+
+    Intended for short exponents (|exponent| up to a few dozen bits)
+    where the ~``2·|e|`` multiplications beat a full-width ``group.exp``.
+    Negative exponents invert the base first.
+    """
+    if exponent < 0:
+        base = group.inv(base)
+        exponent = -exponent
+    if exponent == 0:
+        return group.identity()
+    accumulator = base
+    for bit_index in range(exponent.bit_length() - 2, -1, -1):
+        accumulator = group.mul(accumulator, accumulator)
+        if (exponent >> bit_index) & 1:
+            accumulator = group.mul(accumulator, base)
+    return accumulator
+
+
+def multi_exp(
+    group: Group,
+    bases: Sequence[Element],
+    exponents: Sequence[int],
+    window_bits: int = 4,
+) -> Element:
+    """``Π bases[i]^exponents[i]`` via Straus's interleaved windowing.
+
+    One shared squaring chain serves every base; each base contributes a
+    small odd-powers table and one table multiplication per non-zero
+    window of its exponent.  Exponents are reduced to their centered
+    representative first, so near-order exponents (e.g. ``-k mod q``)
+    stay short.
+    """
+    if len(bases) != len(exponents):
+        raise ValueError("bases and exponents must have the same length")
+    if not 1 <= window_bits <= 8:
+        raise ValueError("window must be between 1 and 8 bits")
+    order = group.order
+    prepared: List[tuple] = []
+    for base, exponent in zip(bases, exponents):
+        e = centered_exponent(exponent, order)
+        if e < 0:
+            base, e = group.inv(base), -e
+        if e:
+            prepared.append((base, e))
+    if not prepared:
+        return group.identity()
+
+    window_size = 1 << window_bits
+    tables: List[List[Element]] = []
+    for base, _ in prepared:
+        row = [group.identity()]
+        accumulator = group.identity()
+        for _ in range(1, window_size):
+            accumulator = group.mul(accumulator, base)
+            row.append(accumulator)
+        tables.append(row)
+
+    max_bits = max(e.bit_length() for _, e in prepared)
+    windows = (max_bits + window_bits - 1) // window_bits
+    mask = window_size - 1
+    result = group.identity()
+    started = False  # skip the no-op squarings of the leading identity
+    for window_index in range(windows - 1, -1, -1):
+        if started:
+            for _ in range(window_bits):
+                result = group.mul(result, result)
+        for (_, e), row in zip(prepared, tables):
+            digit = (e >> (window_index * window_bits)) & mask
+            if digit:
+                result = group.mul(result, row[digit])
+                started = True
+    return result
+
+
+def exp_many(
+    group: Group,
+    base: Element,
+    exponents: Sequence[int],
+    window_bits: int = 4,
+) -> List[Element]:
+    """``[base^e for e in exponents]`` with one shared fixed-base table.
+
+    The table build costs ``(λ/w)·(2^w − 1)`` multiplications once;
+    every exponentiation after that is ~``λ/w`` multiplications, so the
+    batch wins over repeated ``group.exp`` from a handful of exponents
+    up.  This is what the offline randomness pool calls to mass-produce
+    ``(g^r, y^r)`` pairs.
+    """
+    if not exponents:
+        return []
+    table = PrecomputedBase(group, base, window_bits=window_bits)
+    return [table.exp(exponent) for exponent in exponents]
+
+
+def naive_multi_exp(
+    group: Group, bases: Sequence[Element], exponents: Sequence[int]
+) -> Element:
+    """Reference implementation: independent ``group.exp`` per base.
+
+    Exists so property tests (and the op-count benches) can compare the
+    kernels against the textbook evaluation they replace.
+    """
+    if len(bases) != len(exponents):
+        raise ValueError("bases and exponents must have the same length")
+    result = group.identity()
+    for base, exponent in zip(bases, exponents):
+        result = group.mul(result, group.exp(base, exponent))
+    return result

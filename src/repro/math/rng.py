@@ -10,6 +10,7 @@ Protocol code must never call :mod:`random` or :mod:`secrets` directly.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import secrets
 from typing import List, Sequence, TypeVar
@@ -112,6 +113,14 @@ class SeededRNG(RNG):
         return self._random.getrandbits(k)
 
     def fork(self, label: str) -> "SeededRNG":
-        """An independent deterministic child stream (per-party streams)."""
-        child_seed = hash((self._seed, label)) & 0x7FFFFFFFFFFFFFFF
+        """An independent deterministic child stream (per-party streams).
+
+        Derived with a *stable* hash: the built-in ``hash()`` of a string
+        is salted per process (PYTHONHASHSEED), which silently made
+        "seeded" runs differ between processes — and made tests that
+        rely on distinct per-party mask draws flaky once in a few dozen
+        runs.
+        """
+        digest = hashlib.sha256(f"{self._seed}|{label}".encode()).digest()
+        child_seed = int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
         return SeededRNG(child_seed)

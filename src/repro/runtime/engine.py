@@ -30,7 +30,15 @@ from repro.runtime.transcript import Transcript
 class Engine:
     """Runs a set of parties to completion over a simulated network."""
 
-    def __init__(self, metered_groups: Optional[Iterable[Group]] = None, max_rounds: int = 1_000_000):
+    def __init__(
+        self,
+        metered_groups: Optional[Iterable[Group]] = None,
+        max_rounds: int = 1_000_000,
+        worker_pool: Optional[Any] = None,
+    ):
+        # A repro.runtime.parallel.WorkerPool (or None).  The engine only
+        # holds it; parties decide which stages to fan out through it.
+        self.worker_pool = worker_pool
         self.parties: Dict[int, Party] = {}
         self.transcript = Transcript()
         self.round = 0

@@ -1,0 +1,223 @@
+"""Process-pool execution engine for exponentiation-heavy protocol stages.
+
+The unlinkable-comparison phase is embarrassingly parallel: every
+``(j, i)`` pair's γ/ω/τ circuit evaluation is an independent
+exponentiation-heavy job, and every set in a shuffle/mixnet hop can be
+processed independently once its randomness is fixed.  This module fans
+those jobs out across worker processes while keeping runs *bit-for-bit
+reproducible*:
+
+* **Job specs are pure data.**  A job carries the group, the
+  ciphertexts, and — crucially — any randomness it needs, pre-drawn by
+  the owning party in exactly the order the serial path would have drawn
+  it.  Workers never touch an RNG, so serial and parallel runs consume
+  identical randomness and produce identical transcripts.
+* **Metrics stay exact.**  Each worker meters its job on a private
+  :class:`~repro.groups.base.OperationCounter` returned alongside the
+  result; the caller folds it into the owning party's counter with
+  :meth:`~repro.groups.base.OperationCounter.merge`.
+* **Graceful degradation.**  If worker processes cannot be spawned (or
+  die), the pool falls back to in-process execution — same values,
+  same metrics, just no concurrency.
+
+Worker function references are resolved by qualified name, so all job
+evaluators live at module level here.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pickle import PicklingError
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.crypto.elgamal import Ciphertext
+from repro.groups.base import Group, OperationCounter
+
+JobResult = TypeVar("JobResult")
+
+
+# ---------------------------------------------------------------------------
+# Job specs (picklable, randomness pre-drawn)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TauJob:
+    """One pair's comparison-circuit evaluation (framework step 7)."""
+
+    group: Group
+    beta: int
+    other_bits: Tuple[Ciphertext, ...]
+    naive_suffix: bool = False
+    multiexp: bool = False
+
+
+@dataclass(frozen=True)
+class ShuffleJob:
+    """One set's peel + rerandomize + permute of a chain hop (step 8).
+
+    ``rerandomizers`` are the pre-drawn non-zero exponents (one per
+    ciphertext, in ciphertext order) and ``permutation`` the pre-drawn
+    target arrangement; either may be ``None`` for the ablation modes.
+    """
+
+    group: Group
+    ciphertexts: Tuple[Ciphertext, ...]
+    secret: int
+    rerandomizers: Optional[Tuple[int, ...]]
+    permutation: Optional[Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class MixHopJob:
+    """A slice of one mix-net hop: peel a layer, re-encrypt under the
+    remaining key with pre-drawn randomness (permutation stays with the
+    owning member, after the slices are joined)."""
+
+    group: Group
+    ciphertexts: Tuple[Ciphertext, ...]
+    secret: int
+    remaining_key: object
+    rerandomizers: Optional[Tuple[int, ...]]  # None on the last hop
+
+
+# ---------------------------------------------------------------------------
+# Worker-side evaluators
+# ---------------------------------------------------------------------------
+
+def evaluate_tau_job(job: TauJob) -> Tuple[List[Ciphertext], OperationCounter]:
+    from repro.core.comparison import HomomorphicComparator
+    from repro.crypto.bitenc import BitwiseCiphertext
+
+    # The inline fallback runs jobs against the caller's own group object,
+    # so the previously attached counter must be restored afterwards.
+    counter = OperationCounter()
+    previous = job.group.counter
+    job.group.attach_counter(counter)
+    try:
+        comparator = HomomorphicComparator(
+            job.group, naive_suffix=job.naive_suffix, multiexp=job.multiexp
+        )
+        taus = comparator.encrypted_taus(
+            job.beta, BitwiseCiphertext(bits=job.other_bits)
+        )
+    finally:
+        job.group.attach_counter(previous)
+    return taus, counter
+
+
+def evaluate_shuffle_job(job: ShuffleJob) -> Tuple[List[Ciphertext], OperationCounter]:
+    from repro.core.shuffle import ShuffleProcessor
+
+    counter = OperationCounter()
+    previous = job.group.counter
+    job.group.attach_counter(counter)
+    try:
+        processor = ShuffleProcessor(
+            job.group,
+            rerandomize=job.rerandomizers is not None,
+            permute=job.permutation is not None,
+        )
+        processed = processor.apply_set(
+            job.ciphertexts, job.secret, job.rerandomizers, job.permutation
+        )
+    finally:
+        job.group.attach_counter(previous)
+    return processed, counter
+
+
+def evaluate_mix_hop_job(job: MixHopJob) -> Tuple[List[Ciphertext], OperationCounter]:
+    from repro.crypto.distkey import DistributedKey
+
+    counter = OperationCounter()
+    previous = job.group.counter
+    job.group.attach_counter(counter)
+    try:
+        distkey = DistributedKey(job.group)
+        processed: List[Ciphertext] = []
+        for index, ciphertext in enumerate(job.ciphertexts):
+            peeled = distkey.peel_layer(ciphertext, job.secret)
+            if job.rerandomizers is not None:
+                r = job.rerandomizers[index]
+                peeled = Ciphertext(
+                    c1=job.group.mul(peeled.c1, job.group.exp(job.remaining_key, r)),
+                    c2=job.group.mul(peeled.c2, job.group.exp_generator(r)),
+                )
+            processed.append(peeled)
+    finally:
+        job.group.attach_counter(previous)
+    return processed, counter
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+class WorkerPool:
+    """A lazily started process pool with an in-process fallback.
+
+    ``workers <= 1`` (or any failure to spawn/keep worker processes)
+    means jobs run inline — identical values and metrics, no
+    concurrency — so callers never need two code paths.
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError("worker count must be at least 1")
+        self.workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+
+    @property
+    def parallel(self) -> bool:
+        """Will :meth:`map` actually fan out to worker processes?"""
+        return self.workers > 1 and not self._broken
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._executor
+
+    def map(
+        self,
+        fn: Callable[..., JobResult],
+        jobs: Sequence,
+    ) -> List[JobResult]:
+        """Evaluate ``fn`` over ``jobs``, preserving job order.
+
+        Falls back to inline execution when parallelism is unavailable;
+        a pool that breaks mid-flight re-runs the whole batch inline
+        (jobs are pure functions, so re-evaluation is safe).
+        """
+        if not self.parallel or len(jobs) <= 1:
+            return [fn(job) for job in jobs]
+        try:
+            executor = self._ensure_executor()
+            chunksize = max(1, len(jobs) // (4 * self.workers))
+            return list(executor.map(fn, jobs, chunksize=chunksize))
+        # Unpicklable payloads surface as PicklingError, AttributeError
+        # ("Can't pickle local object") or TypeError depending on the
+        # object; OSError/BrokenProcessPool cover spawn and worker death.
+        except (OSError, PicklingError, AttributeError, TypeError, BrokenProcessPool):
+            self._broken = True
+            self.shutdown()
+            return [fn(job) for job in jobs]
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

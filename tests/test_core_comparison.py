@@ -147,3 +147,73 @@ class TestHomomorphicCircuit:
             1 for tau in taus if bitenc.scheme.decrypt_is_zero(tau, keypair.secret)
         )
         assert zeros == (1 if mine < other else 0)
+
+
+class TestSuffixSumBudgets:
+    """Regression guards for the O(l) running-suffix optimization."""
+
+    def test_both_paths_match_plaintext_reference(self, comparator_setup):
+        group, bitenc, keypair, rng = comparator_setup
+        width = 8
+        for mine, other in [(100, 200), (200, 100), (0, 255), (77, 77)]:
+            other_ct = bitenc.encrypt(other, width, keypair.public, rng)
+            expected = tau_values_plain(mine, other, width)
+            for naive in (False, True):
+                comparator = HomomorphicComparator(group, naive_suffix=naive)
+                taus = comparator.encrypted_taus(mine, other_ct)
+                got = [
+                    bitenc.scheme.decrypt_small(tau, keypair.secret, 2 * (width + 2))
+                    for tau in taus
+                ]
+                assert got == expected
+
+    def test_measured_addition_counts(self, comparator_setup):
+        """The default pass spends exactly l-1 additions on suffix sums;
+        the naive ablation spends the full O(l²) triangle."""
+        group, bitenc, keypair, rng = comparator_setup
+        for width in (4, 8, 16):
+            other_ct = bitenc.encrypt(width, width, keypair.public, rng)
+            fast = HomomorphicComparator(group, naive_suffix=False)
+            fast.encrypted_taus(1, other_ct)
+            assert fast.last_suffix_adds == width - 1
+            slow = HomomorphicComparator(group, naive_suffix=True)
+            slow.encrypted_taus(1, other_ct)
+            assert slow.last_suffix_adds == width * (width - 1) // 2
+
+    def test_default_path_scales_linearly(self, comparator_setup):
+        """Doubling the width doubles (not quadruples) the suffix work."""
+        group, bitenc, keypair, rng = comparator_setup
+        counts = {}
+        for width in (8, 16):
+            other_ct = bitenc.encrypt(3, width, keypair.public, rng)
+            comparator = HomomorphicComparator(group)
+            comparator.encrypted_taus(1, other_ct)
+            counts[width] = comparator.last_suffix_adds
+        assert counts[16] == 2 * counts[8] + 1  # 15 = 2*7 + 1: linear growth
+
+    def test_multiexp_circuit_matches_plain(self, comparator_setup):
+        """The small-exponent kernels must not change a single τ element."""
+        group, bitenc, keypair, rng = comparator_setup
+        width = 8
+        for mine, other in [(9, 200), (200, 9), (128, 128)]:
+            other_ct = bitenc.encrypt(other, width, keypair.public, rng)
+            plain = HomomorphicComparator(group).encrypted_taus(mine, other_ct)
+            fast = HomomorphicComparator(group, multiexp=True).encrypted_taus(
+                mine, other_ct
+            )
+            assert plain == fast
+
+    def test_multiexp_is_cheaper(self, comparator_setup):
+        """equivalent_multiplications drops when the short-scalar ladder
+        replaces full-width exponentiations of -weight."""
+        group, bitenc, keypair, rng = comparator_setup
+        width = 16
+        other_ct = bitenc.encrypt(40000, width, keypair.public, rng)
+        group.counter.reset()
+        HomomorphicComparator(group).encrypted_taus(123, other_ct)
+        plain_cost = group.counter.equivalent_multiplications
+        group.counter.reset()
+        HomomorphicComparator(group, multiexp=True).encrypted_taus(123, other_ct)
+        fast_cost = group.counter.equivalent_multiplications
+        group.counter.reset()
+        assert fast_cost < plain_cost / 3

@@ -1,0 +1,161 @@
+"""Tests for the offline randomness pool and its scheme wiring."""
+
+import pytest
+
+from repro.anonmsg.mixnet import DecryptionMixnet
+from repro.crypto.bitenc import BitwiseElGamal
+from repro.crypto.elgamal import ElGamal, ExponentialElGamal
+from repro.crypto.precompute import RandomnessPool
+from repro.math.rng import SeededRNG
+
+
+@pytest.fixture
+def keyed_pool(small_dl_group):
+    rng = SeededRNG(5)
+    scheme = ExponentialElGamal(small_dl_group)
+    keypair = scheme.generate_keypair(rng)
+    pool = RandomnessPool(small_dl_group, keypair.public, rng, size=16)
+    return small_dl_group, keypair, pool, rng
+
+
+class TestPool:
+    def test_pairs_are_correct_powers(self, keyed_pool):
+        group, keypair, pool, _ = keyed_pool
+        for _ in range(16):
+            pair = pool.take()
+            assert group.eq(pair.g_r, group.exp_generator(pair.r))
+            assert group.eq(pair.y_r, group.exp(keypair.public, pair.r))
+
+    def test_fifo_and_online_fallback(self, keyed_pool):
+        group, keypair, pool, _ = keyed_pool
+        assert pool.remaining == 16
+        for _ in range(16):
+            pool.take()
+        assert pool.remaining == 0
+        # Dry pool degrades to on-demand generation, still correct.
+        pair = pool.take()
+        assert group.eq(pair.g_r, group.exp_generator(pair.r))
+        assert pool.generated_online == 1
+        assert pool.served == 17
+
+    def test_refill(self, keyed_pool):
+        _, _, pool, _ = keyed_pool
+        pool.refill(5)
+        assert pool.remaining == 21
+        assert pool.precomputed == 21
+
+    def test_matches_key(self, keyed_pool):
+        group, keypair, pool, rng = keyed_pool
+        assert pool.matches_key(keypair.public)
+        assert not pool.matches_key(group.generator())
+
+    def test_encryption_of_zero_decrypts_to_zero(self, keyed_pool):
+        group, keypair, pool, _ = keyed_pool
+        scheme = ExponentialElGamal(group)
+        ct = pool.encryption_of_zero()
+        assert scheme.decrypt_is_zero(ct, keypair.secret)
+
+    def test_invalid_sizes(self, small_dl_group):
+        rng = SeededRNG(6)
+        with pytest.raises(ValueError):
+            RandomnessPool(small_dl_group, small_dl_group.generator(), rng, size=-1)
+        pool = RandomnessPool(small_dl_group, small_dl_group.generator(), rng)
+        with pytest.raises(ValueError):
+            pool.refill(-2)
+
+
+class TestPooledSchemes:
+    def test_pooled_exponential_encrypt_decrypts(self, keyed_pool):
+        group, keypair, pool, rng = keyed_pool
+        scheme = ExponentialElGamal(group, pool=pool)
+        for m in (0, 1, 7, 200):
+            ct = scheme.encrypt(m, keypair.public, rng)
+            assert group.eq(scheme.decrypt(ct, keypair.secret), group.exp_generator(m))
+        assert pool.served == 4
+
+    def test_pooled_standard_encrypt_and_rerandomize(self, keyed_pool):
+        group, keypair, pool, rng = keyed_pool
+        scheme = ElGamal(group, pool=pool)
+        message = group.random_element(rng)
+        ct = scheme.encrypt(message, keypair.public, rng)
+        ct2 = scheme.rerandomize(ct, keypair.public, rng)
+        assert not group.eq(ct.c1, ct2.c1)
+        assert group.eq(scheme.decrypt(ct2, keypair.secret), message)
+
+    def test_wrong_key_falls_back_to_fresh_randomness(self, keyed_pool):
+        group, keypair, pool, rng = keyed_pool
+        scheme = ExponentialElGamal(group, pool=pool)
+        other = scheme.generate_keypair(rng)
+        ct = scheme.encrypt(3, other.public, rng)
+        assert pool.served == 0  # pool untouched: key mismatch
+        assert group.eq(scheme.decrypt(ct, other.secret), group.exp_generator(3))
+
+    def test_pooled_bitwise_roundtrip(self, keyed_pool):
+        group, keypair, pool, rng = keyed_pool
+        bitwise = BitwiseElGamal(group, pool=pool)
+        ct = bitwise.encrypt(0b10110, 8, keypair.public, rng)
+        assert bitwise.decrypt(ct, keypair.secret) == 0b10110
+        assert pool.served == 8
+
+    def test_pool_and_plain_encrypt_identical_for_same_randomness(
+        self, small_dl_group
+    ):
+        """Element-identical: the pool changes cost, never values."""
+        group = small_dl_group
+        scheme = ExponentialElGamal(group)
+        keypair = scheme.generate_keypair(SeededRNG(8))
+        pool_rng = SeededRNG(9)
+        pool = RandomnessPool(group, keypair.public, pool_rng, size=4)
+        pooled_scheme = ExponentialElGamal(group, pool=pool)
+        # Replay the pool's exponent draws through the plain path.
+        plain_rng = SeededRNG(9)
+        rs = [group.random_exponent(plain_rng) for _ in range(4)]
+        for m, r in zip((0, 1, 5, 9), rs):
+            pooled = pooled_scheme.encrypt(m, keypair.public, SeededRNG(0))
+            plain = ExponentialElGamal(group).encrypt(m, keypair.public, _FixedRNG(r, group))
+            assert group.eq(pooled.c1, plain.c1)
+            assert group.eq(pooled.c2, plain.c2)
+
+
+class _FixedRNG(SeededRNG):
+    """An RNG whose next exponent draw is a fixed value (test shim)."""
+
+    def __init__(self, value, group):
+        super().__init__(0)
+        self._value = value
+        self._order = group.order
+
+    def randrange(self, n):
+        if n == self._order:
+            return self._value
+        return super().randrange(n)
+
+
+class TestMixnetWithPool:
+    def test_pooled_hop_outputs_exact_plaintexts(self, small_dl_group):
+        group = small_dl_group
+        rng = SeededRNG(12)
+        members = {}
+        secrets = {}
+        from repro.crypto.distkey import DistributedKey
+
+        distkey = DistributedKey(group)
+        for member_id in (1, 2, 3):
+            share = distkey.make_share(member_id, rng)
+            members[member_id] = share.public
+            secrets[member_id] = share.secret
+        mixnet = DecryptionMixnet(group, members)
+        plaintexts = [group.random_element(rng) for _ in range(5)]
+        cts = [mixnet.submit(p, rng) for p in plaintexts]
+        current = cts
+        for member_id in (1, 2, 3):
+            remaining = mixnet.remaining_key_after(member_id)
+            pool = None
+            if member_id != 3:
+                pool = RandomnessPool(group, remaining, rng, size=len(current))
+            current = mixnet.mix_hop(
+                current, member_id, secrets[member_id], rng, pool=pool
+            )
+        outputs = mixnet.open_outputs(current)
+        canon = lambda elements: sorted(group.serialize(e) for e in elements)
+        assert canon(outputs) == canon(plaintexts)

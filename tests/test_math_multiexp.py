@@ -1,0 +1,140 @@
+"""Property tests for the multi-exponentiation kernels.
+
+Every kernel must return exactly the element the naive ``group.exp``
+composition returns — over both group families — so schemes can switch
+kernels without perturbing protocol values.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.groups.curves import get_curve
+from repro.math.multiexp import (
+    SMALL_EXPONENT_BITS,
+    centered_exponent,
+    exp_many,
+    multi_exp,
+    naive_multi_exp,
+    small_exp,
+)
+from repro.math.rng import SeededRNG
+
+relaxed = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestCenteredExponent:
+    @given(e=st.integers(min_value=-(10**9), max_value=10**9), q=st.integers(min_value=3, max_value=10**6))
+    @relaxed
+    def test_congruent_and_centered(self, e, q):
+        c = centered_exponent(e, q)
+        assert (c - e) % q == 0
+        assert -q // 2 <= c <= q - (-(-q // 2))  # within one window of ±q/2
+        assert abs(c) <= q // 2 + 1
+
+    def test_small_negative_stays_small(self):
+        q = (1 << 47) + 5
+        assert centered_exponent(-24, q) == -24
+        assert centered_exponent(q - 24, q) == -24
+        assert centered_exponent(24, q) == 24
+
+
+class TestSmallExp:
+    @given(e=st.integers(min_value=-(1 << SMALL_EXPONENT_BITS), max_value=1 << SMALL_EXPONENT_BITS))
+    @relaxed
+    def test_matches_native_exp_dl(self, small_dl_group, e):
+        g = small_dl_group
+        base = g.exp_generator(12345)
+        assert g.eq(small_exp(g, base, e), g.exp(base, e % g.order))
+
+    @given(e=st.integers(min_value=-300, max_value=300))
+    @relaxed
+    def test_matches_native_exp_curve(self, tiny_curve, e):
+        g = tiny_curve
+        base = g.exp_generator(7)
+        assert g.eq(small_exp(g, base, e), g.exp(base, e % g.order))
+
+    def test_zero_gives_identity(self, small_dl_group):
+        g = small_dl_group
+        assert g.is_identity(small_exp(g, g.generator(), 0))
+
+
+class TestMultiExp:
+    @given(
+        exponents=st.lists(
+            st.integers(min_value=-(10**12), max_value=10**12), min_size=1, max_size=4
+        ),
+        window=st.integers(min_value=1, max_value=6),
+    )
+    @relaxed
+    def test_matches_naive_dl(self, small_dl_group, exponents, window):
+        g = small_dl_group
+        bases = [g.exp_generator(3 + 7 * i) for i in range(len(exponents))]
+        expected = naive_multi_exp(g, bases, exponents)
+        assert g.eq(multi_exp(g, bases, exponents, window_bits=window), expected)
+
+    @given(
+        exponents=st.lists(
+            st.integers(min_value=-500, max_value=500), min_size=1, max_size=3
+        )
+    )
+    @relaxed
+    def test_matches_naive_curve(self, tiny_curve, exponents):
+        g = tiny_curve
+        bases = [g.exp_generator(2 + 5 * i) for i in range(len(exponents))]
+        expected = naive_multi_exp(g, bases, exponents)
+        assert g.eq(multi_exp(g, bases, exponents), expected)
+
+    def test_elgamal_shape_two_bases(self, small_dl_group):
+        """The exact shape ExponentialElGamal uses: g^M · y^r."""
+        g = small_dl_group
+        rng = SeededRNG(31)
+        y = g.random_element(rng)
+        for _ in range(10):
+            m = rng.randrange(1 << 10)
+            r = rng.randrange(g.order)
+            expected = g.mul(g.exp_generator(m), g.exp(y, r))
+            assert g.eq(multi_exp(g, [g.generator(), y], [m, r]), expected)
+
+    def test_all_zero_exponents(self, small_dl_group):
+        g = small_dl_group
+        assert g.is_identity(multi_exp(g, [g.generator()], [0]))
+
+    def test_length_mismatch_raises(self, small_dl_group):
+        g = small_dl_group
+        with pytest.raises(ValueError):
+            multi_exp(g, [g.generator()], [1, 2])
+
+    def test_secp160r1_spot_check(self):
+        """Deterministic cases on a real standardized curve."""
+        g = get_curve("secp160r1")
+        rng = SeededRNG(61)
+        for _ in range(3):
+            bases = [g.random_element(rng) for _ in range(2)]
+            exponents = [rng.randrange(g.order), -rng.randrange(1 << 20)]
+            expected = naive_multi_exp(g, bases, exponents)
+            assert g.eq(multi_exp(g, bases, exponents), expected)
+
+
+class TestExpMany:
+    def test_matches_native_dl(self, small_dl_group):
+        g = small_dl_group
+        rng = SeededRNG(71)
+        base = g.random_element(rng)
+        exponents = [rng.randrange(g.order) for _ in range(12)] + [0, 1, g.order - 1]
+        results = exp_many(g, base, exponents)
+        for e, got in zip(exponents, results):
+            assert g.eq(got, g.exp(base, e))
+
+    def test_matches_native_curve(self, tiny_curve):
+        g = tiny_curve
+        rng = SeededRNG(72)
+        base = g.exp_generator(9)
+        exponents = [rng.randrange(g.order) for _ in range(8)]
+        for e, got in zip(exponents, exp_many(g, base, exponents)):
+            assert g.eq(got, g.exp(base, e))
+
+    def test_empty_batch(self, small_dl_group):
+        assert exp_many(small_dl_group, small_dl_group.generator(), []) == []

@@ -1,0 +1,183 @@
+"""Tests for the parallel execution engine.
+
+The load-bearing property: for the same seed, a parallel run must be
+indistinguishable from the serial run — same ranks, same β values, and
+a byte-identical message transcript.
+"""
+
+import pytest
+
+from repro.core.framework import FrameworkConfig, GroupRankingFramework
+from repro.core.gain import InitiatorInput, ParticipantInput
+from repro.math.rng import SeededRNG
+from repro.runtime.parallel import TauJob, WorkerPool, evaluate_tau_job
+from tests.conftest import make_participants
+
+
+def _run(group, schema, initiator_input, participants, seed=3, **config_kwargs):
+    config = FrameworkConfig(
+        group=group,
+        schema=schema,
+        num_participants=len(participants),
+        k=2,
+        rho_bits=6,
+        **config_kwargs,
+    )
+    framework = GroupRankingFramework(
+        config, initiator_input, participants, rng=SeededRNG(seed)
+    )
+    return framework, framework.run()
+
+
+class TestWorkerPool:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_single_worker_is_serial(self):
+        pool = WorkerPool(1)
+        assert not pool.parallel
+        assert pool.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_map_preserves_order(self, small_dl_group):
+        group = small_dl_group
+        from repro.crypto.bitenc import BitwiseElGamal
+        from repro.crypto.elgamal import ExponentialElGamal
+
+        rng = SeededRNG(21)
+        keypair = ExponentialElGamal(group).generate_keypair(rng)
+        other = BitwiseElGamal(group).encrypt(9, 6, keypair.public, rng)
+        jobs = [
+            TauJob(group=group, beta=beta, other_bits=tuple(other.bits))
+            for beta in (1, 5, 30, 60)
+        ]
+        with WorkerPool(2) as pool:
+            results = pool.map(evaluate_tau_job, jobs)
+        inline = [evaluate_tau_job(job) for job in jobs]
+        for (got, ops), (want, want_ops) in zip(results, inline):
+            assert got == want
+            assert ops.exponentiations == want_ops.exponentiations
+            assert ops.multiplications == want_ops.multiplications
+
+    def test_unpicklable_job_falls_back_inline(self):
+        pool = WorkerPool(2)
+        jobs = [lambda: 1, lambda: 2]  # lambdas cannot cross processes
+        results = pool.map(lambda f: f(), jobs)
+        assert results == [1, 2]
+        assert not pool.parallel  # pool marked broken, future maps stay inline
+        pool.shutdown()
+
+    def test_inline_fallback_restores_attached_counter(self, small_dl_group):
+        """The engine's party counter must survive in-process job runs."""
+        group = small_dl_group
+        from repro.crypto.bitenc import BitwiseElGamal
+        from repro.crypto.elgamal import ExponentialElGamal
+        from repro.groups.base import OperationCounter
+
+        rng = SeededRNG(22)
+        keypair = ExponentialElGamal(group).generate_keypair(rng)
+        other = BitwiseElGamal(group).encrypt(3, 4, keypair.public, rng)
+        party_counter = OperationCounter()
+        group.attach_counter(party_counter)
+        try:
+            job = TauJob(group=group, beta=2, other_bits=tuple(other.bits))
+            _, ops = evaluate_tau_job(job)
+            assert group.counter is party_counter
+            assert party_counter.exponentiations == 0  # job metered privately
+            assert ops.exponentiations > 0
+        finally:
+            group.attach_counter(None)
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_exactly(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        participants = make_participants(small_schema, 4, seed=13)
+        _, serial = _run(
+            small_dl_group, small_schema, small_initiator_input, participants
+        )
+        _, parallel = _run(
+            small_dl_group, small_schema, small_initiator_input, participants,
+            workers=3,
+        )
+        assert parallel.ranks == serial.ranks
+        assert parallel.betas == serial.betas
+        assert parallel.transcript.entries == serial.transcript.entries
+        assert parallel.rounds == serial.rounds
+
+    def test_parallel_metrics_match_serial(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        """With no pool, worker-side counters merge to the serial totals."""
+        participants = make_participants(small_schema, 3, seed=14)
+        _, serial = _run(
+            small_dl_group, small_schema, small_initiator_input, participants
+        )
+        _, parallel = _run(
+            small_dl_group, small_schema, small_initiator_input, participants,
+            workers=2,
+        )
+        for pid in serial.metrics:
+            s, p = serial.metrics[pid].ops, parallel.metrics[pid].ops
+            assert (s.multiplications, s.exponentiations, s.exponent_bits,
+                    s.inversions) == (
+                p.multiplications, p.exponentiations, p.exponent_bits,
+                p.inversions)
+
+    def test_accelerated_parallel_matches_plain_serial(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        """multiexp + pool + workers all on: still value-identical."""
+        participants = make_participants(small_schema, 4, seed=15)
+        framework, serial = _run(
+            small_dl_group, small_schema, small_initiator_input, participants
+        )
+        _, fast = _run(
+            small_dl_group, small_schema, small_initiator_input, participants,
+            workers=3, multiexp=True, precompute=32,
+        )
+        assert fast.ranks == serial.ranks
+        assert fast.betas == serial.betas
+        assert fast.transcript.entries == serial.transcript.entries
+        assert framework.check_result(fast) == []
+
+    def test_multiexp_serial_matches_plain_serial(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        participants = make_participants(small_schema, 3, seed=16)
+        _, plain = _run(
+            small_dl_group, small_schema, small_initiator_input, participants
+        )
+        _, fast = _run(
+            small_dl_group, small_schema, small_initiator_input, participants,
+            multiexp=True,
+        )
+        assert fast.ranks == plain.ranks
+        assert fast.transcript.entries == plain.transcript.entries
+
+    def test_precompute_serial_matches_plain_serial(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        participants = make_participants(small_schema, 3, seed=17)
+        _, plain = _run(
+            small_dl_group, small_schema, small_initiator_input, participants
+        )
+        _, pooled = _run(
+            small_dl_group, small_schema, small_initiator_input, participants,
+            precompute=16,
+        )
+        assert pooled.ranks == plain.ranks
+        assert pooled.transcript.entries == plain.transcript.entries
+
+    def test_config_validation(self, small_dl_group, small_schema):
+        with pytest.raises(ValueError):
+            FrameworkConfig(
+                group=small_dl_group, schema=small_schema,
+                num_participants=3, k=1, workers=0,
+            )
+        with pytest.raises(ValueError):
+            FrameworkConfig(
+                group=small_dl_group, schema=small_schema,
+                num_participants=3, k=1, precompute=-1,
+            )

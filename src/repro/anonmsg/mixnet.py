@@ -27,6 +27,7 @@ from repro.crypto.distkey import DistributedKey
 from repro.crypto.elgamal import Ciphertext, ElGamal
 from repro.groups.base import Element, Group
 from repro.math.rng import RNG
+from repro.runtime.errors import ProtocolAbort
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.crypto.precompute import RandomnessPool
@@ -57,6 +58,51 @@ class DecryptionMixnet:
         later = [m for m in self.member_ids if m > member_id]
         return self._distkey.partial_public_key(later)
 
+    def without_member(self, member_id: int) -> "DecryptionMixnet":
+        """A fresh mix-net over the surviving members (dropout recovery).
+
+        The dead member's key share is gone, so the survivors must
+        re-key and the senders re-submit under the new joint key — the
+        same restart the ranking framework performs when a chain member
+        crashes mid-shuffle.
+        """
+        survivors = {
+            m: self._distkey.public_share(m)
+            for m in self.member_ids
+            if m != member_id
+        }
+        if len(survivors) < 1:
+            raise ValueError("cannot drop the last mix member")
+        return DecryptionMixnet(self.group, survivors)
+
+    def validate_batch(
+        self, ciphertexts: Sequence[Ciphertext], src: int, *,
+        expected_size: Optional[int] = None,
+    ) -> None:
+        """Validated-abort check on a batch arriving from mix member ``src``.
+
+        A hop that drops, adds, or corrupts ciphertexts (components
+        outside the group) is blamed by id; downstream members never
+        touch an invalid batch.
+        """
+        if expected_size is not None and len(ciphertexts) != expected_size:
+            raise ProtocolAbort(
+                f"mix batch from P{src} has {len(ciphertexts)} ciphertexts, "
+                f"expected {expected_size}",
+                blamed=src, phase="mixing",
+            )
+        for ciphertext in ciphertexts:
+            if not (
+                isinstance(ciphertext, Ciphertext)
+                and self.group.is_element(ciphertext.c1)
+                and self.group.is_element(ciphertext.c2)
+            ):
+                raise ProtocolAbort(
+                    f"mix batch from P{src} contains a ciphertext with "
+                    "components outside the group",
+                    blamed=src, phase="mixing",
+                )
+
     def mix_hop(
         self,
         ciphertexts: Sequence[Ciphertext],
@@ -66,6 +112,7 @@ class DecryptionMixnet:
         *,
         pool: Optional["RandomnessPool"] = None,
         executor: Optional["WorkerPool"] = None,
+        validate_from: Optional[int] = None,
     ) -> List[Ciphertext]:
         """One member's peel + re-randomize + permute.
 
@@ -74,8 +121,11 @@ class DecryptionMixnet:
         re-randomize work out across worker slices with pre-drawn
         randomness, keeping the permutation draw on this side so the RNG
         consumption — and hence the transcript — matches the serial hop
-        byte for byte.
+        byte for byte.  ``validate_from`` (the previous hop's id) turns
+        on the validated-abort batch check before any peeling happens.
         """
+        if validate_from is not None:
+            self.validate_batch(ciphertexts, validate_from)
         remaining = self.remaining_key_after(member_id)
         is_last = member_id == self.member_ids[-1]
         if executor is not None and executor.parallel:

@@ -28,6 +28,7 @@ from repro.crypto.bitenc import BitwiseCiphertext
 from repro.crypto.elgamal import Ciphertext, ExponentialElGamal
 from repro.groups.base import Group
 from repro.math.modular import int_to_bits
+from repro.runtime.errors import ProtocolError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.crypto.precompute import RandomnessPool
@@ -90,6 +91,12 @@ class HomomorphicComparator:
         encrypted ``β_i``.  A zero plaintext will exist iff
         ``my_beta < β_i``."""
         width = other_bits.bit_length
+        if width <= 0:
+            raise ProtocolError("cannot compare against an empty bitwise operand")
+        if my_beta < 0 or my_beta >= (1 << width):
+            raise ProtocolError(
+                f"own beta does not fit the operand's {width}-bit width"
+            )
         my_bits = int_to_bits(my_beta, width)
         gammas = [
             self._encrypted_xor_with_plain(bit_ct, my_bit)

@@ -5,12 +5,35 @@ into the runtime engine, runs the three phases to completion, and
 returns a :class:`FrameworkResult` carrying the per-participant ranks,
 the initiator's verified top-k selection, the full message transcript
 and per-party metrics — everything the evaluation section consumes.
+
+Dropout recovery (``config.recovery=True``, an extension — the paper
+assumes every party stays live): when an attempt fails with a *typed,
+blamed* error (a crash surfacing as :class:`PartyTimeout`, or a
+:class:`ProtocolAbort` from validation), the blamed participant is
+excluded and the run deterministically restarts over the survivors:
+
+* if every survivor already recovered its masked gain β in the failed
+  attempt (the faulty party died *after* phase 1 — e.g. mid-keying,
+  before publishing its β-bit encryptions, or mid-chain), only phase 2
+  restarts: the survivors establish a fresh distributed key and re-run
+  the comparison and the decrypt–rerandomize–shuffle chain among
+  themselves, reusing their β values (all masked under the same ρ, so
+  their order is still the gain order);
+* otherwise (the fault hit phase 1 itself) the whole protocol restarts
+  over the survivors, including a fresh ρ.
+
+Restart determinism: attempt ``a > 0`` forks every party RNG under an
+``"A{a}|"``-prefixed label, so reruns are seeded functions of (base
+seed, attempt number) and a replay with the same fault plan is
+byte-identical.  The fault injector itself is shared across attempts —
+its per-spec match counters keep counting, so a ``count=1`` fault does
+not re-fire on the rerun.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.gain import (
     AttributeSchema,
@@ -19,14 +42,19 @@ from repro.core.gain import (
     partial_gain,
 )
 from repro.core.parties import (
+    INITIATOR_ID,
     FrameworkConfig,
     InitiatorOutput,
     InitiatorParty,
     ParticipantParty,
+    phase_of_tag,
 )
 from repro.math.rng import RNG, SeededRNG
 from repro.runtime.engine import Engine
+from repro.runtime.errors import PartyTimeout, ProtocolAbort, ProtocolError
+from repro.runtime.faults import FaultInjector, FaultSpec
 from repro.runtime.metrics import PartyMetrics
+from repro.runtime.supervisor import Supervisor
 from repro.runtime.transcript import Transcript
 
 __all__ = ["FrameworkConfig", "FrameworkResult", "GroupRankingFramework"]
@@ -42,6 +70,8 @@ class FrameworkResult:
     metrics: Dict[int, PartyMetrics]
     rounds: int
     betas: Dict[int, int]                  # participant id -> unsigned β (for analysis)
+    attempts: int = 1                      # 1 = no recovery was needed
+    excluded: List[int] = field(default_factory=list)  # blamed & dropped ids
 
     def selected_ids(self) -> List[int]:
         return [party_id for party_id, _, _ in self.initiator_output.selected]
@@ -75,32 +105,128 @@ class GroupRankingFramework:
         self.participant_inputs = list(participant_inputs)
         self._rng = rng or SeededRNG(0)
 
-    def run(self) -> FrameworkResult:
+    def run(
+        self,
+        faults: Union[FaultInjector, Sequence[FaultSpec], None] = None,
+    ) -> FrameworkResult:
+        """Run the framework, optionally under an injected fault plan.
+
+        Without ``config.recovery`` any typed failure propagates to the
+        caller (naming the blamed party).  With it, blamed participants
+        are excluded and the run restarts over the survivors until it
+        completes or fewer than 2 participants remain.
+        """
+        config = self.config
+        injector = self._make_injector(faults)
+        active = list(config.participant_ids)
+        excluded: List[int] = []
+        known_betas: Dict[int, int] = {}
+        attempt = 0
+        while True:
+            try:
+                result = self._run_attempt(active, known_betas, attempt, injector)
+            except (PartyTimeout, ProtocolAbort) as failure:
+                blamed = failure.blamed
+                if not (
+                    config.recovery
+                    and blamed is not None
+                    and blamed != INITIATOR_ID
+                    and blamed in active
+                ):
+                    raise
+                if len(active) - 1 < 2:
+                    raise ProtocolError(
+                        f"cannot recover: excluding P{blamed} leaves fewer "
+                        "than 2 participants"
+                    ) from failure
+                active = [j for j in active if j != blamed]
+                excluded.append(blamed)
+                known_betas = self._harvest_betas(active)
+                attempt += 1
+                continue
+            result.attempts = attempt + 1
+            result.excluded = list(excluded)
+            return result
+
+    def _make_injector(self, faults) -> Optional[FaultInjector]:
+        if faults is None or isinstance(faults, FaultInjector):
+            return faults
+        return FaultInjector(
+            list(faults), rng=_fork(self._rng, "faults"), phase_of=phase_of_tag
+        )
+
+    def _harvest_betas(self, survivors: Sequence[int]) -> Dict[int, int]:
+        """β values recoverable from the failed attempt's survivor objects.
+
+        Valid for a phase-2-only restart iff *every* survivor completed
+        phase 1 in the failed attempt — all such β share one ρ, so their
+        order is the gain order.  A partial harvest is discarded (mixing
+        β masked under different ρ would corrupt the ranking).
+        """
+        harvested: Dict[int, int] = {}
+        for j in survivors:
+            party = getattr(self, "last_parties", {}).get(j)
+            beta = getattr(party, "beta_unsigned", None)
+            if beta is None:
+                return {}
+            harvested[j] = beta
+        return harvested
+
+    def _run_attempt(
+        self,
+        active: List[int],
+        known_betas: Dict[int, int],
+        attempt: int,
+        injector: Optional[FaultInjector],
+    ) -> FrameworkResult:
         config = self.config
         worker_pool = None
         if config.workers > 1:
             from repro.runtime.parallel import WorkerPool
 
             worker_pool = WorkerPool(config.workers)
-        engine = Engine(metered_groups=[config.group], worker_pool=worker_pool)
+        supervisor = Supervisor(
+            timeout_rounds=config.timeout_rounds,
+            max_retries=config.max_retries,
+            phase_of=phase_of_tag,
+        )
+        engine = Engine(
+            metered_groups=[config.group],
+            worker_pool=worker_pool,
+            faults=injector,
+            supervisor=supervisor,
+        )
         rng = self._rng
+        prefix = "" if attempt == 0 else f"A{attempt}|"
+        resume = bool(known_betas) and all(j in known_betas for j in active)
         initiator = InitiatorParty(
-            config, self.initiator_input, _fork(rng, "initiator")
+            config,
+            self.initiator_input,
+            _fork(rng, prefix + "initiator"),
+            active_ids=active,
+            run_gain_phase=not resume,
         )
         engine.add_party(initiator)
         participants: List[ParticipantParty] = []
-        for j, secret_input in enumerate(self.participant_inputs, start=1):
-            party = ParticipantParty(config, j, secret_input, _fork(rng, f"P{j}"))
+        for j in active:
+            party = ParticipantParty(
+                config,
+                j,
+                self.participant_inputs[j - 1],
+                _fork(rng, prefix + f"P{j}"),
+                active_ids=active,
+                known_beta=known_betas.get(j) if resume else None,
+            )
             engine.add_party(party)
             participants.append(party)
+        # Kept for the security-game harness (which inspects *adversarial*
+        # parties' internals) and for β harvesting after a failed attempt.
+        self.last_parties = engine.parties
         try:
             outputs = engine.run()
         finally:
             if worker_pool is not None:
                 worker_pool.shutdown()
-        # Kept for the security-game harness, which inspects *adversarial*
-        # parties' internals after a run.
-        self.last_parties = engine.parties
         ranks = {party.party_id: party.rank for party in participants}
         betas = {party.party_id: party.beta_unsigned for party in participants}
         return FrameworkResult(
@@ -119,14 +245,18 @@ class GroupRankingFramework:
             for j, values in enumerate(self.participant_inputs, start=1)
         }
 
-    def expected_ranks(self) -> Dict[int, int]:
+    def expected_ranks(self, among: Optional[Sequence[int]] = None) -> Dict[int, int]:
         """Rank each participant would get with in-the-clear sorting.
 
         Rank of ``j`` is ``1 + #{i : p_i > p_j}``; equal partial gains
         share a rank, exactly as the framework's zero-count does for
-        equal β values.
+        equal β values.  ``among`` restricts the comparison to a
+        survivor subset (ranks are relative to the parties actually
+        ranked, so dropout runs rank among survivors only).
         """
         gains = self.expected_partial_gains()
+        if among is not None:
+            gains = {j: gains[j] for j in among}
         return {
             j: 1 + sum(1 for other in gains.values() if other > mine)
             for j, mine in gains.items()
@@ -138,10 +268,13 @@ class GroupRankingFramework:
         Returns a list of discrepancies (empty means the run is correct).
         Participants whose partial gains tie may legitimately receive
         adjacent ranks depending on the masking draw, so ties accept a
-        range.
+        range.  After a recovery run, ranks are checked among the
+        survivors (``result.ranks``'s key set) only.
         """
         problems: List[str] = []
-        gains = self.expected_partial_gains()
+        gains = {
+            j: g for j, g in self.expected_partial_gains().items() if j in result.ranks
+        }
         for j, rank in result.ranks.items():
             strictly_better = sum(1 for g in gains.values() if g > gains[j])
             ties = sum(1 for g in gains.values() if g == gains[j])  # includes self

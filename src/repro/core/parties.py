@@ -9,12 +9,28 @@ submissions.
 secure gain computation, unlinkable gain comparison (distributed keying
 with ZKPs, bitwise encryption, homomorphic comparison, the shuffle
 chain) and ranking submission.
+
+Fault tolerance (beyond the paper, which assumes all parties stay live):
+
+* both roles run over an explicit **active set** of participant ids —
+  the chain successor/predecessor relation is positional in that set,
+  so the framework can re-run phase 2 over the survivors of a dropout
+  with the dead party simply absent;
+* a participant that already knows its masked gain (``known_beta``,
+  harvested from a failed attempt) skips phase 1 on the re-run, and the
+  initiator correspondingly skips its dot-product service loop;
+* every received message is validated — field ranges, group
+  membership, proof verification, set sizes — and failures raise
+  :class:`ProtocolAbort` carrying ``blamed``/``phase`` so the runtime
+  can name the culprit and exclude it;
+* the initiator's any-source loops are duplicate-tolerant (at-least-once
+  delivery: a retransmitted or duplicated request is answered once).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.comparison import HomomorphicComparator
 from repro.core.gain import (
@@ -26,7 +42,7 @@ from repro.core.gain import (
     partial_gain,
     to_unsigned,
 )
-from repro.core.shuffle import ShuffleProcessor
+from repro.core.shuffle import ShuffleProcessor, chain_set_flaw
 from repro.crypto.bitenc import BitwiseCiphertext, BitwiseElGamal
 from repro.crypto.distkey import DistributedKey
 from repro.crypto.elgamal import Ciphertext
@@ -54,6 +70,33 @@ TAG_CHAIN = "chain"
 TAG_FINAL_SET = "final-set"
 TAG_SUBMISSION = "submission"
 
+# Named protocol phases, used for blame reports and fault targeting.
+PHASE_GAIN = "gain"
+PHASE_KEYING = "keying"
+PHASE_COMPARISON = "comparison"
+PHASE_CHAIN = "chain"
+PHASE_SUBMISSION = "submission"
+
+PHASE_BY_TAG: Dict[str, str] = {
+    TAG_DP_REQUEST: PHASE_GAIN,
+    TAG_DP_RESPONSE: PHASE_GAIN,
+    TAG_PK_SHARE: PHASE_KEYING,
+    TAG_ZKP_COMMIT: PHASE_KEYING,
+    TAG_ZKP_CHALLENGE: PHASE_KEYING,
+    TAG_ZKP_RESPONSE: PHASE_KEYING,
+    TAG_ZKP_NIZK: PHASE_KEYING,
+    TAG_BETA_BITS: PHASE_COMPARISON,
+    TAG_TAU_SETS: PHASE_CHAIN,
+    TAG_CHAIN: PHASE_CHAIN,
+    TAG_FINAL_SET: PHASE_CHAIN,
+    TAG_SUBMISSION: PHASE_SUBMISSION,
+}
+
+
+def phase_of_tag(tag: str) -> str:
+    """The named framework phase a message tag belongs to."""
+    return PHASE_BY_TAG.get(tag, tag)
+
 
 @dataclass
 class FrameworkConfig:
@@ -73,6 +116,18 @@ class FrameworkConfig:
     * ``workers`` — process-pool width for the comparison and shuffle
       fan-out.  ``1`` (default) runs fully serial; any value produces
       the same ranks and a byte-identical transcript for the same seed.
+
+    Robustness switches:
+
+    * ``recovery`` — when a run fails with a typed, blamed error
+      (crash, timeout, validated abort), exclude the blamed participant
+      and deterministically re-run over the survivors.
+    * ``timeout_rounds``/``max_retries`` — the supervisor's per-receive
+      deadline (in engine rounds) and retransmit budget per lost
+      message.
+    * ``validate_elements`` — group-membership-check every ciphertext
+      received in the comparison and chain phases (cheap, unmetered;
+      disable only for benchmarking the paper's original cost model).
     """
 
     group: Group
@@ -92,6 +147,10 @@ class FrameworkConfig:
     multiexp: bool = False
     precompute: int = 0
     workers: int = 1
+    recovery: bool = False
+    timeout_rounds: int = 6
+    max_retries: int = 2
+    validate_elements: bool = True
 
     def __post_init__(self):
         if self.zkp_mode not in ("interactive", "fiat-shamir"):
@@ -100,6 +159,10 @@ class FrameworkConfig:
             raise ValueError("workers must be at least 1")
         if self.precompute < 0:
             raise ValueError("precompute must be non-negative")
+        if self.timeout_rounds < 1:
+            raise ValueError("timeout_rounds must be at least 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         from repro.core.gain import beta_bit_length
         from repro.math.primes import next_prime
 
@@ -152,38 +215,72 @@ class InitiatorOutput:
 
 
 class InitiatorParty(Party):
-    """``P_0``: gain-computation counterpart, ZKP verifier, collector."""
+    """``P_0``: gain-computation counterpart, ZKP verifier, collector.
 
-    def __init__(self, config: FrameworkConfig, secret_input: InitiatorInput, rng: RNG):
+    ``active_ids`` restricts the run to a surviving subset of
+    participants (dropout recovery); ``run_gain_phase=False`` skips the
+    dot-product service loop on a phase-2 restart where every survivor
+    already knows its β.
+    """
+
+    def __init__(
+        self,
+        config: FrameworkConfig,
+        secret_input: InitiatorInput,
+        rng: RNG,
+        *,
+        active_ids: Optional[Sequence[int]] = None,
+        run_gain_phase: bool = True,
+    ):
         super().__init__(INITIATOR_ID, rng)
         self.config = config
         self.secret_input = secret_input
+        self.active_ids: List[int] = sorted(
+            active_ids if active_ids is not None else config.participant_ids
+        )
+        self.run_gain_phase = run_gain_phase
         self._zkp = MultiVerifierSchnorrProof(config.group)
 
     def protocol(self):
         config = self.config
-        participants = config.participant_ids
+        participants = self.active_ids
         dot = config.dot_protocol()
 
         # ---- Phase 1: secure gain computation (steps 1, 3) ----
-        rho = max(2, self.rng.randbits(config.rho_bits) | (1 << (config.rho_bits - 1)))
-        # ρ and the per-participant ρ_j are the initiator's private state;
-        # the security games read them only when the initiator is
-        # adversary-controlled.
-        self.rho = rho
-        self.rho_assignments: Dict[int, int] = {}
-        extended = initiator_extended_vector(config.schema, self.secret_input, rho)
-        response_bits = dot.message_bits(len(extended))[1]
-        for _ in participants:
-            message = yield from self.recv(None, TAG_DP_REQUEST)
-            # ρ_j drawn from [0, ρ) so that distinct partial gains always
-            # yield strictly ordered β values (see gain.py docs).
-            rho_j = self.rng.randrange(rho)
-            self.rho_assignments[message.src] = rho_j
-            response = dot.alice_respond(message.payload, extended, rho_j)
-            self.send(message.src, TAG_DP_RESPONSE, response, size_bits=response_bits)
+        self.set_phase(PHASE_GAIN)
+        if self.run_gain_phase:
+            rho = max(
+                2, self.rng.randbits(config.rho_bits) | (1 << (config.rho_bits - 1))
+            )
+            # ρ and the per-participant ρ_j are the initiator's private
+            # state; the security games read them only when the initiator
+            # is adversary-controlled.
+            self.rho = rho
+            self.rho_assignments: Dict[int, int] = {}
+            extended = initiator_extended_vector(config.schema, self.secret_input, rho)
+            response_bits = dot.message_bits(len(extended))[1]
+            pending: Set[int] = set(participants)
+            while pending:
+                message = yield from self.recv(None, TAG_DP_REQUEST)
+                if message.src not in pending:
+                    continue  # duplicate request (at-least-once delivery)
+                if not dot.validate_request(message.payload):
+                    raise ProtocolAbort(
+                        f"P{message.src} sent a malformed dot-product request",
+                        blamed=message.src, phase=PHASE_GAIN,
+                    )
+                pending.discard(message.src)
+                # ρ_j drawn from [0, ρ) so that distinct partial gains
+                # always yield strictly ordered β values (see gain.py docs).
+                rho_j = self.rng.randrange(rho)
+                self.rho_assignments[message.src] = rho_j
+                response = dot.alice_respond(message.payload, extended, rho_j)
+                self.send(
+                    message.src, TAG_DP_RESPONSE, response, size_bits=response_bits
+                )
 
         # ---- Phase 2 (verifier role only): check every participant's ZKP ----
+        self.set_phase(PHASE_KEYING)
         publics: Dict[int, Element] = {}
         if config.verify_zkp and config.zkp_mode == "fiat-shamir":
             for j in participants:
@@ -192,8 +289,7 @@ class InitiatorParty(Party):
                 nizk = NonInteractiveSchnorrProof(
                     config.group, context=b"repro-keying|" + str(j).encode()
                 )
-                if not nizk.verify(their_public, their_proof):
-                    raise ProtocolAbort(f"P{j}'s key-knowledge NIZK failed")
+                nizk.verify_or_abort(their_public, their_proof, blamed=j)
                 publics[j] = their_public
         elif config.verify_zkp:
             commits: Dict[int, Element] = {}
@@ -209,15 +305,24 @@ class InitiatorParty(Party):
                 response_msg = yield from self.recv(j, TAG_ZKP_RESPONSE)
                 commitment, challenges, z = response_msg.payload
                 if not config.group.eq(commitment, commits[j]):
-                    raise ProtocolAbort(f"P{j} answered a different commitment")
-                if not self._zkp.verify_multi(publics[j], commitment, challenges, z):
-                    raise ProtocolAbort(f"P{j}'s key-knowledge proof failed")
+                    raise ProtocolAbort(
+                        f"P{j} answered a different commitment",
+                        blamed=j, phase=PHASE_KEYING,
+                    )
+                self._zkp.verify_multi_or_abort(
+                    publics[j], commitment, challenges, z, blamed=j
+                )
 
         # ---- Phase 3: collect submissions, re-verify, select top k ----
+        self.set_phase(PHASE_SUBMISSION)
         output = InitiatorOutput()
         gains: Dict[int, int] = {}
-        for _ in participants:
+        pending = set(participants)
+        while pending:
             message = yield from self.recv(None, TAG_SUBMISSION)
+            if message.src not in pending:
+                continue  # duplicate submission
+            pending.discard(message.src)
             submission = message.payload
             if submission is None:
                 continue
@@ -235,9 +340,10 @@ class InitiatorParty(Party):
         initiator can recompute the gain from the submitted vector.
         """
         config = self.config
-        if len(output.selected) < config.k and len(output.selected) < config.num_participants:
+        active = len(self.active_ids)
+        if len(output.selected) < config.k and len(output.selected) < active:
             output.anomalies.append(
-                f"expected at least {min(config.k, config.num_participants)} submissions, "
+                f"expected at least {min(config.k, active)} submissions, "
                 f"got {len(output.selected)}"
             )
         for earlier, later in zip(output.selected, output.selected[1:]):
@@ -250,7 +356,13 @@ class InitiatorParty(Party):
 
 
 class ParticipantParty(Party):
-    """``P_j``: the full three-phase participant behaviour."""
+    """``P_j``: the full three-phase participant behaviour.
+
+    ``active_ids`` names the surviving participants this run ranks
+    (defaults to all of them); ``known_beta`` carries the masked gain
+    recovered in a previous attempt so a phase-2 restart skips the
+    dot-product exchange entirely.
+    """
 
     def __init__(
         self,
@@ -258,12 +370,23 @@ class ParticipantParty(Party):
         party_id: int,
         secret_input: ParticipantInput,
         rng: RNG,
+        *,
+        active_ids: Optional[Sequence[int]] = None,
+        known_beta: Optional[int] = None,
     ):
         if party_id < 1 or party_id > config.num_participants:
             raise ValueError("participant ids run from 1 to n")
         super().__init__(party_id, rng)
         self.config = config
         self.secret_input = secret_input
+        self.active_ids: List[int] = sorted(
+            active_ids if active_ids is not None else config.participant_ids
+        )
+        if party_id not in self.active_ids:
+            raise ValueError(f"participant {party_id} is not in the active set")
+        if len(self.active_ids) < 2:
+            raise ValueError("the comparison phase needs at least 2 active parties")
+        self.known_beta = known_beta
         self._zkp = MultiVerifierSchnorrProof(config.group)
         self.beta_unsigned: Optional[int] = None   # exposed for analysis/tests
         self.rank: Optional[int] = None
@@ -274,7 +397,12 @@ class ParticipantParty(Party):
     # -- helpers ---------------------------------------------------------------
     @property
     def _others(self) -> List[int]:
-        return [j for j in self.config.participant_ids if j != self.party_id]
+        return [j for j in self.active_ids if j != self.party_id]
+
+    @property
+    def _position(self) -> int:
+        """This party's index in the (sorted) active set — the chain slot."""
+        return self.active_ids.index(self.party_id)
 
     # -- misbehaviour hooks (overridden by the fault-injection tests) ----------
     def _proof_secret(self, secret: int) -> int:
@@ -291,11 +419,14 @@ class ParticipantParty(Party):
         return rank
 
     def _outgoing_tau_set(self, my_set: List[Ciphertext]) -> List[Ciphertext]:
-        """The comparison set this party ships to P_1 (honest: all of it)."""
+        """The comparison set this party ships to the chain head (honest: all)."""
         return my_set
 
     def protocol(self):
-        beta = yield from self._phase_gain_computation()
+        if self.known_beta is not None:
+            beta = self.known_beta       # phase-2 restart: β already known
+        else:
+            beta = yield from self._phase_gain_computation()
         self.beta_unsigned = beta
         rank = yield from self._phase_unlinkable_comparison(beta)
         self.rank = rank
@@ -305,6 +436,7 @@ class ParticipantParty(Party):
     # -- Phase 1 -----------------------------------------------------------------
     def _phase_gain_computation(self):
         """Steps 2 and 4: dot product with P_0, recover masked gain β."""
+        self.set_phase(PHASE_GAIN)
         config = self.config
         dot = config.dot_protocol()
         extended = participant_extended_vector(config.schema, self.secret_input)
@@ -314,6 +446,11 @@ class ParticipantParty(Party):
             size_bits=dot.message_bits(len(extended))[0],
         )
         message = yield from self.recv(INITIATOR_ID, TAG_DP_RESPONSE)
+        if not dot.validate_response(message.payload):
+            raise ProtocolAbort(
+                "the initiator sent a malformed dot-product response",
+                blamed=INITIATOR_ID, phase=PHASE_GAIN,
+            )
         beta_signed = dot.bob_recover(state, message.payload)
         return to_unsigned(beta_signed, config.beta_bits)
 
@@ -324,6 +461,7 @@ class ParticipantParty(Party):
         others = self._others
 
         # Step 5: distributed keying with knowledge proofs.
+        self.set_phase(PHASE_KEYING)
         distkey = DistributedKey(group)
         share = distkey.make_share(self.party_id, self.rng)
         distkey.register_public(self.party_id, share.public)
@@ -340,14 +478,14 @@ class ParticipantParty(Party):
             )
 
         # Step 6: publish bitwise encryption of β under the joint key.
+        self.set_phase(PHASE_COMPARISON)
         bitwise = BitwiseElGamal(group, pool=pool, multiexp=config.multiexp)
         my_bits_ct = self._published_beta_bits(bitwise, beta, joint_key)
         beta_bits_size = bitwise.ciphertext_bits(config.beta_bits)
         self.broadcast(others, TAG_BETA_BITS, my_bits_ct, size_bits=beta_bits_size)
         other_bits = yield from self.recv_from_all(others, TAG_BETA_BITS)
         for src, received in other_bits.items():
-            if not bitwise.validate(received, config.beta_bits):
-                raise ProtocolError(f"P{src} sent a malformed bitwise ciphertext")
+            bitwise.validate_or_abort(received, config.beta_bits, blamed=src)
 
         # Step 7: homomorphic comparisons; flatten into this party's set ℰ_j.
         # One comparison per peer, each RNG-free — the parallel engine fans
@@ -380,7 +518,8 @@ class ParticipantParty(Party):
             for i in sorted(other_bits):
                 my_set.extend(comparator.encrypted_taus(beta, other_bits[i]))
 
-        # Step 8: the chain P_1 → P_2 → … → P_n.
+        # Step 8: the chain over the active set, in position order.
+        self.set_phase(PHASE_CHAIN)
         rank_zeros = yield from self._run_shuffle_chain(my_set, share.secret)
         return rank_zeros + 1
 
@@ -401,14 +540,20 @@ class ParticipantParty(Party):
         element_bits = group.element_bits
         order_bits = group.order.bit_length()
 
+        def require_element(candidate, blamed):
+            if not group.is_element(candidate):
+                raise ProtocolAbort(
+                    f"P{blamed} published an invalid public key share",
+                    blamed=blamed, phase=PHASE_KEYING,
+                )
+
         publics: Dict[int, Element] = {}
         if not config.verify_zkp:
             # Keying without proofs (testing/ablation): exchange shares only.
             self.broadcast(others, TAG_PK_SHARE, share.public, size_bits=element_bits)
             for j in others:
                 share_msg = yield from self.recv(j, TAG_PK_SHARE)
-                if not group.is_element(share_msg.payload):
-                    raise ProtocolError(f"P{j} published an invalid public key share")
+                require_element(share_msg.payload, j)
                 publics[j] = share_msg.payload
                 distkey.register_public(j, share_msg.payload)
             return publics
@@ -427,13 +572,11 @@ class ParticipantParty(Party):
             for j in others:
                 message = yield from self.recv(j, TAG_ZKP_NIZK)
                 their_public, their_proof = message.payload
-                if not group.is_element(their_public):
-                    raise ProtocolError(f"P{j} published an invalid public key share")
+                require_element(their_public, j)
                 peer_nizk = NonInteractiveSchnorrProof(
                     group, context=b"repro-keying|" + str(j).encode()
                 )
-                if not peer_nizk.verify(their_public, their_proof):
-                    raise ProtocolAbort(f"P{j}'s key-knowledge NIZK failed")
+                peer_nizk.verify_or_abort(their_public, their_proof, blamed=j)
                 publics[j] = their_public
                 distkey.register_public(j, their_public)
             return publics
@@ -445,8 +588,7 @@ class ParticipantParty(Party):
         commits: Dict[int, Element] = {}
         for j in others:
             share_msg = yield from self.recv(j, TAG_PK_SHARE)
-            if not group.is_element(share_msg.payload):
-                raise ProtocolError(f"P{j} published an invalid public key share")
+            require_element(share_msg.payload, j)
             publics[j] = share_msg.payload
             distkey.register_public(j, share_msg.payload)
             commit_msg = yield from self.recv(j, TAG_ZKP_COMMIT)
@@ -471,72 +613,104 @@ class ParticipantParty(Party):
             response_msg = yield from self.recv(j, TAG_ZKP_RESPONSE)
             their_commit, their_challenges, z = response_msg.payload
             if not group.eq(their_commit, commits[j]):
-                raise ProtocolAbort(f"P{j} answered a different commitment")
-            if not self._zkp.verify_multi(publics[j], their_commit, their_challenges, z):
-                raise ProtocolAbort(f"P{j}'s key-knowledge proof failed")
+                raise ProtocolAbort(
+                    f"P{j} answered a different commitment",
+                    blamed=j, phase=PHASE_KEYING,
+                )
+            self._zkp.verify_multi_or_abort(
+                publics[j], their_commit, their_challenges, z, blamed=j
+            )
         return publics
 
+    # -- Step 8: chain validation helpers ---------------------------------------
+    def _expected_set_size(self) -> int:
+        # Every ℰ_j must hold exactly l·(n_active−1) ciphertexts; anyone
+        # in the chain can (and does) check, so a member dropping or
+        # injecting ciphertexts is caught at the next hop.
+        return self.config.beta_bits * (len(self.active_ids) - 1)
+
+    def _validate_set(self, cipher_set, blamed: int) -> None:
+        """Size + group-membership check on one comparison set."""
+        flaw = chain_set_flaw(
+            self.config.group,
+            cipher_set,
+            self._expected_set_size(),
+            check_membership=self.config.validate_elements,
+        )
+        if flaw is not None:
+            raise ProtocolAbort(
+                f"chain vector tampered: {flaw}",
+                blamed=blamed, phase=PHASE_CHAIN,
+            )
+
+    def _validate_vector(self, sets, blamed: int) -> None:
+        if not isinstance(sets, (list, tuple)) or len(sets) != len(self.active_ids):
+            raise ProtocolAbort(
+                "chain vector tampered: wrong number of comparison sets",
+                blamed=blamed, phase=PHASE_CHAIN,
+            )
+        for cipher_set in sets:
+            self._validate_set(cipher_set, blamed)
+
     def _run_shuffle_chain(self, my_set: List[Ciphertext], secret: int):
-        """Step 8 plus the first half of step 9 (count own zeros)."""
+        """Step 8 plus the first half of step 9 (count own zeros).
+
+        Chain order is positional in the active set: the first active
+        participant gathers the ℰ sets, the last distributes the final
+        vector — so the same code runs a full group or a survivor
+        subset.
+        """
         config = self.config
-        n = config.num_participants
-        me = self.party_id
+        active = self.active_ids
+        position = self._position
         others = self._others
         processor = ShuffleProcessor(
             config.group, rerandomize=config.rerandomize, permute=config.permute
         )
         executor = self._worker_pool()
         set_bits = len(my_set) * config.ciphertext_bits()
-        vector_bits = n * set_bits
-        # Every ℰ_j must hold exactly l·(n−1) ciphertexts; anyone in the
-        # chain can (and does) check, so a member dropping or injecting
-        # ciphertexts is caught at the next hop.
-        expected_set_size = config.beta_bits * (n - 1)
-        if len(my_set) != expected_set_size:
+        vector_bits = len(active) * set_bits
+        head, tail = active[0], active[-1]
+        if len(my_set) != self._expected_set_size():
             raise ProtocolError("own comparison set has the wrong size")
 
-        def check_vector(sets):
-            if len(sets) != n or any(
-                len(cipher_set) != expected_set_size for cipher_set in sets
-            ):
-                raise ProtocolError(
-                    "chain vector tampered: a comparison set has the wrong size"
-                )
-
-        if me == 1:
-            # P_1 gathers every ℰ_j, builds V, processes, forwards.
-            vector: List[List[Ciphertext]] = [my_set]
+        if position == 0:
+            # The chain head gathers every ℰ_j, builds V, processes, forwards.
             received = yield from self.recv_from_all(others, TAG_TAU_SETS)
+            vector: List[List[Ciphertext]] = [my_set]
             for j in sorted(received):
-                vector.append(received[j])
-            check_vector(vector)
+                self._validate_set(received[j], blamed=j)
+                vector.append(list(received[j]))
             vector = processor.process_vector(
                 vector, own_index=0, secret=secret, rng=self.rng, executor=executor
             )
-            self.send(2, TAG_CHAIN, vector, size_bits=vector_bits)
-            final_msg = yield from self.recv(n, TAG_FINAL_SET)
+            self.send(active[1], TAG_CHAIN, vector, size_bits=vector_bits)
+            final_msg = yield from self.recv(tail, TAG_FINAL_SET)
             final_set = final_msg.payload
         else:
-            self.send(1, TAG_TAU_SETS, self._outgoing_tau_set(my_set),
+            self.send(head, TAG_TAU_SETS, self._outgoing_tau_set(my_set),
                       size_bits=set_bits)
-            chain_msg = yield from self.recv(me - 1, TAG_CHAIN)
-            check_vector(chain_msg.payload)
+            predecessor = active[position - 1]
+            chain_msg = yield from self.recv(predecessor, TAG_CHAIN)
+            self._validate_vector(chain_msg.payload, blamed=predecessor)
             vector = processor.process_vector(
-                chain_msg.payload, own_index=me - 1, secret=secret, rng=self.rng,
+                chain_msg.payload, own_index=position, secret=secret, rng=self.rng,
                 executor=executor,
             )
-            if me < n:
-                self.send(me + 1, TAG_CHAIN, vector, size_bits=vector_bits)
-                final_msg = yield from self.recv(n, TAG_FINAL_SET)
+            if position < len(active) - 1:
+                self.send(active[position + 1], TAG_CHAIN, vector,
+                          size_bits=vector_bits)
+                final_msg = yield from self.recv(tail, TAG_FINAL_SET)
                 final_set = final_msg.payload
             else:
-                # P_n distributes the fully processed sets to their owners.
+                # The chain tail distributes the processed sets to their owners.
                 for j in others:
-                    self.send(j, TAG_FINAL_SET, vector[j - 1], size_bits=set_bits)
-                final_set = vector[me - 1]
+                    self.send(j, TAG_FINAL_SET, vector[active.index(j)],
+                              size_bits=set_bits)
+                final_set = vector[position]
 
-        if len(final_set) != len(my_set):
-            raise ProtocolError("shuffle chain altered the size of my ciphertext set")
+        if self.party_id != tail:
+            self._validate_set(final_set, blamed=tail)
         zeros, residues = processor.decrypt_residues(final_set, secret)
         self.final_residues = residues
         return zeros
@@ -549,6 +723,7 @@ class ParticipantParty(Party):
         simulated initiator can terminate deterministically; on a real
         network P_0 would simply stop waiting.
         """
+        self.set_phase(PHASE_SUBMISSION)
         config = self.config
         rank = self._claimed_rank(rank)
         if rank <= config.k:

@@ -83,12 +83,30 @@ class BitwiseElGamal:
         return int_from_bits(bits)
 
     def validate(self, ciphertext: BitwiseCiphertext, expected_width: int) -> bool:
-        """Structural check on a received bitwise ciphertext."""
+        """Structural check on a received bitwise ciphertext.
+
+        Covers both shape (exactly ``expected_width`` ciphertexts) and
+        group membership of every component, so a corrupted or truncated
+        broadcast is caught before any homomorphic operation touches it.
+        """
         return (
             isinstance(ciphertext, BitwiseCiphertext)
             and ciphertext.bit_length == expected_width
             and all(self.scheme.validate(bit_ct) for bit_ct in ciphertext)
         )
+
+    def validate_or_abort(
+        self, ciphertext: BitwiseCiphertext, expected_width: int, *,
+        blamed: int, phase: str = "comparison",
+    ) -> None:
+        """Validated-abort wrapper: a malformed broadcast names its sender."""
+        from repro.runtime.errors import ProtocolAbort
+
+        if not self.validate(ciphertext, expected_width):
+            raise ProtocolAbort(
+                f"P{blamed} sent a malformed bitwise ciphertext",
+                blamed=blamed, phase=phase,
+            )
 
     def ciphertext_bits(self, width: int) -> int:
         """Wire size of one bitwise ciphertext."""

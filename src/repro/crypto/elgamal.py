@@ -41,6 +41,7 @@ from repro.math.multiexp import (
     small_exp,
 )
 from repro.math.rng import RNG
+from repro.runtime.errors import ProtocolError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (precompute imports us)
     from repro.crypto.precompute import RandomnessPool, RandomPair
@@ -100,7 +101,32 @@ class ElGamal:
             c2=self.group.exp_generator(r),
         )
 
+    def validate(self, ciphertext: Any) -> bool:
+        """Structural check on an incoming ciphertext."""
+        return (
+            isinstance(ciphertext, Ciphertext)
+            and self.group.is_element(ciphertext.c1)
+            and self.group.is_element(ciphertext.c2)
+        )
+
+    def _require_valid(self, ciphertext: Ciphertext, operation: str) -> None:
+        """Group-membership guard on ciphertexts crossing a trust boundary.
+
+        An element outside the prime-order subgroup would not make
+        decryption fail — it would silently produce a garbage plaintext
+        (and can leak key bits via small-subgroup confinement), so both
+        :meth:`decrypt` and :meth:`rerandomize` reject it loudly.  The
+        membership test is unmetered (no group ops are recorded), so
+        operation counts stay comparable with the paper's accounting.
+        """
+        if not self.validate(ciphertext):
+            raise ProtocolError(
+                f"refusing to {operation} a ciphertext with components "
+                "outside the group"
+            )
+
     def decrypt(self, ciphertext: Ciphertext, secret_key: int) -> Element:
+        self._require_valid(ciphertext, "decrypt")
         mask = self.group.exp(ciphertext.c2, secret_key)
         return self.group.div(ciphertext.c1, mask)
 
@@ -108,6 +134,7 @@ class ElGamal:
         self, ciphertext: Ciphertext, public_key: Element, rng: RNG
     ) -> Ciphertext:
         """A fresh encryption of the same plaintext (multiply in E(1))."""
+        self._require_valid(ciphertext, "rerandomize")
         pair = self._pooled_pair(public_key)
         if pair is not None:
             return Ciphertext(
@@ -229,11 +256,3 @@ class ExponentialElGamal(ElGamal):
         if self.pool is not None and self.pool.matches_key(public_key):
             return self.pool.encryption_of_zero()
         return self.encrypt(0, public_key, rng)
-
-    def validate(self, ciphertext: Any) -> bool:
-        """Structural check on an incoming ciphertext."""
-        return (
-            isinstance(ciphertext, Ciphertext)
-            and self.group.is_element(ciphertext.c1)
-            and self.group.is_element(ciphertext.c2)
-        )

@@ -20,6 +20,7 @@ from typing import List, Sequence
 from repro.groups.base import Element, Group
 from repro.math.modular import mod_inverse
 from repro.math.rng import RNG
+from repro.runtime.errors import ProtocolAbort
 
 
 @dataclass(frozen=True)
@@ -113,6 +114,23 @@ class MultiVerifierSchnorrProof(SchnorrProof):
         total = sum(challenges) % self.group.order
         return self.verify(public, commitment, total, response)
 
+    def verify_multi_or_abort(
+        self,
+        public: Element,
+        commitment: Element,
+        challenges: Sequence[int],
+        response: int,
+        *,
+        blamed: int,
+        phase: str = "keying",
+    ) -> None:
+        """Validated-abort wrapper: a failing proof names the prover."""
+        if not self.verify_multi(public, commitment, challenges, response):
+            raise ProtocolAbort(
+                f"P{blamed}'s key-knowledge proof failed",
+                blamed=blamed, phase=phase,
+            )
+
     def prove_multi(
         self, secret: int, prover_rng: RNG, verifier_rngs: List[RNG]
     ) -> SchnorrTranscript:
@@ -173,6 +191,17 @@ class NonInteractiveSchnorrProof:
             proof.commitment, self.group.exp(public, challenge)
         )
         return self.group.eq(lhs, rhs)
+
+    def verify_or_abort(
+        self, public: Element, proof: NIZKProof, *, blamed: int,
+        phase: str = "keying",
+    ) -> None:
+        """Validated-abort wrapper: a failing NIZK names the prover."""
+        if not self.verify(public, proof):
+            raise ProtocolAbort(
+                f"P{blamed}'s key-knowledge NIZK failed",
+                blamed=blamed, phase=phase,
+            )
 
 
 def extract_witness(

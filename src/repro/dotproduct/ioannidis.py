@@ -135,6 +135,35 @@ class DotProductProtocol:
             BobState(b=b, r2=r2, r3=r3),
         )
 
+    # -- message validation -------------------------------------------------------
+    def validate_request(self, request: BobRequest) -> bool:
+        """Shape and field-range check on Bob's message.
+
+        Every entry must already be a reduced residue in ``[0, p)``; a
+        negative or oversized entry marks a corrupted message, which
+        would otherwise silently skew the recovered dot product.
+        """
+        if not isinstance(request, BobRequest):
+            return False
+        d = request.dimension
+        if d < 2 or len(request.g_blinded) != d:
+            return False
+        if not request.qx or any(len(row) != d for row in request.qx):
+            return False
+        entries = [x for row in request.qx for x in row]
+        entries += list(request.c_blinded) + list(request.g_blinded)
+        return all(isinstance(x, int) and 0 <= x < self.p for x in entries)
+
+    def validate_response(self, response: AliceResponse) -> bool:
+        """Field-range check on Alice's reply."""
+        return (
+            isinstance(response, AliceResponse)
+            and isinstance(response.a, int)
+            and isinstance(response.h, int)
+            and 0 <= response.a < self.p
+            and 0 <= response.h < self.p
+        )
+
     # -- Alice (the other vector holder) ------------------------------------------
     def alice_respond(
         self, request: BobRequest, v: Sequence[int], alpha: int

@@ -13,15 +13,25 @@ Model (per DESIGN.md §5, replacing NS2):
 Congestion therefore emerges naturally: many concurrent messages over a
 shared link queue behind each other, which is what makes the SS
 framework's round-heavy traffic collapse at large ``n`` in Fig. 3(b).
+
+Lossy-link mode (robustness extension): with ``loss_rate > 0`` each hop
+transmission is independently lost with that probability, drawn from the
+simulator's seeded RNG so runs replay exactly.  A lost hop consumes the
+link (the bits were sent), and the sending node retransmits after
+``retransmit_timeout_s``; after ``max_retransmits`` failed attempts the
+message is abandoned and recorded in :attr:`NetworkSimulator.dropped` —
+the situation the protocol runtime's supervisor turns into a typed
+:class:`~repro.runtime.errors.PartyTimeout`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.math.rng import RNG, SeededRNG
 from repro.netsim.topology import Topology
 
 
@@ -35,17 +45,34 @@ class LinkConfig:
     stays pure; the Fig. 3(b) bench exercises both settings, because the
     overhead specifically punishes protocols sending many small
     messages (the SS baseline).
+
+    ``loss_rate`` is the independent per-hop transmission loss
+    probability (0 keeps the base model lossless).
     """
 
     bandwidth_bps: float = 2_000_000.0
     latency_s: float = 0.050
     per_message_overhead_bits: int = 0
+    loss_rate: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
 
     def with_tcp_overhead(self, bits: int = 640) -> "LinkConfig":
         return LinkConfig(
             bandwidth_bps=self.bandwidth_bps,
             latency_s=self.latency_s,
             per_message_overhead_bits=bits,
+            loss_rate=self.loss_rate,
+        )
+
+    def with_loss(self, rate: float) -> "LinkConfig":
+        return LinkConfig(
+            bandwidth_bps=self.bandwidth_bps,
+            latency_s=self.latency_s,
+            per_message_overhead_bits=self.per_message_overhead_bits,
+            loss_rate=rate,
         )
 
 
@@ -60,40 +87,71 @@ class SimMessage:
     label: str = ""
     delivered_at: Optional[float] = None
     hops: int = 0
+    retransmits: int = 0
 
 
 class NetworkSimulator:
-    """Delivers batches of messages over a topology, tracking time."""
+    """Delivers batches of messages over a topology, tracking time.
 
-    def __init__(self, topology: Topology, link: LinkConfig = LinkConfig()):
+    ``rng`` seeds the loss draws when the link is lossy (defaults to
+    ``SeededRNG(0)`` so lossy runs are reproducible without ceremony);
+    ``retransmit_timeout_s`` is how long a hop waits before resending a
+    lost transmission and ``max_retransmits`` bounds the attempts per
+    hop before the message is abandoned into :attr:`dropped`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link: LinkConfig = LinkConfig(),
+        *,
+        rng: Optional[RNG] = None,
+        retransmit_timeout_s: float = 0.2,
+        max_retransmits: int = 5,
+    ):
         self.topology = topology
         self.link = link
+        self.rng = rng if rng is not None else SeededRNG(0)
+        self.retransmit_timeout_s = retransmit_timeout_s
+        self.max_retransmits = max_retransmits
         self._paths = topology.shortest_paths()
         self._link_free_at: Dict[Tuple[int, int], float] = {}
         self._sequence = itertools.count()
+        self.retransmissions = 0
+        self.dropped: List[SimMessage] = []
 
     def reset(self) -> None:
         self._link_free_at.clear()
+        self.retransmissions = 0
+        self.dropped.clear()
+
+    def _hop_lost(self) -> bool:
+        """One seeded Bernoulli draw per hop transmission."""
+        if self.link.loss_rate <= 0.0:
+            return False
+        return self.rng.randbits(30) / float(1 << 30) < self.link.loss_rate
 
     def deliver(self, messages: List[SimMessage]) -> float:
         """Simulate a batch of concurrently injected messages.
 
         Mutates each message's ``delivered_at``; returns the completion
         time of the batch (max delivery time; 0.0 for an empty batch).
+        Messages whose retransmit budget runs out stay undelivered
+        (``delivered_at is None``) and are appended to :attr:`dropped`.
         """
-        # Heap of (event_time, tiebreak, message, next_hop_index).
-        heap: List[Tuple[float, int, SimMessage, int]] = []
+        # Heap of (event_time, tiebreak, message, next_hop_index, attempts).
+        heap: List[Tuple[float, int, SimMessage, int, int]] = []
         for message in messages:
             path = self._path_for(message)
             if len(path) == 1:
                 message.delivered_at = message.inject_time
                 continue
             heapq.heappush(
-                heap, (message.inject_time, next(self._sequence), message, 0)
+                heap, (message.inject_time, next(self._sequence), message, 0, 0)
             )
         finish = max((m.delivered_at or 0.0 for m in messages), default=0.0)
         while heap:
-            arrival, _, message, hop_index = heapq.heappop(heap)
+            arrival, _, message, hop_index, attempts = heapq.heappop(heap)
             path = self._path_for(message)
             u, v = path[hop_index], path[hop_index + 1]
             key = (u, v)
@@ -101,6 +159,21 @@ class NetworkSimulator:
             wire_bits = message.size_bits + self.link.per_message_overhead_bits
             serialization = wire_bits / self.link.bandwidth_bps
             self._link_free_at[key] = start + serialization
+            if self._hop_lost():
+                # The bits were sent (link stays busy) but never arrive;
+                # the hop's sender notices after the timeout and resends.
+                if attempts < self.max_retransmits:
+                    self.retransmissions += 1
+                    message.retransmits += 1
+                    retry_at = start + serialization + self.retransmit_timeout_s
+                    heapq.heappush(
+                        heap,
+                        (retry_at, next(self._sequence), message, hop_index,
+                         attempts + 1),
+                    )
+                else:
+                    self.dropped.append(message)
+                continue
             delivered = start + serialization + self.link.latency_s
             message.hops += 1
             if hop_index + 2 == len(path):
@@ -108,7 +181,8 @@ class NetworkSimulator:
                 finish = max(finish, delivered)
             else:
                 heapq.heappush(
-                    heap, (delivered, next(self._sequence), message, hop_index + 1)
+                    heap,
+                    (delivered, next(self._sequence), message, hop_index + 1, 0),
                 )
         return finish
 

@@ -17,23 +17,42 @@ This package enforces that discipline in simulation:
 * group operations are metered per party (the engine attaches each
   party's :class:`repro.groups.base.OperationCounter` to the shared group
   object while that party runs).
+
+Fault tolerance (extension beyond the paper's all-live assumption): a
+:class:`repro.runtime.faults.FaultInjector` deterministically perturbs
+sends (crash/drop/stall/delay/duplicate/corrupt), and a
+:class:`repro.runtime.supervisor.Supervisor` converts quiescence into
+bounded retransmits and, past the deadline, a typed
+:class:`repro.runtime.errors.PartyTimeout` naming the faulty party.
 """
 
 from repro.runtime.channels import Message, Recv
 from repro.runtime.engine import Engine
-from repro.runtime.errors import ProtocolAbort, ProtocolError
+from repro.runtime.errors import (
+    DeadlockError,
+    PartyTimeout,
+    ProtocolAbort,
+    ProtocolError,
+)
+from repro.runtime.faults import FaultInjector, FaultSpec
 from repro.runtime.metrics import PartyMetrics
 from repro.runtime.party import Party
+from repro.runtime.supervisor import Supervisor
 from repro.runtime.transcript import Transcript, TranscriptEntry
 
 __all__ = [
+    "DeadlockError",
     "Engine",
+    "FaultInjector",
+    "FaultSpec",
     "Message",
     "Party",
     "PartyMetrics",
+    "PartyTimeout",
     "ProtocolAbort",
     "ProtocolError",
     "Recv",
+    "Supervisor",
     "Transcript",
     "TranscriptEntry",
 ]

@@ -37,6 +37,13 @@ class Recv:
     src: Optional[int]
     tag: str
 
+    def matches(self, message: Message) -> bool:
+        """Would ``message`` satisfy this receive?  (Used by the
+        supervisor to pair blocked receives with lost messages.)"""
+        return message.tag == self.tag and (
+            self.src is None or message.src == self.src
+        )
+
 
 @dataclass
 class Mailbox:

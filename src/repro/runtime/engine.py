@@ -14,17 +14,46 @@ Execution model (standard synchronous network):
 While a party executes, its :class:`OperationCounter` is attached to the
 shared group object(s), so group operations are metered per party even
 though all simulated parties share one group instance.
+
+Fault tolerance (optional, both default to ``None``):
+
+* a :class:`~repro.runtime.faults.FaultInjector` perturbs outgoing
+  messages — crash the sender, drop/stall/delay/duplicate/corrupt the
+  message — with every decision deterministic for a given seed;
+* a :class:`~repro.runtime.supervisor.Supervisor` watches quiescent
+  states: it retransmits messages the engine knows were lost (bounded
+  retries with backoff) and otherwise raises a typed
+  :class:`~repro.runtime.errors.PartyTimeout` naming the culprit,
+  instead of the bare :class:`DeadlockError` an unsupervised engine
+  falls back to.
+
+Crashed parties are tracked separately from finished ones: the engine
+keeps scheduling the survivors, and termination requires every party to
+be finished *or* crashed (parties blocked on a dead peer are the
+supervisor's problem).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.groups.base import Group
 from repro.runtime.channels import Mailbox, Message, Recv
-from repro.runtime.errors import DeadlockError, ProtocolError
+from repro.runtime.errors import DeadlockError, PartyCrashed, ProtocolError
 from repro.runtime.party import Party
 from repro.runtime.transcript import Transcript
+
+
+@dataclass
+class LostMessage:
+    """A message the fault layer swallowed, kept for retransmission."""
+
+    message: Message
+    attempts: int = 0      # retransmissions performed so far
+    healed: bool = False   # a retransmit made it into a mailbox
 
 
 class Engine:
@@ -35,10 +64,14 @@ class Engine:
         metered_groups: Optional[Iterable[Group]] = None,
         max_rounds: int = 1_000_000,
         worker_pool: Optional[Any] = None,
+        faults: Optional[Any] = None,
+        supervisor: Optional[Any] = None,
     ):
         # A repro.runtime.parallel.WorkerPool (or None).  The engine only
         # holds it; parties decide which stages to fan out through it.
         self.worker_pool = worker_pool
+        self.faults = faults
+        self.supervisor = supervisor
         self.parties: Dict[int, Party] = {}
         self.transcript = Transcript()
         self.round = 0
@@ -47,8 +80,15 @@ class Engine:
         self._outbox: List[Message] = []
         self._generators: Dict[int, Any] = {}
         self._waiting: Dict[int, Recv] = {}
+        self._waiting_since: Dict[int, int] = {}
         self._finished: Dict[int, bool] = {}
+        self._crashed: Dict[int, Optional[str]] = {}
         self._metered_groups = list(metered_groups or [])
+        # Future deliveries: (round, sequence, message) min-heap fed by
+        # delay faults and supervisor retransmits.
+        self._scheduled: List[Tuple[int, int, Message]] = []
+        self._sequence = itertools.count()
+        self._lost: List[LostMessage] = []
 
     # -- setup -----------------------------------------------------------------
     def add_party(self, party: Party) -> None:
@@ -63,6 +103,56 @@ class Engine:
         for party in parties:
             self.add_party(party)
 
+    # -- fault/supervision introspection ---------------------------------------
+    @property
+    def crashed(self) -> Dict[int, Optional[str]]:
+        """Dead parties and the phase they died in."""
+        return dict(self._crashed)
+
+    def blocked_receives(self) -> Dict[int, Recv]:
+        """Live, unfinished parties and the receive each is stuck on."""
+        return {
+            pid: want
+            for pid, want in self._waiting.items()
+            if not self._finished[pid] and pid not in self._crashed
+        }
+
+    def waiting_since(self, party_id: int) -> int:
+        """The round at which ``party_id`` began its current wait."""
+        return self._waiting_since.get(party_id, self.round)
+
+    def find_lost_message(self, dst: int, want: Recv) -> Optional[LostMessage]:
+        """The oldest unhealed lost message satisfying ``want`` at ``dst``."""
+        for lost in self._lost:
+            if lost.healed or lost.message.dst != dst:
+                continue
+            if want.matches(lost.message):
+                return lost
+        return None
+
+    def retransmit(self, lost: LostMessage, deliver_round: int) -> None:
+        """Re-send a lost message (supervisor-driven, bounded by caller).
+
+        The copy passes through the fault injector again, so a stalled
+        channel swallows retries too while a transient drop heals.
+        """
+        lost.attempts += 1
+        message = lost.message
+        if self.faults is not None:
+            verdict = self.faults.on_send(message, self.round)
+            if verdict.crashed or verdict.lost:
+                return  # still down; attempts counter keeps this bounded
+            for scheduled_round, copy in verdict.deliveries:
+                self._schedule(copy, max(deliver_round, scheduled_round or 0))
+        else:  # pragma: no cover - retransmits only exist under injection
+            self._schedule(message, deliver_round)
+        lost.healed = True
+
+    def _schedule(self, message: Message, deliver_round: int) -> None:
+        heapq.heappush(
+            self._scheduled, (deliver_round, next(self._sequence), message)
+        )
+
     # -- messaging (called by Party.send) -----------------------------------------
     def submit(self, src: int, dst: int, tag: str, payload: Any, size_bits: int) -> None:
         if dst not in self.parties:
@@ -73,26 +163,64 @@ class Engine:
             src=src, dst=dst, tag=tag, payload=payload,
             size_bits=size_bits, round_sent=self.round,
         )
+        if self.faults is not None:
+            verdict = self.faults.on_send(message, self.round)
+            if verdict.crashed:
+                # Unwind the sender's stack like a real process death; the
+                # engine catches this in _advance and marks the party dead.
+                raise PartyCrashed(src, phase=self.faults.phase_of(tag))
+            self.transcript.record(self.round, src, dst, tag, size_bits)
+            if verdict.lost:
+                self._lost.append(LostMessage(message=message))
+                return
+            for deliver_round, copy in verdict.deliveries:
+                if deliver_round is None:
+                    self._outbox.append(copy)
+                else:
+                    self._schedule(copy, deliver_round)
+            return
         self._outbox.append(message)
         self.transcript.record(self.round, src, dst, tag, size_bits)
 
     # -- execution ---------------------------------------------------------------
     def run(self) -> Dict[int, Any]:
-        """Run all parties to completion; return outputs keyed by party id."""
+        """Run all parties to completion; return outputs keyed by party id.
+
+        Parties killed by an injected crash are excluded from the
+        completion requirement; parties left waiting on them are handed
+        to the supervisor (typed :class:`PartyTimeout`) or, without one,
+        surface as :class:`DeadlockError`.
+        """
         for party_id, party in self.parties.items():
             self._generators[party_id] = party.protocol()
-        # Prime every generator to its first blocking point.
-        for party_id in sorted(self.parties):
-            self._advance(party_id, first=True)
-        while not all(self._finished.values()):
-            progressed = self._run_one_round()
-            if not progressed:
-                raise DeadlockError(
-                    {pid: self._waiting.get(pid) for pid, done in self._finished.items() if not done}
-                )
-            if self.round > self.max_rounds:
-                raise ProtocolError(f"exceeded max_rounds={self.max_rounds}")
+        try:
+            # Prime every generator to its first blocking point.
+            for party_id in sorted(self.parties):
+                self._advance(party_id, first=True)
+            while not self._all_done():
+                progressed = self._run_one_round()
+                if self.round > self.max_rounds:
+                    raise ProtocolError(f"exceeded max_rounds={self.max_rounds}")
+                if progressed:
+                    continue
+                if self._scheduled:
+                    continue  # in-flight deliveries: let time pass
+                if self.supervisor is not None and self.supervisor.on_quiescent(self):
+                    continue
+                raise DeadlockError(self.blocked_receives())
+        finally:
+            self._close_generators()
         return {party_id: party.output for party_id, party in self.parties.items()}
+
+    def _all_done(self) -> bool:
+        return all(
+            done or pid in self._crashed for pid, done in self._finished.items()
+        )
+
+    def _close_generators(self) -> None:
+        """Release party frames (and anything they hold) on every exit path."""
+        for generator in self._generators.values():
+            generator.close()
 
     def _run_one_round(self) -> bool:
         """Deliver pending messages, then advance parties until quiescent.
@@ -101,6 +229,7 @@ class Engine:
         """
         delivered = self._flush_outbox()
         self.round += 1
+        delivered += self._deliver_due()
         progressed = delivered > 0
         # Keep advancing parties until nobody can move within this round.
         # A party may consume several already-delivered messages in one round,
@@ -109,7 +238,7 @@ class Engine:
         while moved:
             moved = False
             for party_id in sorted(self.parties):
-                if self._finished[party_id]:
+                if self._finished[party_id] or party_id in self._crashed:
                     continue
                 if self._try_satisfy(party_id):
                     moved = True
@@ -121,6 +250,16 @@ class Engine:
         for message in self._outbox:
             self._mailboxes[message.dst].deliver(message)
         self._outbox = []
+        return count
+
+    def _deliver_due(self) -> int:
+        """Move scheduled (delayed / retransmitted) messages whose round
+        has arrived into their mailboxes."""
+        count = 0
+        while self._scheduled and self._scheduled[0][0] <= self.round:
+            _, _, message = heapq.heappop(self._scheduled)
+            self._mailboxes[message.dst].deliver(message)
+            count += 1
         return count
 
     def _try_satisfy(self, party_id: int) -> bool:
@@ -147,6 +286,9 @@ class Engine:
             self._finished[party_id] = True
             self._waiting.pop(party_id, None)
             return
+        except PartyCrashed as crash:
+            self._mark_crashed(party_id, crash.phase)
+            return
         finally:
             self._detach_counters()
         if not isinstance(effect, Recv):
@@ -154,6 +296,11 @@ class Engine:
                 f"party {party_id} yielded {effect!r}; parties may only yield Recv"
             )
         self._waiting[party_id] = effect
+        self._waiting_since[party_id] = self.round
+
+    def _mark_crashed(self, party_id: int, phase: Optional[str]) -> None:
+        self._crashed[party_id] = phase
+        self._waiting.pop(party_id, None)
 
     def _attach_counters(self, party: Party) -> None:
         for group in self._metered_groups:

@@ -1,0 +1,203 @@
+"""Deterministic fault injection for protocol runs.
+
+A :class:`FaultInjector` sits between :meth:`Party.send` and the
+engine's outbox and perturbs matching messages according to a list of
+:class:`FaultSpec` rules:
+
+=========== =================================================================
+``crash``    the sending party dies at the send point (its generator is
+             unwound like a process death; the message is never sent)
+``drop``     the message is lost on the wire (a supervisor retransmit may
+             recover it — specs match retransmits too, so ``count``
+             bounds how many attempts are eaten)
+``stall``    the channel swallows this and every later matching message
+             (a drop that retries cannot heal)
+``delay``    delivery is postponed by ``delay_rounds`` engine rounds
+``duplicate`` the message is delivered twice in the same round
+``corrupt``  the payload is replaced by a deterministically corrupted
+             copy (see :func:`corrupt_payload`); receivers are expected
+             to *validate and abort with blame*
+=========== =================================================================
+
+Determinism: specs are matched in list order against a per-spec match
+counter, and any randomness (corruption bytes) comes from the injector's
+own :class:`~repro.math.rng.SeededRNG`, so the same seed and plan replay
+byte-identically — the property the nightly fault matrix relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.math.rng import RNG, SeededRNG
+from repro.runtime.channels import Message
+
+# A delivery instruction handed back to the engine: the message plus the
+# earliest round it may be placed in a mailbox (None = normal next-round
+# delivery through the outbox).
+Delivery = Tuple[Optional[int], Message]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule.  A message matches when its ``src`` is ``party``
+    and every non-``None`` restriction (``tag``, ``phase``, ``dst``)
+    agrees.  The first ``after`` matches pass unharmed; the next
+    ``count`` matches are affected (``stall`` affects all of them)."""
+
+    kind: str                      # crash | drop | stall | delay | duplicate | corrupt
+    party: int                     # the faulty party (and the blame target)
+    phase: Optional[str] = None    # named protocol phase (see PHASE_BY_TAG)
+    tag: Optional[str] = None      # exact message tag
+    dst: Optional[int] = None      # restrict to one destination channel
+    count: int = 1                 # matches affected (ignored by stall)
+    after: int = 0                 # matches skipped before the fault arms
+    delay_rounds: int = 3          # for kind == "delay"
+
+    KINDS = ("crash", "drop", "stall", "delay", "duplicate", "corrupt")
+
+    def __post_init__(self):
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.count < 1:
+            raise ValueError("count must be at least 1")
+        if self.delay_rounds < 1:
+            raise ValueError("delay_rounds must be at least 1")
+
+
+@dataclass
+class FaultEvent:
+    """One applied fault, logged for assertions and postmortems."""
+
+    round: int
+    spec: FaultSpec
+    message: Message
+
+
+@dataclass
+class SendVerdict:
+    """What the injector decided for one submitted message."""
+
+    crashed: bool = False
+    lost: bool = False
+    deliveries: List[Delivery] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Applies a list of :class:`FaultSpec` rules to outgoing messages."""
+
+    def __init__(
+        self,
+        specs: List[FaultSpec],
+        rng: Optional[RNG] = None,
+        phase_of: Optional[Callable[[str], str]] = None,
+    ):
+        self.specs = list(specs)
+        self.rng = rng if rng is not None else SeededRNG(0)
+        self.phase_of = phase_of or (lambda tag: tag)
+        self._matches = [0] * len(self.specs)
+        self.events: List[FaultEvent] = []
+
+    # -- matching -------------------------------------------------------------
+    def _active_spec(self, message: Message) -> Optional[FaultSpec]:
+        """The first spec whose window covers this message, if any."""
+        for index, spec in enumerate(self.specs):
+            if message.src != spec.party:
+                continue
+            if spec.tag is not None and message.tag != spec.tag:
+                continue
+            if spec.phase is not None and self.phase_of(message.tag) != spec.phase:
+                continue
+            if spec.dst is not None and message.dst != spec.dst:
+                continue
+            self._matches[index] += 1
+            seen = self._matches[index]
+            if seen <= spec.after:
+                continue
+            if spec.kind == "stall" or seen - spec.after <= spec.count:
+                return spec
+        return None
+
+    # -- engine hook ----------------------------------------------------------
+    def on_send(self, message: Message, round: int) -> SendVerdict:
+        """Decide the fate of one submitted (or retransmitted) message."""
+        spec = self._active_spec(message)
+        if spec is None:
+            return SendVerdict(deliveries=[(None, message)])
+        self.events.append(FaultEvent(round=round, spec=spec, message=message))
+        if spec.kind == "crash":
+            return SendVerdict(crashed=True)
+        if spec.kind in ("drop", "stall"):
+            return SendVerdict(lost=True)
+        if spec.kind == "delay":
+            # +1 because an unfaulted send in round r lands in round r+1.
+            return SendVerdict(deliveries=[(round + 1 + spec.delay_rounds, message)])
+        if spec.kind == "duplicate":
+            return SendVerdict(deliveries=[(None, message), (None, message)])
+        # corrupt
+        corrupted = replace(message, payload=corrupt_payload(message.payload, self.rng))
+        return SendVerdict(deliveries=[(None, corrupted)])
+
+
+# ---------------------------------------------------------------------------
+# Deterministic payload corruption
+# ---------------------------------------------------------------------------
+
+def corrupt_payload(payload: Any, rng: RNG) -> Any:
+    """A deterministically corrupted copy of ``payload``.
+
+    Corruption is *detectable by validation*: group elements inside
+    ciphertexts become non-elements (``0`` fails every group's
+    membership test), integers leave their expected range by turning
+    negative, and containers get their first corruptible entry poisoned.
+    A receiver that validates will abort with blame; a receiver that
+    does not would compute garbage — which is exactly what the fault
+    matrix asserts cannot happen silently.
+    """
+    from repro.crypto.bitenc import BitwiseCiphertext
+    from repro.crypto.elgamal import Ciphertext
+
+    if isinstance(payload, Ciphertext):
+        return Ciphertext(c1=0, c2=payload.c2)
+    if isinstance(payload, BitwiseCiphertext):
+        bits = list(payload.bits)
+        index = rng.randrange(len(bits)) if bits else 0
+        if bits:
+            bits[index] = corrupt_payload(bits[index], rng)
+        return BitwiseCiphertext(bits=tuple(bits))
+    if isinstance(payload, bool):
+        return not payload
+    if isinstance(payload, int):
+        return -payload - 1
+    if isinstance(payload, (list, tuple)):
+        items = list(payload)
+        for index, item in enumerate(items):
+            if _corruptible(item):
+                items[index] = corrupt_payload(item, rng)
+                break
+        return type(payload)(items) if isinstance(payload, tuple) else items
+    if isinstance(payload, dict):
+        for key in sorted(payload, key=repr):
+            if _corruptible(payload[key]):
+                copy = dict(payload)
+                copy[key] = corrupt_payload(payload[key], rng)
+                return copy
+        return payload
+    if is_dataclass(payload) and not isinstance(payload, type):
+        # Generic protocol dataclass (dot-product messages, proofs,
+        # submissions...): poison its first corruptible field.
+        for f in fields(payload):
+            value = getattr(payload, f.name)
+            if _corruptible(value):
+                return replace(payload, **{f.name: corrupt_payload(value, rng)})
+    return payload
+
+
+def _corruptible(value: Any) -> bool:
+    from repro.crypto.bitenc import BitwiseCiphertext
+    from repro.crypto.elgamal import Ciphertext
+
+    return isinstance(
+        value, (Ciphertext, BitwiseCiphertext, bool, int, list, tuple, dict)
+    ) or (is_dataclass(value) and not isinstance(value, type))

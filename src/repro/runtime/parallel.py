@@ -210,11 +210,23 @@ class WorkerPool:
             self._broken = True
             self.shutdown()
             return [fn(job) for job in jobs]
+        except BaseException:
+            # Any other failure (a job raising ProtocolAbort, an injected
+            # fault, KeyboardInterrupt) must not leak worker processes:
+            # tear the pool down before propagating.
+            self.shutdown()
+            raise
 
     def shutdown(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -32,6 +32,13 @@ class Party:
         self.metrics = PartyMetrics(party_id=party_id)
         self._engine = None  # set by Engine.add_party
         self.output: Any = None
+        # Self-declared protocol phase, used by timeout/abort diagnostics
+        # (a failure report names the phase the victim was blocked in).
+        self.phase: str = "init"
+
+    def set_phase(self, phase: str) -> None:
+        """Record which named protocol phase this party is executing."""
+        self.phase = phase
 
     # -- to be implemented by concrete parties -------------------------------
     def protocol(self) -> Generator[Recv, Message, None]:

@@ -1,0 +1,142 @@
+"""Deadline supervision: timeouts, bounded retransmits, typed blame.
+
+The engine calls :meth:`Supervisor.on_quiescent` when a round made no
+progress and no delayed deliveries are in flight — the simulated-time
+equivalent of "every local timer is about to fire".  The supervisor then
+either heals the run or converts the stall into a typed error:
+
+1. **Retransmit.**  If a message known to have been lost on the wire
+   (recorded by the engine when the fault injector dropped or stalled
+   it) matches some blocked party's pending receive, it is re-sent with
+   exponential backoff, up to ``max_retries`` attempts per message.
+   This models a reliable-delivery layer: a transiently dropped message
+   costs latency, not the run.
+2. **Blame a crashed party.**  A party waiting on a peer the engine
+   knows to be dead can never be satisfied; the supervisor raises
+   :class:`~repro.runtime.errors.PartyTimeout` naming the dead party.
+3. **Blame a silent channel.**  When retries are exhausted the sender of
+   the lost message is blamed; when a party simply never sends (a stalled
+   or buggy peer) the party the receiver is waiting on is blamed.
+
+All decisions are functions of engine state only, so runs stay
+deterministic: the same seed and fault plan produce the same outcome.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.runtime.channels import Recv
+from repro.runtime.errors import PartyTimeout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.engine import Engine
+
+
+class Supervisor:
+    """Converts engine quiescence into retransmits or typed timeouts.
+
+    ``timeout_rounds`` is the per-receive deadline measured in engine
+    rounds; ``max_retries`` bounds retransmit attempts per lost message;
+    attempt ``i`` backs off ``backoff_base * 2**i`` rounds.  ``phase_of``
+    maps message tags to named protocol phases for blame reports.
+    """
+
+    def __init__(
+        self,
+        timeout_rounds: int = 4,
+        max_retries: int = 2,
+        backoff_base: int = 1,
+        phase_of: Optional[Callable[[str], str]] = None,
+    ):
+        if timeout_rounds < 1:
+            raise ValueError("timeout_rounds must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_base < 1:
+            raise ValueError("backoff_base must be at least 1")
+        self.timeout_rounds = timeout_rounds
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.phase_of = phase_of or (lambda tag: tag)
+        self.retransmits = 0
+        self.timeouts = 0
+
+    # -- engine hook ----------------------------------------------------------
+    def on_quiescent(self, engine: "Engine") -> bool:
+        """Heal or escalate a stalled engine.
+
+        Returns ``True`` when the engine should keep running (idle round
+        or a scheduled retransmit); raises :class:`PartyTimeout` when a
+        deadline has expired and a culprit can be named; returns
+        ``False`` to fall back to the engine's deadlock handling.
+        """
+        blocked: Dict[int, Recv] = engine.blocked_receives()
+        if not blocked:
+            return False
+        # Deadlines have not expired yet: let simulated time pass.  The
+        # engine counts idle rounds, so this terminates at the deadline.
+        if not self._deadline_expired(engine, blocked):
+            return True
+        # 1. Retransmit a lost message some blocked party is waiting for.
+        if self._retransmit(engine, blocked):
+            return True
+        # 2/3. Nothing can heal this: name the culprit.
+        raise self._timeout(engine, blocked)
+
+    # -- internals ------------------------------------------------------------
+    def _deadline_expired(self, engine: "Engine", blocked: Dict[int, Recv]) -> bool:
+        longest = max(
+            engine.round - engine.waiting_since(pid) for pid in blocked
+        )
+        return longest >= self.timeout_rounds
+
+    def _retransmit(self, engine: "Engine", blocked: Dict[int, Recv]) -> bool:
+        for pid in sorted(blocked):
+            want = blocked[pid]
+            lost = engine.find_lost_message(pid, want)
+            if lost is None:
+                continue
+            if lost.attempts >= self.max_retries:
+                continue  # exhausted; fall through to blame
+            delay = self.backoff_base * (2 ** lost.attempts)
+            engine.retransmit(lost, engine.round + delay)
+            self.retransmits += 1
+            return True
+        return False
+
+    def _timeout(self, engine: "Engine", blocked: Dict[int, Recv]) -> PartyTimeout:
+        self.timeouts += 1
+        # A crashed party is the root cause whenever one exists.
+        crashed = engine.crashed
+        if crashed:
+            blamed = min(crashed)
+            return PartyTimeout(
+                blamed,
+                phase=crashed[blamed],
+                round=engine.round,
+                waiting=blocked,
+            )
+        # A lost message with retries exhausted blames its sender.
+        for pid in sorted(blocked):
+            lost = engine.find_lost_message(pid, blocked[pid])
+            if lost is not None:
+                return PartyTimeout(
+                    lost.message.src,
+                    phase=self.phase_of(lost.message.tag),
+                    round=engine.round,
+                    waiting=blocked,
+                )
+        # Otherwise blame the peer the longest-waiting party points at.
+        pid = min(
+            blocked,
+            key=lambda p: (engine.waiting_since(p), p),
+        )
+        want = blocked[pid]
+        blamed = want.src if want.src is not None else pid
+        return PartyTimeout(
+            blamed,
+            phase=self.phase_of(want.tag),
+            round=engine.round,
+            waiting=blocked,
+        )

@@ -128,3 +128,58 @@ class TestExponentialElGamal:
             scheme.encrypt(5, keypair.public, rng),
         )
         assert scheme.decrypt_small(ct, keypair.secret, 20) == 9
+
+
+class TestMembershipGuards:
+    """decrypt/rerandomize refuse ciphertexts with non-group components.
+
+    Small-subgroup confinement: an invalid component would not make
+    decryption *fail*, it would silently produce garbage (and can leak
+    key bits), so the guard must be loud and typed.
+    """
+
+    @pytest.fixture
+    def scheme(self, small_dl_group):
+        return ElGamal(small_dl_group)
+
+    @pytest.fixture
+    def keypair(self, scheme):
+        return scheme.generate_keypair(SeededRNG(77))
+
+    def test_decrypt_rejects_invalid_c1(self, scheme, keypair, small_dl_group):
+        from repro.runtime.errors import ProtocolError
+
+        good = scheme.encrypt(small_dl_group.generator(), keypair.public, SeededRNG(1))
+        bad = Ciphertext(c1=0, c2=good.c2)
+        with pytest.raises(ProtocolError, match="refusing to decrypt"):
+            scheme.decrypt(bad, keypair.secret)
+
+    def test_decrypt_rejects_invalid_c2(self, scheme, keypair, small_dl_group):
+        from repro.runtime.errors import ProtocolError
+
+        good = scheme.encrypt(small_dl_group.generator(), keypair.public, SeededRNG(2))
+        bad = Ciphertext(c1=good.c1, c2=0)
+        with pytest.raises(ProtocolError):
+            scheme.decrypt(bad, keypair.secret)
+
+    def test_rerandomize_rejects_invalid(self, scheme, keypair, small_dl_group):
+        from repro.runtime.errors import ProtocolError
+
+        good = scheme.encrypt(small_dl_group.generator(), keypair.public, SeededRNG(3))
+        with pytest.raises(ProtocolError, match="refusing to rerandomize"):
+            scheme.rerandomize(Ciphertext(c1=0, c2=good.c2), keypair.public, SeededRNG(4))
+
+    def test_exponential_variant_inherits_guard(self, small_dl_group):
+        from repro.runtime.errors import ProtocolError
+
+        scheme = ExponentialElGamal(small_dl_group)
+        keypair = scheme.generate_keypair(SeededRNG(5))
+        good = scheme.encrypt(1, keypair.public, SeededRNG(6))
+        with pytest.raises(ProtocolError):
+            scheme.decrypt(Ciphertext(c1=good.c1, c2=0), keypair.secret)
+
+    def test_valid_ciphertexts_unaffected(self, scheme, keypair, small_dl_group):
+        message = small_dl_group.generator()
+        ct = scheme.encrypt(message, keypair.public, SeededRNG(7))
+        rr = scheme.rerandomize(ct, keypair.public, SeededRNG(8))
+        assert small_dl_group.eq(scheme.decrypt(rr, keypair.secret), message)

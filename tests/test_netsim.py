@@ -135,3 +135,91 @@ class TestReplay:
         replay = replay_transcript(Transcript(), topology)
         assert replay.total_time_s == 0.0
         assert replay.rounds == 0
+
+
+class TestLossyLinks:
+    def test_lossless_by_default(self, topology):
+        sim = NetworkSimulator(topology, LinkConfig())
+        messages = [SimMessage(src_node=topology.node_of(0),
+                               dst_node=topology.node_of(1),
+                               size_bits=10_000) for _ in range(20)]
+        sim.deliver(messages)
+        assert all(m.delivered_at is not None for m in messages)
+        assert sim.retransmissions == 0
+        assert sim.dropped == []
+
+    def test_loss_triggers_retransmits(self, topology):
+        sim = NetworkSimulator(
+            topology, LinkConfig().with_loss(0.4), rng=SeededRNG(55)
+        )
+        messages = [SimMessage(src_node=topology.node_of(0),
+                               dst_node=topology.node_of(1),
+                               size_bits=10_000) for _ in range(50)]
+        sim.deliver(messages)
+        assert sim.retransmissions > 0
+        delivered = [m for m in messages if m.delivered_at is not None]
+        assert len(delivered) + len(sim.dropped) == len(messages)
+        assert delivered  # 0.4 loss with 5 retries: most get through
+
+    def test_retransmits_cost_time(self, topology):
+        def batch():
+            return [SimMessage(src_node=topology.node_of(0),
+                               dst_node=topology.node_of(1),
+                               size_bits=10_000) for _ in range(30)]
+
+        clean = NetworkSimulator(topology, LinkConfig(), rng=SeededRNG(66))
+        lossy = NetworkSimulator(
+            topology, LinkConfig().with_loss(0.3), rng=SeededRNG(66),
+            retransmit_timeout_s=0.2,
+        )
+        assert lossy.deliver(batch()) > clean.deliver(batch())
+
+    def test_lossy_runs_replay_exactly(self, topology):
+        def run(seed):
+            sim = NetworkSimulator(
+                topology, LinkConfig().with_loss(0.3), rng=SeededRNG(seed)
+            )
+            messages = [SimMessage(src_node=topology.node_of(0),
+                                   dst_node=topology.node_of(2),
+                                   size_bits=5_000) for _ in range(25)]
+            finish = sim.deliver(messages)
+            return finish, [m.delivered_at for m in messages], sim.retransmissions
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_retry_budget_exhaustion_drops(self, topology):
+        sim = NetworkSimulator(
+            topology, LinkConfig().with_loss(0.9), rng=SeededRNG(77),
+            max_retransmits=1,
+        )
+        messages = [SimMessage(src_node=topology.node_of(0),
+                               dst_node=topology.node_of(1),
+                               size_bits=1_000) for _ in range(30)]
+        sim.deliver(messages)
+        assert sim.dropped
+        for message in sim.dropped:
+            assert message.delivered_at is None
+
+    def test_reset_clears_loss_state(self, topology):
+        sim = NetworkSimulator(
+            topology, LinkConfig().with_loss(0.9), rng=SeededRNG(88),
+            max_retransmits=0,
+        )
+        sim.deliver([SimMessage(src_node=topology.node_of(0),
+                                dst_node=topology.node_of(1),
+                                size_bits=1_000) for _ in range(10)])
+        sim.reset()
+        assert sim.retransmissions == 0
+        assert sim.dropped == []
+
+    def test_invalid_loss_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LinkConfig(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            LinkConfig(loss_rate=-0.1)
+
+    def test_with_tcp_overhead_preserves_loss(self):
+        link = LinkConfig(loss_rate=0.2).with_tcp_overhead()
+        assert link.loss_rate == 0.2
+        assert link.per_message_overhead_bits == 640

@@ -237,3 +237,96 @@ class TestSizeEstimation:
 
     def test_unknown_object_costs_a_word(self):
         assert estimate_size_bits(object()) == 64
+
+
+class TestFailureDiagnostics:
+    def test_deadlock_error_carries_pending_receives(self):
+        """DeadlockError.blocked maps each stuck party to the exact Recv
+        it was waiting on — enough to reconstruct the wait-for graph."""
+
+        class WaitsOn(Party):
+            def __init__(self, pid, src, tag):
+                super().__init__(pid, SeededRNG(pid))
+                self.src_peer = src
+                self.tag = tag
+
+            def protocol(self):
+                yield from self.recv(self.src_peer, self.tag)
+
+        engine = Engine()
+        engine.add_parties([WaitsOn(0, 1, "a"), WaitsOn(1, 0, "b")])
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        blocked = excinfo.value.blocked
+        assert set(blocked) == {0, 1}
+        assert blocked[0].src == 1 and blocked[0].tag == "a"
+        assert blocked[1].src == 0 and blocked[1].tag == "b"
+        assert "party 0" in str(excinfo.value)
+        assert "party 1" in str(excinfo.value)
+
+    def test_party_exception_mid_round_propagates(self):
+        """A party raising inside its generator surfaces to the caller
+        unchanged (it is not converted into a deadlock or swallowed)."""
+
+        class Exploder(Party):
+            def protocol(self):
+                message = yield from self.recv(1, "fuse")
+                raise RuntimeError(f"boom after {message.payload}")
+
+        class Igniter(Party):
+            def protocol(self):
+                self.send(0, "fuse", "lit", size_bits=8)
+                self.output = "done"
+                return
+                yield  # pragma: no cover
+
+        engine = Engine()
+        engine.add_parties([Exploder(0, SeededRNG(0)), Igniter(1, SeededRNG(1))])
+        with pytest.raises(RuntimeError, match="boom after lit"):
+            engine.run()
+
+    def test_generators_closed_after_party_exception(self):
+        """Every party frame is released even when the run dies mid-round,
+        so held resources (pools, sockets in a real deployment) free up."""
+        cleaned = []
+
+        class Holder(Party):
+            def protocol(self):
+                try:
+                    yield from self.recv(1, "never")
+                finally:
+                    cleaned.append(self.party_id)
+
+        class Crasher(Party):
+            def protocol(self):
+                raise RuntimeError("dead on arrival")
+                yield  # pragma: no cover
+
+        engine = Engine()
+        engine.add_parties([Holder(0, SeededRNG(0)), Crasher(1, SeededRNG(1))])
+        with pytest.raises(RuntimeError):
+            engine.run()
+        assert cleaned == [0]
+
+    def test_abort_with_blame_propagates_fields(self):
+        from repro.runtime.errors import ProtocolAbort
+
+        class Validator(Party):
+            def protocol(self):
+                message = yield from self.recv(1, "claim")
+                raise ProtocolAbort("bad claim", blamed=message.src, phase="test")
+
+        class Claimant(Party):
+            def protocol(self):
+                self.send(0, "claim", "forged", size_bits=8)
+                self.output = "sent"
+                return
+                yield  # pragma: no cover
+
+        engine = Engine()
+        engine.add_parties([Validator(0, SeededRNG(0)), Claimant(1, SeededRNG(1))])
+        with pytest.raises(ProtocolAbort) as excinfo:
+            engine.run()
+        assert excinfo.value.blamed == 1
+        assert excinfo.value.phase == "test"
+        assert "blamed=P1" in str(excinfo.value)

@@ -1,0 +1,330 @@
+"""Fault-injection matrix: every fault ends typed or survivor-correct.
+
+The acceptance bar for the fault-tolerant runtime: for every fault kind
+and every phase it can hit, an injected run must terminate in one of two
+ways —
+
+* the survivors' ranks are correct (recovery or healing worked), or
+* a typed :class:`ProtocolAbort` / :class:`PartyTimeout` names the
+  faulty party —
+
+and never a hang, a generic deadlock, or a silently wrong result.  The
+same seed and fault plan must replay to the identical outcome.
+"""
+
+import pytest
+
+from repro.core.framework import FrameworkConfig, GroupRankingFramework
+from repro.crypto.elgamal import Ciphertext
+from repro.dotproduct.ioannidis import AliceResponse, BobRequest
+from repro.math.rng import SeededRNG
+from repro.runtime.errors import PartyTimeout, ProtocolAbort, ProtocolError
+from repro.runtime.faults import FaultInjector, FaultSpec, corrupt_payload
+from tests.conftest import make_participants
+
+N = 3
+FAULTY = 2
+
+# One representative message tag per phase, all sent by participant 2.
+PHASE_TAGS = {
+    "gain": "dp-request",
+    "comparison": "beta-bits",
+    "chain": "tau-sets",
+}
+
+
+def build(group, schema, initiator_input, n=N, seed=5, **overrides):
+    config_kwargs = dict(
+        group=group, schema=schema, num_participants=n, k=2, rho_bits=6,
+        recovery=True, timeout_rounds=3, max_retries=2,
+    )
+    config_kwargs.update(overrides)
+    config = FrameworkConfig(**config_kwargs)
+    participants = make_participants(schema, n, seed=19)
+    framework = GroupRankingFramework(
+        config, initiator_input, participants, rng=SeededRNG(seed)
+    )
+    return framework
+
+
+def outcome_fingerprint(result):
+    return (
+        result.ranks,
+        result.attempts,
+        tuple(result.excluded),
+        tuple(
+            (e.round, e.src, e.dst, e.tag, e.size_bits)
+            for e in result.transcript
+        ),
+    )
+
+
+class TestFaultMatrix:
+    """kind × phase sweep over a full framework run with recovery on."""
+
+    @pytest.mark.parametrize("phase", sorted(PHASE_TAGS))
+    def test_crash_recovers_without_faulty_party(
+        self, small_dl_group, small_schema, small_initiator_input, phase
+    ):
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        specs = [FaultSpec(kind="crash", party=FAULTY, tag=PHASE_TAGS[phase])]
+        result = framework.run(faults=specs)
+        assert result.attempts == 2
+        assert result.excluded == [FAULTY]
+        assert sorted(result.ranks) == [1, 3]
+        assert framework.check_result(result) == []
+
+    @pytest.mark.parametrize("phase", sorted(PHASE_TAGS))
+    def test_corrupt_is_caught_blamed_and_recovered(
+        self, small_dl_group, small_schema, small_initiator_input, phase
+    ):
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        specs = [FaultSpec(kind="corrupt", party=FAULTY, tag=PHASE_TAGS[phase])]
+        result = framework.run(faults=specs)
+        assert result.attempts == 2
+        assert result.excluded == [FAULTY]
+        assert framework.check_result(result) == []
+
+    @pytest.mark.parametrize("phase", sorted(PHASE_TAGS))
+    def test_drop_heals_via_retransmit(
+        self, small_dl_group, small_schema, small_initiator_input, phase
+    ):
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        specs = [FaultSpec(kind="drop", party=FAULTY, tag=PHASE_TAGS[phase])]
+        result = framework.run(faults=specs)
+        # A transient drop costs latency, not the run: nobody is excluded.
+        assert result.attempts == 1
+        assert result.excluded == []
+        assert sorted(result.ranks) == [1, 2, 3]
+        assert framework.check_result(result) == []
+
+    @pytest.mark.parametrize("phase", sorted(PHASE_TAGS))
+    def test_stall_exhausts_retries_then_excludes(
+        self, small_dl_group, small_schema, small_initiator_input, phase
+    ):
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        specs = [FaultSpec(kind="stall", party=FAULTY, tag=PHASE_TAGS[phase])]
+        result = framework.run(faults=specs)
+        assert result.attempts == 2
+        assert result.excluded == [FAULTY]
+        assert framework.check_result(result) == []
+
+    @pytest.mark.parametrize("phase", sorted(PHASE_TAGS))
+    def test_delay_only_costs_rounds(
+        self, small_dl_group, small_schema, small_initiator_input, phase
+    ):
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        specs = [
+            FaultSpec(kind="delay", party=FAULTY, tag=PHASE_TAGS[phase],
+                      delay_rounds=2)
+        ]
+        result = framework.run(faults=specs)
+        assert result.attempts == 1
+        assert result.excluded == []
+        assert framework.check_result(result) == []
+
+    @pytest.mark.parametrize("phase", sorted(PHASE_TAGS))
+    def test_duplicate_is_tolerated(
+        self, small_dl_group, small_schema, small_initiator_input, phase
+    ):
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        specs = [FaultSpec(kind="duplicate", party=FAULTY, tag=PHASE_TAGS[phase])]
+        result = framework.run(faults=specs)
+        assert result.attempts == 1
+        assert result.excluded == []
+        assert framework.check_result(result) == []
+
+
+class TestTypedFailuresWithoutRecovery:
+    """With recovery off, the run still never hangs: it raises typed blame."""
+
+    def test_crash_names_the_dead_party(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        framework = build(
+            small_dl_group, small_schema, small_initiator_input, recovery=False
+        )
+        specs = [FaultSpec(kind="crash", party=FAULTY, tag="beta-bits")]
+        with pytest.raises(PartyTimeout) as excinfo:
+            framework.run(faults=specs)
+        assert excinfo.value.blamed == FAULTY
+        assert excinfo.value.phase == "comparison"
+
+    def test_corrupt_names_the_sender(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        framework = build(
+            small_dl_group, small_schema, small_initiator_input, recovery=False
+        )
+        specs = [FaultSpec(kind="corrupt", party=FAULTY, tag="beta-bits")]
+        with pytest.raises(ProtocolAbort) as excinfo:
+            framework.run(faults=specs)
+        assert excinfo.value.blamed == FAULTY
+        assert excinfo.value.phase == "comparison"
+
+    def test_stall_names_the_silent_sender(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        framework = build(
+            small_dl_group, small_schema, small_initiator_input, recovery=False
+        )
+        specs = [FaultSpec(kind="stall", party=FAULTY, tag="tau-sets")]
+        with pytest.raises(PartyTimeout) as excinfo:
+            framework.run(faults=specs)
+        assert excinfo.value.blamed == FAULTY
+
+    def test_corrupt_chain_vector_blames_forwarder(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        framework = build(
+            small_dl_group, small_schema, small_initiator_input, recovery=False
+        )
+        specs = [FaultSpec(kind="corrupt", party=FAULTY, tag="chain")]
+        with pytest.raises(ProtocolAbort, match="tampered") as excinfo:
+            framework.run(faults=specs)
+        assert excinfo.value.blamed == FAULTY
+        assert excinfo.value.phase == "chain"
+
+
+class TestRecoverysemantics:
+    def test_phase2_restart_reuses_betas(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        """A crash after phase 1 resumes with the harvested β values:
+        the rerun's transcript has no dot-product traffic."""
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        specs = [FaultSpec(kind="crash", party=FAULTY, tag="beta-bits")]
+        result = framework.run(faults=specs)
+        assert result.attempts == 2
+        # Final (rerun) transcript: phase-2 tags only.
+        assert "dp-request" not in set(result.transcript.tags())
+        assert framework.check_result(result) == []
+
+    def test_gain_phase_crash_restarts_from_scratch(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        """A fault that kills phase 1 before every survivor has its β
+        forces a full restart: the rerun's transcript contains the
+        survivors' dot-product exchange.  (A corrupted request makes the
+        initiator abort while P3's request is still unanswered.)"""
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        specs = [FaultSpec(kind="corrupt", party=FAULTY, tag="dp-request")]
+        result = framework.run(faults=specs)
+        assert result.attempts == 2
+        assert "dp-request" in set(result.transcript.tags())
+        assert framework.check_result(result) == []
+
+    def test_two_faulty_parties_excluded_in_turn(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        framework = build(
+            small_dl_group, small_schema, small_initiator_input, n=4
+        )
+        specs = [
+            FaultSpec(kind="crash", party=2, tag="beta-bits"),
+            FaultSpec(kind="stall", party=3, tag="tau-sets"),
+        ]
+        result = framework.run(faults=specs)
+        assert result.attempts == 3
+        assert result.excluded == [2, 3]
+        assert sorted(result.ranks) == [1, 4]
+        assert framework.check_result(result) == []
+
+    def test_too_few_survivors_raises(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        specs = [
+            FaultSpec(kind="crash", party=2, tag="beta-bits"),
+            # count=2: P3 dies again on the rerun, leaving one survivor.
+            FaultSpec(kind="crash", party=3, tag="beta-bits", count=2),
+        ]
+        with pytest.raises(ProtocolError, match="fewer than 2"):
+            framework.run(faults=specs)
+
+    def test_initiator_fault_is_not_recoverable(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        """Blame on P0 cannot be excluded away: the typed error escapes."""
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        specs = [FaultSpec(kind="corrupt", party=0, tag="dp-response")]
+        with pytest.raises(ProtocolAbort) as excinfo:
+            framework.run(faults=specs)
+        assert excinfo.value.blamed == 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "kind,tag",
+        [
+            ("crash", "beta-bits"),
+            ("drop", "tau-sets"),
+            ("stall", "dp-request"),
+            ("corrupt", "chain"),
+            ("delay", "beta-bits"),
+            ("duplicate", "dp-request"),
+        ],
+    )
+    def test_same_seed_same_outcome(
+        self, small_dl_group, small_schema, small_initiator_input, kind, tag
+    ):
+        fingerprints = []
+        for _ in range(2):
+            framework = build(small_dl_group, small_schema, small_initiator_input)
+            specs = [FaultSpec(kind=kind, party=FAULTY, tag=tag)]
+            result = framework.run(faults=specs)
+            fingerprints.append(outcome_fingerprint(result))
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_fault_free_run_unchanged_by_fault_plumbing(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        """An empty fault plan and recovery=True must not change the
+        transcript of a healthy run (same RNG draws, same rounds)."""
+        plain = build(
+            small_dl_group, small_schema, small_initiator_input, recovery=False
+        )
+        robust = build(small_dl_group, small_schema, small_initiator_input)
+        assert outcome_fingerprint(plain.run()) == outcome_fingerprint(
+            robust.run(faults=[])
+        )
+
+
+class TestInjectorUnit:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor", party=1)
+
+    def test_spec_window(self):
+        """``after`` skips matches, ``count`` bounds them, stall is forever."""
+        from repro.runtime.channels import Message
+
+        spec = FaultSpec(kind="drop", party=1, tag="t", after=1, count=1)
+        injector = FaultInjector([spec], rng=SeededRNG(1))
+        msg = Message(src=1, dst=2, tag="t", payload=0, size_bits=1)
+        verdicts = [injector.on_send(msg, round=r) for r in range(3)]
+        assert [v.lost for v in verdicts] == [False, True, False]
+        assert len(injector.events) == 1
+
+    def test_corrupt_payload_is_deterministic(self):
+        payload = BobRequest(qx=[[1, 2], [3, 4]], c_blinded=[5, 6], g_blinded=[7, 8])
+        a = corrupt_payload(payload, SeededRNG(7))
+        b = corrupt_payload(payload, SeededRNG(7))
+        assert a == b
+        assert a != payload
+
+    def test_corrupt_ciphertext_fails_membership(self, small_dl_group):
+        from repro.crypto.elgamal import ElGamal
+
+        scheme = ElGamal(small_dl_group)
+        key = scheme.generate_keypair(SeededRNG(3))
+        ct = scheme.encrypt(small_dl_group.generator(), key.public, SeededRNG(4))
+        bad = corrupt_payload(ct, SeededRNG(5))
+        assert isinstance(bad, Ciphertext)
+        assert not scheme.validate(bad)
+
+    def test_corrupt_int_leaves_field_range(self):
+        assert corrupt_payload(AliceResponse(a=3, h=9), SeededRNG(0)).a < 0
+
+    def test_corrupted_bool_flips(self):
+        assert corrupt_payload(True, SeededRNG(0)) is False

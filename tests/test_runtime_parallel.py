@@ -181,3 +181,25 @@ class TestParallelEquivalence:
                 group=small_dl_group, schema=small_schema,
                 num_participants=3, k=1, precompute=-1,
             )
+
+
+class TestPoolCleanup:
+    def test_job_exception_shuts_pool_down(self):
+        """A job raising a protocol error must not leak worker processes:
+        the pool shuts its executor down before re-raising."""
+        from repro.runtime.errors import ProtocolAbort
+
+        def explode(job):
+            raise ProtocolAbort("boom", blamed=1, phase="test")
+
+        pool = WorkerPool(2)
+        with pytest.raises(ProtocolAbort):
+            pool.map(explode, [1, 2, 3])
+        assert pool._executor is None
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.map(sorted, [[2, 1], [4, 3]])
+        pool.shutdown()
+        pool.shutdown()
+        assert pool._executor is None

@@ -1,0 +1,163 @@
+"""Wall-clock benchmark of batched proof verification at a real group
+size: the verification-dominated phase one party faces at ``n = 16``.
+
+The workload is what a participant actually checks in a malicious-model
+run at DL-1024:
+
+* 15 peers' key-knowledge NIZKs (keying phase), and
+* 15 peers' bitwise β encryptions with per-bit validity proofs
+  (comparison phase): 15 × 24 = 360 disjunctive Chaum-Pedersen proofs.
+
+``per_proof`` verifies each equation with its own exponentiations (the
+native-pow path); ``batched`` folds each phase into one Straus
+multi-exponentiation under hash-derived 64-bit coefficients, so the
+native pows become shared-squaring-chain multiplications.  The
+acceptance bar is the PR's headline: ≥ 3× on the combined phase.
+
+Emits machine-readable ``results/BENCH_batchverify.json``.  With
+``REPRO_BENCH_ENFORCE=1`` the run also compares against the *committed*
+numbers and fails on a > 20 % speedup regression — the nightly gate.
+Marked ``perf``: not part of tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.harness import RESULTS_DIR, write_result
+from repro.core.comparison import verify_bit_proofs_or_abort
+from repro.crypto.bitenc import BitwiseElGamal
+from repro.crypto.elgamal import ExponentialElGamal
+from repro.crypto.zkp import (
+    NonInteractiveSchnorrProof,
+    batch_verify_nizk_or_abort,
+)
+from repro.groups.dl import DLGroup
+from repro.math.rng import SeededRNG
+
+pytestmark = pytest.mark.perf
+
+N_PEERS = 15          # one participant's view of n = 16
+WIDTH = 24            # β bit length l
+GROUP_BITS = 1024
+MIN_SPEEDUP = 3.0
+REGRESSION_TOLERANCE = 0.20
+
+
+def _setup():
+    group = DLGroup.standard(GROUP_BITS)
+    rng = SeededRNG(43)
+    keypair = ExponentialElGamal(group).generate_keypair(rng)
+    nizk = NonInteractiveSchnorrProof(group)
+    nizk_claims = []
+    for peer in range(1, N_PEERS + 1):
+        secret = group.random_exponent(rng)
+        nizk_claims.append(
+            (peer, group.exp_generator(secret), nizk.prove(secret, rng))
+        )
+    bitwise = BitwiseElGamal(group)
+    bit_claims = []
+    for peer in range(1, N_PEERS + 1):
+        beta = rng.randrange(1 << WIDTH)
+        ciphertext, proofs = bitwise.encrypt_with_proofs(
+            beta, WIDTH, keypair.public, rng
+        )
+        bit_claims.append((peer, ciphertext, proofs))
+    return group, keypair, nizk, nizk_claims, bit_claims
+
+
+def _count_ops(group, fn):
+    group.counter.reset()
+    fn()
+    snapshot = group.counter.snapshot()
+    group.counter.reset()
+    return snapshot
+
+
+def test_batched_verification_speedup():
+    group, keypair, nizk, nizk_claims, bit_claims = _setup()
+
+    def verify_per_proof():
+        for prover, public, proof in nizk_claims:
+            nizk.verify_or_abort(public, proof, blamed=prover)
+        verify_bit_proofs_or_abort(
+            group, keypair.public, bit_claims, batch=False
+        )
+
+    def verify_batched():
+        batch_verify_nizk_or_abort(nizk, nizk_claims)
+        verify_bit_proofs_or_abort(
+            group, keypair.public, bit_claims, batch=True
+        )
+
+    # Warm once (hash contexts, table allocations), then time.
+    verify_per_proof()
+    verify_batched()
+
+    t0 = time.perf_counter()
+    verify_per_proof()
+    per_proof_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    verify_batched()
+    batched_s = time.perf_counter() - t0
+
+    per_proof_ops = _count_ops(group, verify_per_proof)
+    batched_ops = _count_ops(group, verify_batched)
+
+    speedup = per_proof_s / batched_s
+    payload = {
+        "bench": "batched_proof_verification",
+        "group": f"DL-{GROUP_BITS}",
+        "n": N_PEERS + 1,
+        "beta_bits": WIDTH,
+        "nizk_proofs": len(nizk_claims),
+        "bit_proofs": N_PEERS * WIDTH,
+        "seconds": {
+            "per_proof": round(per_proof_s, 4),
+            "batched": round(batched_s, 4),
+        },
+        "speedup": round(speedup, 2),
+        "ops": {
+            "per_proof": {
+                "exponentiations": per_proof_ops.exponentiations,
+                "multiplications": per_proof_ops.multiplications,
+                "equivalent_multiplications":
+                    per_proof_ops.equivalent_multiplications,
+            },
+            "batched": {
+                "exponentiations": batched_ops.exponentiations,
+                "multiplications": batched_ops.multiplications,
+                "equivalent_multiplications":
+                    batched_ops.equivalent_multiplications,
+            },
+        },
+    }
+
+    # Nightly regression gate: compare against the committed numbers
+    # BEFORE overwriting them.
+    committed_path = RESULTS_DIR / "BENCH_batchverify.json"
+    committed_speedup = None
+    if committed_path.exists():
+        committed_speedup = json.loads(committed_path.read_text()).get("speedup")
+    write_result("BENCH_batchverify", json.dumps(payload, indent=2),
+                 suffix="json")
+
+    assert speedup >= MIN_SPEEDUP, payload
+    # Batching must also win in the paper's operation unit, not just on
+    # this machine's clock.
+    assert (
+        batched_ops.equivalent_multiplications
+        < per_proof_ops.equivalent_multiplications / 2
+    ), payload
+
+    if os.environ.get("REPRO_BENCH_ENFORCE", "") == "1" and committed_speedup:
+        floor = committed_speedup * (1.0 - REGRESSION_TOLERANCE)
+        assert speedup >= floor, (
+            f"speedup regressed: {speedup:.2f}x vs committed "
+            f"{committed_speedup:.2f}x (floor {floor:.2f}x)"
+        )

@@ -7,6 +7,10 @@ cd "$(dirname "$0")/.."
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
 
+echo "== demo with batching + streaming on =="
+PYTHONPATH=src python -m repro demo -n 5 --zkp fiat-shamir \
+    --batch-verify --bit-proofs --streaming --chunk-sets 2
+
 echo "== lint =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src

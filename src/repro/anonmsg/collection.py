@@ -21,16 +21,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.anonmsg.encoding import decode_message, encode_message
-from repro.anonmsg.mixnet import DecryptionMixnet
+from repro.anonmsg.mixnet import DecryptionMixnet, StreamingMixHop
 from repro.groups.dl import DLGroup
 from repro.math.rng import RNG, SeededRNG
 from repro.runtime.engine import Engine
+from repro.runtime.errors import ProtocolAbort
 from repro.runtime.party import Party
 from repro.runtime.transcript import Transcript
 
 TAG_SHARE = "anon-share"
 TAG_SUBMIT = "anon-submit"
 TAG_BATCH = "anon-batch"
+TAG_CHUNK = "anon-chunk"
 TAG_OUTPUT = "anon-output"
 
 
@@ -50,14 +52,61 @@ class CollectorParty(Party):
 
 
 class MemberParty(Party):
-    """One member: key share, submission, and a mix hop."""
+    """One member: key share, submission, and a mix hop.
+
+    ``stream_chunk > 0`` turns on the streaming pipeline: each hop's
+    batch travels as ceil(n / stream_chunk)-many ``TAG_CHUNK`` messages,
+    emitted one per round, and the receiving member peels +
+    re-randomizes each chunk the round it arrives — so hop ``i+1`` is
+    already decrypting chunk 1 while hop ``i`` is still emitting chunk
+    2.  The permutation stays a whole-batch barrier (see
+    :class:`~repro.anonmsg.mixnet.StreamingMixHop`), and the collector's
+    multiset is identical to the one-shot pipeline's for the same seed.
+    """
 
     def __init__(self, party_id: int, group: DLGroup, num_members: int,
-                 message: int, rng: RNG):
+                 message: int, rng: RNG, stream_chunk: int = 0):
         super().__init__(party_id, rng)
         self.group = group
         self.num_members = num_members
         self.message = message
+        self.stream_chunk = stream_chunk
+        # Engine round at each chunk absorption (pipeline-overlap tests).
+        self.absorb_rounds: List[int] = []
+
+    def _chunk_bounds(self, total: int) -> List[tuple]:
+        size = self.stream_chunk
+        return [(lo, min(lo + size, total)) for lo in range(0, total, size)]
+
+    def _send_stream(self, dst: int, batch):
+        """Emit ``batch`` as staggered chunks, one round apart."""
+        bounds = self._chunk_bounds(len(batch))
+        for index, (lo, hi) in enumerate(bounds):
+            chunk = batch[lo:hi]
+            self.send(
+                dst, TAG_CHUNK, (index, chunk),
+                size_bits=len(chunk) * 2 * self.group.element_bits + 32,
+            )
+            if index < len(bounds) - 1:
+                yield from self.pause()
+
+    def _recv_stream(self, hop: StreamingMixHop):
+        """Absorb the upstream hop's chunks as they arrive."""
+        src = self.party_id - 1
+        bounds = self._chunk_bounds(self.num_members)
+        for index in range(len(bounds)):
+            message = yield from self.recv(src, TAG_CHUNK)
+            payload = message.payload
+            if not (
+                isinstance(payload, tuple) and len(payload) == 2
+                and payload[0] == index and isinstance(payload[1], list)
+            ):
+                raise ProtocolAbort(
+                    f"mix stream from P{src} malformed or out of sequence",
+                    blamed=src, phase="mixing",
+                )
+            hop.absorb(payload[1], self.rng)
+            self.absorb_rounds.append(self._engine.round)
 
     def protocol(self):
         group = self.group
@@ -76,6 +125,7 @@ class MemberParty(Party):
         # 2. Encrypt and submit to the head of the chain.
         encoded = encode_message(self.message, group)
         ciphertext = mixnet.submit(encoded, self.rng)
+        streaming = self.stream_chunk > 0
         if self.party_id == 1:
             batch = [ciphertext]
             received = yield from self.recv_from_all(others, TAG_SUBMIT)
@@ -84,16 +134,30 @@ class MemberParty(Party):
         else:
             self.send(1, TAG_SUBMIT, ciphertext,
                       size_bits=2 * group.element_bits)
-            upstream = yield from self.recv(self.party_id - 1, TAG_BATCH)
-            batch = upstream.payload
+            if streaming:
+                hop = StreamingMixHop(
+                    mixnet, self.party_id, secret,
+                    validate_from=self.party_id - 1,
+                )
+                yield from self._recv_stream(hop)
+                batch = hop.emit(self.rng)
+            else:
+                upstream = yield from self.recv(self.party_id - 1, TAG_BATCH)
+                batch = upstream.payload
 
-        # 3. This member's mix hop.
-        batch = mixnet.mix_hop(batch, self.party_id, secret, self.rng)
+        # 3. This member's mix hop (the head always has the full batch,
+        #    so it processes one-shot even when streaming downstream).
+        if self.party_id == 1 or not streaming:
+            batch = mixnet.mix_hop(batch, self.party_id, secret, self.rng)
 
         # 4. Forward — or open and deliver if last.
         batch_bits = len(batch) * 2 * group.element_bits
         if self.party_id < self.num_members:
-            self.send(self.party_id + 1, TAG_BATCH, batch, size_bits=batch_bits)
+            if streaming:
+                yield from self._send_stream(self.party_id + 1, batch)
+            else:
+                self.send(self.party_id + 1, TAG_BATCH, batch,
+                          size_bits=batch_bits)
         else:
             outputs = mixnet.open_outputs(batch)
             self.send(0, TAG_OUTPUT, outputs,
@@ -111,18 +175,25 @@ class AnonymousCollection:
 
 
 def run_anonymous_collection(
-    group: DLGroup, messages: List[int], rng: Optional[RNG] = None
+    group: DLGroup, messages: List[int], rng: Optional[RNG] = None,
+    *, stream_chunk: int = 0,
 ) -> AnonymousCollection:
-    """Convenience one-call runner: returns the collector's view."""
+    """Convenience one-call runner: returns the collector's view.
+
+    ``stream_chunk > 0`` streams each hop's batch in chunks of that many
+    ciphertexts (same multiset, pipelined hops)."""
     rng = rng or SeededRNG(0)
     n = len(messages)
     if n < 2:
         raise ValueError("anonymity needs at least two members")
+    if stream_chunk < 0:
+        raise ValueError("stream_chunk must be non-negative")
     engine = Engine(metered_groups=[group])
     engine.add_party(CollectorParty(group, n, _fork(rng, "collector")))
     for member_id, message in enumerate(messages, start=1):
         engine.add_party(
-            MemberParty(member_id, group, n, message, _fork(rng, f"m{member_id}"))
+            MemberParty(member_id, group, n, message, _fork(rng, f"m{member_id}"),
+                        stream_chunk=stream_chunk)
         )
     outputs = engine.run()
     return AnonymousCollection(

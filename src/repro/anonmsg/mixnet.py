@@ -21,7 +21,7 @@ hence re-randomization by multiplying in ``E(1)``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.distkey import DistributedKey
 from repro.crypto.elgamal import Ciphertext, ElGamal
@@ -126,23 +126,44 @@ class DecryptionMixnet:
         """
         if validate_from is not None:
             self.validate_batch(ciphertexts, validate_from)
+        processed = self.peel_and_rerandomize(
+            ciphertexts, member_id, secret, rng, pool=pool, executor=executor
+        )
+        rng.shuffle(processed)
+        return processed
+
+    def peel_and_rerandomize(
+        self,
+        ciphertexts: Sequence[Ciphertext],
+        member_id: int,
+        secret: int,
+        rng: RNG,
+        *,
+        pool: Optional["RandomnessPool"] = None,
+        executor: Optional["WorkerPool"] = None,
+    ) -> List[Ciphertext]:
+        """The exponentiation-heavy part of a hop, without the permutation.
+
+        Safe to call incrementally on consecutive chunks of one batch
+        (:class:`StreamingMixHop` does exactly that): randomness is drawn
+        in ciphertext order, so chunked and whole-batch processing
+        consume the pool/RNG identically.
+        """
         remaining = self.remaining_key_after(member_id)
         is_last = member_id == self.member_ids[-1]
         if executor is not None and executor.parallel:
-            processed = self._mix_hop_parallel(
+            return self._mix_hop_parallel(
                 ciphertexts, secret, remaining, is_last, rng, pool, executor
             )
-        else:
-            scheme = (
-                ElGamal(self.group, pool=pool) if pool is not None else self.scheme
-            )
-            processed = []
-            for ciphertext in ciphertexts:
-                peeled = self._distkey.peel_layer(ciphertext, secret)
-                if not is_last:
-                    peeled = scheme.rerandomize(peeled, remaining, rng)
-                processed.append(peeled)
-        rng.shuffle(processed)
+        scheme = (
+            ElGamal(self.group, pool=pool) if pool is not None else self.scheme
+        )
+        processed = []
+        for ciphertext in ciphertexts:
+            peeled = self._distkey.peel_layer(ciphertext, secret)
+            if not is_last:
+                peeled = scheme.rerandomize(peeled, remaining, rng)
+            processed.append(peeled)
         return processed
 
     def _mix_hop_parallel(
@@ -157,14 +178,20 @@ class DecryptionMixnet:
     ) -> List[Ciphertext]:
         from repro.runtime.parallel import MixHopJob, evaluate_mix_hop_job
 
-        # Pre-draw every re-randomizer in serial order (from the pool when
-        # one serves the remaining key, else from the hop's RNG); workers
-        # recompute y^r / g^r from the exponent, so the resulting elements
-        # are identical to the serial hop's.
+        # Pre-draw every re-randomizer in serial order.  A pool keyed to
+        # the remaining joint key already holds the (g^r, y^r) *elements*,
+        # so the jobs ship those and workers re-encrypt with two
+        # multiplications per ciphertext; without a pool the jobs carry
+        # the bare exponents and workers recompute the powers.  Either
+        # way the elements match the serial hop's exactly.
         rerandomizers: Optional[List[int]] = None
+        pairs: Optional[List[Tuple[Element, Element]]] = None
         if not is_last:
             if pool is not None and pool.matches_key(remaining):
-                rerandomizers = [pool.take().r for _ in ciphertexts]
+                pairs = [
+                    (pair.g_r, pair.y_r)
+                    for pair in (pool.take() for _ in ciphertexts)
+                ]
             else:
                 rerandomizers = [
                     self.group.random_exponent(rng) for _ in ciphertexts
@@ -183,6 +210,9 @@ class DecryptionMixnet:
                 remaining_key=remaining,
                 rerandomizers=(
                     tuple(rerandomizers[lo:hi]) if rerandomizers is not None else None
+                ),
+                rerandomizer_pairs=(
+                    tuple(pairs[lo:hi]) if pairs is not None else None
                 ),
             )
             for lo, hi in bounds
@@ -209,3 +239,59 @@ class DecryptionMixnet:
         for member_id in self.member_ids:
             current = self.mix_hop(current, member_id, secrets[member_id], rng)
         return self.open_outputs(current)
+
+
+class StreamingMixHop:
+    """One member's hop, fed chunk by chunk as the upstream hop emits.
+
+    The exponentiation-heavy peel + re-randomize runs per chunk in
+    :meth:`absorb`, so it overlaps the upstream member's (staggered)
+    emission; the permutation is a whole-batch barrier in :meth:`emit` —
+    shuffling chunk-locally would let an observer bound every output's
+    source to one chunk, gutting the unlinkability the hop exists for.
+
+    Randomness is consumed in global ciphertext order across chunks,
+    so a streamed hop produces exactly the ciphertexts (and the same
+    permutation) the one-shot :meth:`DecryptionMixnet.mix_hop` would.
+    """
+
+    def __init__(
+        self,
+        mixnet: DecryptionMixnet,
+        member_id: int,
+        secret: int,
+        *,
+        pool: Optional["RandomnessPool"] = None,
+        executor: Optional["WorkerPool"] = None,
+        validate_from: Optional[int] = None,
+    ):
+        self.mixnet = mixnet
+        self.member_id = member_id
+        self.secret = secret
+        self.pool = pool
+        self.executor = executor
+        self.validate_from = validate_from
+        self.absorbed = 0
+        self._processed: List[Ciphertext] = []
+        self._emitted = False
+
+    def absorb(self, chunk: Sequence[Ciphertext], rng: RNG) -> None:
+        """Peel + re-randomize one arriving chunk (order-preserving)."""
+        if self._emitted:
+            raise ValueError("cannot absorb after emit")
+        if self.validate_from is not None:
+            self.mixnet.validate_batch(chunk, self.validate_from)
+        self._processed.extend(
+            self.mixnet.peel_and_rerandomize(
+                chunk, self.member_id, self.secret, rng,
+                pool=self.pool, executor=self.executor,
+            )
+        )
+        self.absorbed += len(chunk)
+
+    def emit(self, rng: RNG) -> List[Ciphertext]:
+        """Whole-batch permutation barrier; returns the hop's output."""
+        self._emitted = True
+        processed = self._processed
+        rng.shuffle(processed)
+        return processed

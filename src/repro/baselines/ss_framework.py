@@ -82,7 +82,17 @@ class SSGroupRankingFramework:
         self.rho_bits = rho_bits
         self._rng = rng or SeededRNG(0)
 
-    def run(self) -> SSFrameworkResult:
+    def run(
+        self,
+        faults=None,
+        *,
+        timeout_rounds: Optional[int] = None,
+        max_retries: int = 2,
+    ) -> SSFrameworkResult:
+        """Run the baseline; ``faults``/``timeout_rounds``/``max_retries``
+        are forwarded to the SS-ranking phase (phase 1 is pairwise with
+        the initiator and runs outside the engine, so injection targets
+        phase 2 — the distributed part the comparison is about)."""
         from repro.core.gain import beta_bit_length
 
         rng = self._rng
@@ -111,7 +121,8 @@ class SSGroupRankingFramework:
         # comparison precondition (β < p/2).
         ranking_prime = next_prime(1 << (beta_bits + 2))
         ss_run = run_distributed_ss_ranking(
-            [betas[j] for j in sorted(betas)], ranking_prime, rng=rng
+            [betas[j] for j in sorted(betas)], ranking_prime, rng=rng,
+            faults=faults, timeout_rounds=timeout_rounds, max_retries=max_retries,
         )
 
         # Phase 3: top-k submission.  In this baseline every rank is

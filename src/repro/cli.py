@@ -38,6 +38,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="test")
     demo.add_argument("--zkp", choices=["interactive", "fiat-shamir"],
                       default="interactive")
+    demo.add_argument("--batch-verify", action="store_true",
+                      help="fold proof checks into one multi-exponentiation")
+    demo.add_argument("--bit-proofs", action="store_true",
+                      help="publish per-bit validity proofs (malicious model)")
+    demo.add_argument("--streaming", action="store_true",
+                      help="pipeline the shuffle chain in chunks")
+    demo.add_argument("--chunk-sets", type=int, default=1, metavar="C",
+                      help="ciphertext sets per streamed chunk (with --streaming)")
 
     games = sub.add_parser("games", help="run the security games")
     games.add_argument("--trials", type=int, default=16)
@@ -103,13 +111,22 @@ def cmd_demo(args, out) -> int:
         k=args.top,
         rho_bits=8,
         zkp_mode=args.zkp,
+        batch_verify=args.batch_verify,
+        bit_proofs=args.bit_proofs,
+        streaming=args.streaming,
+        stream_chunk_sets=args.chunk_sets,
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)
     )
     result = framework.run()
+    flags = [name for name, on in (
+        ("batch-verify", args.batch_verify), ("bit-proofs", args.bit_proofs),
+        ("streaming", args.streaming),
+    ) if on]
     print(f"group: {config.group.name}   n={args.participants}  k={args.top}  "
-          f"l={config.beta_bits} bits  zkp={args.zkp}", file=out)
+          f"l={config.beta_bits} bits  zkp={args.zkp}"
+          + (f"  [{' '.join(flags)}]" if flags else ""), file=out)
     print("ranks:", dict(sorted(result.ranks.items())), file=out)
     print("selected:", result.selected_ids(),
           f"(verified: {result.initiator_output.verified})", file=out)

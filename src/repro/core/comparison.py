@@ -22,13 +22,13 @@ the suffix sums are ciphertext additions.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.crypto.bitenc import BitwiseCiphertext
+from repro.crypto.bitenc import BitProof, BitValidityProof, BitwiseCiphertext
 from repro.crypto.elgamal import Ciphertext, ExponentialElGamal
-from repro.groups.base import Group
+from repro.groups.base import Element, Group
 from repro.math.modular import int_to_bits
-from repro.runtime.errors import ProtocolError
+from repro.runtime.errors import ProtocolAbort, ProtocolError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.crypto.precompute import RandomnessPool
@@ -51,6 +51,71 @@ def tau_values_plain(beta_j: int, beta_i: int, width: int) -> List[int]:
 def compare_bits_plain(beta_j: int, beta_i: int, width: int) -> bool:
     """True iff the circuit reports ``β_j < β_i`` (i.e. a zero τ exists)."""
     return 0 in tau_values_plain(beta_j, beta_i, width)
+
+
+def verify_bit_proofs_or_abort(
+    group: Group,
+    public_key: Element,
+    claims: Sequence[Tuple[int, BitwiseCiphertext, Sequence[BitProof]]],
+    *,
+    batch: bool = False,
+    phase: str = "comparison",
+) -> None:
+    """Check every sender's per-bit validity proofs before the circuit
+    touches their operand.
+
+    ``claims`` holds ``(sender, bitwise ciphertext, per-bit proofs)`` for
+    every peer.  With ``batch=True`` all senders' proof equations fold
+    into ONE random-linear-combination multi-exponentiation (the hash
+    bindings stay per-proof — they cost a hash, not an exponentiation);
+    on batch failure, or with ``batch=False``, proofs are re-checked one
+    by one so the abort blames the exact sender, just as the unbatched
+    protocol would.
+    """
+    verifier = BitValidityProof(group, public_key)
+    for sender, operand, proofs in claims:
+        if not isinstance(proofs, (list, tuple)) or len(proofs) != operand.bit_length:
+            raise ProtocolAbort(
+                f"P{sender} sent malformed bit-encryption proofs",
+                blamed=sender, phase=phase,
+            )
+
+    if batch:
+        from repro.crypto.zkp import RelationBatcher, derive_batch_coefficients
+
+        flat = [
+            (sender, bit_ct, proof)
+            for sender, operand, proofs in claims
+            for bit_ct, proof in zip(operand, proofs)
+        ]
+        if all(
+            verifier.structurally_sound(bit_ct, proof)
+            and verifier.binding_holds(bit_ct, proof)
+            for _, bit_ct, proof in flat
+        ):
+            materials = [
+                verifier.material(bit_ct, proof) for _, bit_ct, proof in flat
+            ]
+            coefficients = derive_batch_coefficients(
+                materials, context=b"repro-batch-bitproof-v1"
+            )
+            batcher = RelationBatcher(group)
+            for (_, bit_ct, proof), s in zip(flat, coefficients):
+                verifier.add_relations(batcher, bit_ct, proof, s)
+            if batcher.holds():
+                return
+
+    for sender, operand, proofs in claims:
+        for bit_ct, proof in zip(operand, proofs):
+            if not verifier.verify(bit_ct, proof):
+                raise ProtocolAbort(
+                    f"P{sender} sent an invalid bit-encryption proof",
+                    blamed=sender, phase=phase,
+                )
+    if batch:
+        raise ProtocolAbort(
+            "batch verification failed but no single bit proof did", phase=phase
+        )
 
 
 class HomomorphicComparator:

@@ -148,8 +148,11 @@ class GroupRankingFramework:
             result.excluded = list(excluded)
             return result
 
-    def _make_injector(self, faults) -> Optional[FaultInjector]:
-        if faults is None or isinstance(faults, FaultInjector):
+    def _make_injector(self, faults):
+        # Anything exposing on_send (a FaultInjector, netsim's
+        # LossyLinkFaults, a test double) plugs in directly; a bare
+        # sequence of FaultSpec is wrapped into an injector.
+        if faults is None or hasattr(faults, "on_send"):
             return faults
         return FaultInjector(
             list(faults), rng=_fork(self._rng, "faults"), phase_of=phase_of_tag
@@ -189,6 +192,7 @@ class GroupRankingFramework:
             timeout_rounds=config.timeout_rounds,
             max_retries=config.max_retries,
             phase_of=phase_of_tag,
+            adaptive=config.adaptive_timeouts,
         )
         engine = Engine(
             metered_groups=[config.group],
@@ -222,6 +226,9 @@ class GroupRankingFramework:
         # Kept for the security-game harness (which inspects *adversarial*
         # parties' internals) and for β harvesting after a failed attempt.
         self.last_parties = engine.parties
+        # Kept so tests/operators can read retransmit/timeout counters
+        # and the adaptive-deadline state after the run.
+        self.last_supervisor = supervisor
         try:
             outputs = engine.run()
         finally:

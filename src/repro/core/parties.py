@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.comparison import HomomorphicComparator
+from repro.core.comparison import HomomorphicComparator, verify_bit_proofs_or_abort
 from repro.core.gain import (
     AttributeSchema,
     InitiatorInput,
@@ -44,7 +44,7 @@ from repro.core.gain import (
 )
 from repro.core.shuffle import ShuffleProcessor, chain_set_flaw
 from repro.crypto.bitenc import BitwiseCiphertext, BitwiseElGamal
-from repro.crypto.distkey import DistributedKey
+from repro.crypto.distkey import DistributedKey, ShareProofBatch
 from repro.crypto.elgamal import Ciphertext
 from repro.crypto.precompute import RandomnessPool
 from repro.crypto.zkp import MultiVerifierSchnorrProof, NonInteractiveSchnorrProof
@@ -116,6 +116,26 @@ class FrameworkConfig:
     * ``workers`` — process-pool width for the comparison and shuffle
       fan-out.  ``1`` (default) runs fully serial; any value produces
       the same ranks and a byte-identical transcript for the same seed.
+    * ``batch_verify`` — verify each round's key-knowledge proofs (and,
+      with ``bit_proofs``, all bit-validity proofs) with ONE
+      random-linear-combination multi-exponentiation instead of one pair
+      of exponentiations per proof.  On batch failure verification falls
+      back to per-proof checks, so aborts blame the same party the
+      unbatched protocol would; transcripts and ranks are identical
+      either way.
+    * ``streaming`` — pipeline the step-8 chain: the head emits the
+      vector in chunks of ``stream_chunk_sets`` comparison sets, pausing
+      a round between chunks, so hop ``i+1`` decrypt–rerandomizes chunk
+      ``c`` while hop ``i`` is still emitting chunk ``c+1``.  Randomness
+      is drawn in the exact serial set order, so every produced element
+      (and every rank) matches the unstreamed run.
+
+    Soundness switches:
+
+    * ``bit_proofs`` — attach a disjunctive Chaum-Pedersen proof to every
+      broadcast bit encryption and verify all received ones, upgrading
+      the step-6 well-formedness check from structural (shape + group
+      membership) to cryptographic (each plaintext provably in {0, 1}).
 
     Robustness switches:
 
@@ -147,6 +167,11 @@ class FrameworkConfig:
     multiexp: bool = False
     precompute: int = 0
     workers: int = 1
+    batch_verify: bool = False
+    bit_proofs: bool = False
+    streaming: bool = False
+    stream_chunk_sets: int = 1
+    adaptive_timeouts: bool = False
     recovery: bool = False
     timeout_rounds: int = 6
     max_retries: int = 2
@@ -159,6 +184,8 @@ class FrameworkConfig:
             raise ValueError("workers must be at least 1")
         if self.precompute < 0:
             raise ValueError("precompute must be non-negative")
+        if self.stream_chunk_sets < 1:
+            raise ValueError("stream_chunk_sets must be at least 1")
         if self.timeout_rounds < 1:
             raise ValueError("timeout_rounds must be at least 1")
         if self.max_retries < 0:
@@ -283,14 +310,17 @@ class InitiatorParty(Party):
         self.set_phase(PHASE_KEYING)
         publics: Dict[int, Element] = {}
         if config.verify_zkp and config.zkp_mode == "fiat-shamir":
+            proof_batch = ShareProofBatch(
+                config.group, batch=config.batch_verify, phase=PHASE_KEYING
+            )
             for j in participants:
                 message = yield from self.recv(j, TAG_ZKP_NIZK)
                 their_public, their_proof = message.payload
                 nizk = NonInteractiveSchnorrProof(
                     config.group, context=b"repro-keying|" + str(j).encode()
                 )
-                nizk.verify_or_abort(their_public, their_proof, blamed=j)
-                publics[j] = their_public
+                proof_batch.add_nizk_claim(j, their_public, their_proof, nizk)
+            publics = proof_batch.verify_and_register()
         elif config.verify_zkp:
             commits: Dict[int, Element] = {}
             for j in participants:
@@ -301,6 +331,9 @@ class InitiatorParty(Party):
                 challenge = self._zkp.challenge(self.rng)
                 self.send(j, TAG_ZKP_CHALLENGE, challenge,
                           size_bits=config.group.order.bit_length())
+            proof_batch = ShareProofBatch(
+                config.group, batch=config.batch_verify, phase=PHASE_KEYING
+            )
             for j in participants:
                 response_msg = yield from self.recv(j, TAG_ZKP_RESPONSE)
                 commitment, challenges, z = response_msg.payload
@@ -309,9 +342,10 @@ class InitiatorParty(Party):
                         f"P{j} answered a different commitment",
                         blamed=j, phase=PHASE_KEYING,
                     )
-                self._zkp.verify_multi_or_abort(
-                    publics[j], commitment, challenges, z, blamed=j
+                proof_batch.add_transcript_claim(
+                    j, publics[j], commitment, challenges, z
                 )
+            proof_batch.verify_and_register()
 
         # ---- Phase 3: collect submissions, re-verify, select top k ----
         self.set_phase(PHASE_SUBMISSION)
@@ -414,6 +448,13 @@ class ParticipantParty(Party):
         """The bitwise ciphertext this party publishes (honest: E(β))."""
         return bitwise.encrypt(beta, self.config.beta_bits, joint_key, self.rng)
 
+    def _published_beta_bits_with_proofs(self, bitwise: BitwiseElGamal, beta: int,
+                                         joint_key):
+        """Bit ciphertexts plus validity proofs (honest: proofs of E(β))."""
+        return bitwise.encrypt_with_proofs(
+            beta, self.config.beta_bits, joint_key, self.rng
+        )
+
     def _claimed_rank(self, rank: int) -> int:
         """The rank this party submits to the initiator (honest: her own)."""
         return rank
@@ -480,12 +521,43 @@ class ParticipantParty(Party):
         # Step 6: publish bitwise encryption of β under the joint key.
         self.set_phase(PHASE_COMPARISON)
         bitwise = BitwiseElGamal(group, pool=pool, multiexp=config.multiexp)
-        my_bits_ct = self._published_beta_bits(bitwise, beta, joint_key)
         beta_bits_size = bitwise.ciphertext_bits(config.beta_bits)
-        self.broadcast(others, TAG_BETA_BITS, my_bits_ct, size_bits=beta_bits_size)
-        other_bits = yield from self.recv_from_all(others, TAG_BETA_BITS)
-        for src, received in other_bits.items():
-            bitwise.validate_or_abort(received, config.beta_bits, blamed=src)
+        if config.bit_proofs:
+            # Each broadcast carries per-bit validity proofs; receivers
+            # check them (in one batch when batch_verify is on) before
+            # the circuit touches the operand.
+            my_bits_ct, my_proofs = self._published_beta_bits_with_proofs(
+                bitwise, beta, joint_key
+            )
+            self.broadcast(
+                others, TAG_BETA_BITS, (my_bits_ct, my_proofs),
+                size_bits=beta_bits_size + bitwise.proof_bits(config.beta_bits),
+            )
+            received = yield from self.recv_from_all(others, TAG_BETA_BITS)
+            other_bits = {}
+            claims = []
+            for src in sorted(received):
+                payload = received[src]
+                if not (isinstance(payload, tuple) and len(payload) == 2):
+                    raise ProtocolAbort(
+                        f"P{src} sent a malformed bitwise ciphertext",
+                        blamed=src, phase=PHASE_COMPARISON,
+                    )
+                their_bits, their_proofs = payload
+                bitwise.validate_or_abort(their_bits, config.beta_bits, blamed=src)
+                other_bits[src] = their_bits
+                claims.append((src, their_bits, their_proofs))
+            verify_bit_proofs_or_abort(
+                group, joint_key, claims, batch=config.batch_verify
+            )
+        else:
+            my_bits_ct = self._published_beta_bits(bitwise, beta, joint_key)
+            self.broadcast(
+                others, TAG_BETA_BITS, my_bits_ct, size_bits=beta_bits_size
+            )
+            other_bits = yield from self.recv_from_all(others, TAG_BETA_BITS)
+            for src, received in other_bits.items():
+                bitwise.validate_or_abort(received, config.beta_bits, blamed=src)
 
         # Step 7: homomorphic comparisons; flatten into this party's set ℰ_j.
         # One comparison per peer, each RNG-free — the parallel engine fans
@@ -569,6 +641,9 @@ class ParticipantParty(Party):
                 verifiers, TAG_ZKP_NIZK, (share.public, proof),
                 size_bits=2 * element_bits + order_bits,
             )
+            proof_batch = ShareProofBatch(
+                group, distkey, batch=config.batch_verify, phase=PHASE_KEYING
+            )
             for j in others:
                 message = yield from self.recv(j, TAG_ZKP_NIZK)
                 their_public, their_proof = message.payload
@@ -576,10 +651,8 @@ class ParticipantParty(Party):
                 peer_nizk = NonInteractiveSchnorrProof(
                     group, context=b"repro-keying|" + str(j).encode()
                 )
-                peer_nizk.verify_or_abort(their_public, their_proof, blamed=j)
-                publics[j] = their_public
-                distkey.register_public(j, their_public)
-            return publics
+                proof_batch.add_nizk_claim(j, their_public, their_proof, peer_nizk)
+            return proof_batch.verify_and_register()
 
         commitment, nonce = self._zkp.commit(self.rng)
         self.broadcast(verifiers, TAG_PK_SHARE, share.public, size_bits=element_bits)
@@ -609,6 +682,9 @@ class ParticipantParty(Party):
             size_bits=(len(challenges) + 1) * order_bits + config.group.element_bits,
         )
 
+        proof_batch = ShareProofBatch(
+            group, batch=config.batch_verify, phase=PHASE_KEYING
+        )
         for j in others:
             response_msg = yield from self.recv(j, TAG_ZKP_RESPONSE)
             their_commit, their_challenges, z = response_msg.payload
@@ -617,9 +693,10 @@ class ParticipantParty(Party):
                     f"P{j} answered a different commitment",
                     blamed=j, phase=PHASE_KEYING,
                 )
-            self._zkp.verify_multi_or_abort(
-                publics[j], their_commit, their_challenges, z, blamed=j
+            proof_batch.add_transcript_claim(
+                j, publics[j], their_commit, their_challenges, z
             )
+        proof_batch.verify_and_register()
         return publics
 
     # -- Step 8: chain validation helpers ---------------------------------------
@@ -674,6 +751,12 @@ class ParticipantParty(Party):
         if len(my_set) != self._expected_set_size():
             raise ProtocolError("own comparison set has the wrong size")
 
+        if config.streaming:
+            zeros = yield from self._stream_shuffle_chain(
+                my_set, secret, processor, executor, set_bits
+            )
+            return zeros
+
         if position == 0:
             # The chain head gathers every ℰ_j, builds V, processes, forwards.
             received = yield from self.recv_from_all(others, TAG_TAU_SETS)
@@ -708,6 +791,117 @@ class ParticipantParty(Party):
                     self.send(j, TAG_FINAL_SET, vector[active.index(j)],
                               size_bits=set_bits)
                 final_set = vector[position]
+
+        if self.party_id != tail:
+            self._validate_set(final_set, blamed=tail)
+        zeros, residues = processor.decrypt_residues(final_set, secret)
+        self.final_residues = residues
+        return zeros
+
+    # -- Step 8, streaming variant ------------------------------------------------
+    def _stream_chunks(self, total_sets: int) -> List[Tuple[int, int]]:
+        """Consecutive ``[start, stop)`` bounds covering the vector, each
+        at most ``stream_chunk_sets`` comparison sets wide.  Every party
+        derives the same layout from public parameters."""
+        size = self.config.stream_chunk_sets
+        return [
+            (start, min(start + size, total_sets))
+            for start in range(0, total_sets, size)
+        ]
+
+    def _validated_chunk(self, payload, expected_index: int, expected_sets: int,
+                         blamed: int) -> List[List[Ciphertext]]:
+        """Structure + per-set validation of one streamed chain chunk."""
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            raise ProtocolAbort(
+                "chain vector tampered: malformed stream chunk",
+                blamed=blamed, phase=PHASE_CHAIN,
+            )
+        index, sets = payload
+        if (
+            index != expected_index
+            or not isinstance(sets, (list, tuple))
+            or len(sets) != expected_sets
+        ):
+            raise ProtocolAbort(
+                "chain vector tampered: stream chunk out of sequence",
+                blamed=blamed, phase=PHASE_CHAIN,
+            )
+        for cipher_set in sets:
+            self._validate_set(cipher_set, blamed)
+        return [list(cipher_set) for cipher_set in sets]
+
+    def _stream_shuffle_chain(self, my_set: List[Ciphertext], secret: int,
+                              processor: ShuffleProcessor, executor, set_bits: int):
+        """Step 8 as a pipeline: the vector travels in chunks.
+
+        The head pauses one engine round between chunk emissions (see
+        :class:`~repro.runtime.channels.NextRound`), so its successor is
+        already peeling chunk ``c`` while the head emits ``c+1`` — the
+        chain's wall-clock becomes ``rounds(n + chunks)`` of *chunk-sized*
+        work instead of ``rounds(n)`` of whole-vector work.  Set-level
+        randomness is drawn in the exact order the serial walk uses, so
+        every ciphertext, every final set, and every rank is identical
+        to the unstreamed run.
+        """
+        active = self.active_ids
+        position = self._position
+        others = self._others
+        head, tail = active[0], active[-1]
+        bounds = self._stream_chunks(len(active))
+        header_bits = 32
+
+        if position == 0:
+            received = yield from self.recv_from_all(others, TAG_TAU_SETS)
+            vector: List[List[Ciphertext]] = [my_set]
+            for j in sorted(received):
+                self._validate_set(received[j], blamed=j)
+                vector.append(list(received[j]))
+            successor = active[1]
+            for c, (start, stop) in enumerate(bounds):
+                own_local = position - start if start <= position < stop else -1
+                processed = processor.process_vector(
+                    vector[start:stop], own_index=own_local, secret=secret,
+                    rng=self.rng, executor=executor,
+                )
+                self.send(
+                    successor, TAG_CHAIN, (c, processed),
+                    size_bits=len(processed) * set_bits + header_bits,
+                )
+                if c + 1 < len(bounds):
+                    yield from self.pause()
+            final_msg = yield from self.recv(tail, TAG_FINAL_SET)
+            final_set = final_msg.payload
+        else:
+            self.send(head, TAG_TAU_SETS, self._outgoing_tau_set(my_set),
+                      size_bits=set_bits)
+            predecessor = active[position - 1]
+            collected: List[List[Ciphertext]] = []
+            for c, (start, stop) in enumerate(bounds):
+                chain_msg = yield from self.recv(predecessor, TAG_CHAIN)
+                chunk = self._validated_chunk(
+                    chain_msg.payload, c, stop - start, blamed=predecessor
+                )
+                own_local = position - start if start <= position < stop else -1
+                processed = processor.process_vector(
+                    chunk, own_index=own_local, secret=secret, rng=self.rng,
+                    executor=executor,
+                )
+                if position < len(active) - 1:
+                    self.send(
+                        active[position + 1], TAG_CHAIN, (c, processed),
+                        size_bits=len(processed) * set_bits + header_bits,
+                    )
+                else:
+                    collected.extend(processed)
+            if position == len(active) - 1:
+                for j in others:
+                    self.send(j, TAG_FINAL_SET, collected[active.index(j)],
+                              size_bits=set_bits)
+                final_set = collected[position]
+            else:
+                final_msg = yield from self.recv(tail, TAG_FINAL_SET)
+                final_set = final_msg.payload
 
         if self.party_id != tail:
             self._validate_set(final_set, blamed=tail)

@@ -11,7 +11,7 @@ exponential scheme, ``g^M``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.elgamal import Ciphertext
 from repro.groups.base import Element, Group
@@ -113,3 +113,130 @@ class DistributedKey:
         for secret in secrets:
             current = self.peel_layer(current, secret)
         return current.c1
+
+
+class ShareProofBatch:
+    """Deferred keying verification: collect every peer's key-share claim
+    (public key + knowledge proof), verify them all, then register.
+
+    With ``batch=True`` the k proofs collapse into ONE random-linear-
+    combination multi-exponentiation (see :mod:`repro.crypto.zkp`); when
+    the combined check fails — or when ``batch=False`` — each proof is
+    verified individually in claim order, so the resulting
+    :class:`~repro.runtime.errors.ProtocolAbort` blames the exact party
+    whose proof is bad, identically to the unbatched protocol.
+
+    NIZK and interactive (multi-verifier) claims may be mixed freely:
+    both reduce to the same ``g^z == h·y^c`` equation, so one batch
+    covers a whole keying round regardless of ``zkp_mode``.
+    """
+
+    def __init__(
+        self,
+        group: Group,
+        distkey: Optional[DistributedKey] = None,
+        *,
+        batch: bool = False,
+        phase: str = "keying",
+    ):
+        self.group = group
+        self.distkey = distkey
+        self.batch = batch
+        self.phase = phase
+        # (party_id, public, verify_callable, batch_item_or_None)
+        self._claims: List[Tuple[int, Element, object, object]] = []
+
+    def add_nizk_claim(self, party_id: int, public: Element, proof, nizk) -> None:
+        """One peer's Fiat-Shamir claim, verified under *its* context."""
+        from repro.crypto.zkp import NIZKProof, SchnorrBatchItem
+
+        item = None
+        if (
+            isinstance(proof, NIZKProof)
+            and isinstance(proof.response, int)
+            and self.group.is_element(public)
+            and self.group.is_element(proof.commitment)
+        ):
+            item = SchnorrBatchItem(
+                prover=party_id,
+                public=public,
+                commitment=proof.commitment,
+                challenge=nizk.challenge_for(public, proof.commitment),
+                response=proof.response,
+            )
+
+        def check():
+            nizk.verify_or_abort(public, proof, blamed=party_id, phase=self.phase)
+
+        self._claims.append((party_id, public, check, item))
+
+    def add_transcript_claim(
+        self,
+        party_id: int,
+        public: Element,
+        commitment: Element,
+        challenges: Sequence[int],
+        response,
+    ) -> None:
+        """One peer's interactive (multi-verifier summed-challenge) claim."""
+        from repro.crypto.zkp import MultiVerifierSchnorrProof, SchnorrBatchItem
+
+        verifier = MultiVerifierSchnorrProof(self.group)
+        item = None
+        if (
+            isinstance(response, int)
+            and isinstance(challenges, (list, tuple))
+            and all(isinstance(c, int) for c in challenges)
+            and self.group.is_element(public)
+            and self.group.is_element(commitment)
+        ):
+            item = SchnorrBatchItem(
+                prover=party_id,
+                public=public,
+                commitment=commitment,
+                challenge=sum(challenges) % self.group.order,
+                response=response,
+            )
+
+        def check():
+            verifier.verify_multi_or_abort(
+                public, commitment, challenges, response,
+                blamed=party_id, phase=self.phase,
+            )
+
+        self._claims.append((party_id, public, check, item))
+
+    def verify_and_register(self) -> Dict[int, Element]:
+        """Verify every collected claim, then register the shares.
+
+        Returns ``{party_id: public}`` in claim order; raises a blamed
+        :class:`~repro.runtime.errors.ProtocolAbort` on the first bad
+        proof (per-proof fallback pins it even when batching).
+        """
+        from repro.crypto.zkp import batch_verify_schnorr
+        from repro.runtime.errors import ProtocolAbort
+
+        items = [item for _, _, _, item in self._claims]
+        batched_ok = (
+            self.batch
+            and all(item is not None for item in items)
+            and batch_verify_schnorr(self.group, items)
+        )
+        if not batched_ok:
+            for _, _, check, _ in self._claims:
+                check()
+            if self.batch and self._claims and all(
+                item is not None for item in items
+            ):
+                # Every proof passed individually yet the combined check
+                # failed — impossible for a correct batcher; stop hard.
+                raise ProtocolAbort(
+                    "batch verification failed but no single proof did",
+                    phase=self.phase,
+                )
+        publics: Dict[int, Element] = {}
+        for party_id, public, _, _ in self._claims:
+            publics[party_id] = public
+            if self.distkey is not None:
+                self.distkey.register_public(party_id, public)
+        return publics

@@ -13,11 +13,56 @@ from the cost model gives the total execution time the figure plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
+from repro.math.rng import RNG, SeededRNG
 from repro.netsim.simulator import LinkConfig, NetworkSimulator, SimMessage
 from repro.netsim.topology import Topology
+from repro.runtime.channels import Message
+from repro.runtime.faults import SendVerdict
 from repro.runtime.transcript import Transcript
+
+
+class LossyLinkFaults:
+    """The runtime engine's fault layer speaking netsim's lossy-link model.
+
+    Where :class:`~repro.runtime.faults.FaultInjector` injects *targeted*
+    faults (one spec, one culprit), this adapter models an unreliable
+    *network*: every submitted message is independently lost with
+    probability ``loss_rate``, drawn by the same seeded Bernoulli rule as
+    :meth:`NetworkSimulator._hop_lost`.  A loss surfaces to the engine as
+    a retransmittable drop, so the protocol supervisor's bounded-retry
+    loop plays the role the simulator's per-hop retransmit timer plays at
+    the packet level — the e2e lossy test drives both layers from one
+    run.  Retransmitted copies pass through here again, so a retry can be
+    lost too (bounded by the supervisor's ``max_retries``).
+    """
+
+    def __init__(
+        self,
+        loss_rate: float,
+        rng: Optional[RNG] = None,
+        phase_of: Optional[Callable[[str], str]] = None,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self.rng = rng if rng is not None else SeededRNG(0)
+        self.phase_of = phase_of or (lambda tag: tag)
+        self.sends = 0
+        self.losses = 0
+
+    def _lost(self) -> bool:
+        if self.loss_rate <= 0.0:
+            return False
+        return self.rng.randbits(30) / float(1 << 30) < self.loss_rate
+
+    def on_send(self, message: Message, round: int) -> SendVerdict:
+        self.sends += 1
+        if self._lost():
+            self.losses += 1
+            return SendVerdict(lost=True)
+        return SendVerdict(deliveries=[(None, message)])
 
 
 @dataclass
@@ -38,12 +83,18 @@ def replay_transcript(
     transcript: Transcript,
     topology: Topology,
     link: LinkConfig = LinkConfig(),
+    *,
+    simulator: Optional[NetworkSimulator] = None,
 ) -> TranscriptReplay:
     """Simulate the transcript's messages over the topology.
 
-    Parties must already be placed (``topology.place_parties``).
+    Parties must already be placed (``topology.place_parties``).  Pass a
+    pre-built ``simulator`` to control its RNG / retransmit settings and
+    inspect :attr:`NetworkSimulator.retransmissions` afterwards (the
+    lossy-link e2e test does); ``link`` is ignored in that case.
     """
-    simulator = NetworkSimulator(topology, link)
+    if simulator is None:
+        simulator = NetworkSimulator(topology, link)
     by_round = transcript.by_round()
     round_times: List[float] = []
     clock = 0.0

@@ -28,6 +28,20 @@ class Message:
 
 
 @dataclass(frozen=True)
+class NextRound:
+    """Effect yielded by a party: "resume me at the start of next round".
+
+    This is how the streaming pipeline staggers its chunk emissions: all
+    messages sent within one engine round are delivered together at the
+    round boundary, so a chain head that wants hop 2 chewing on chunk 1
+    while it emits chunk 2 must *yield the round* between sends.  A
+    paused party is not blocked on any receive (the supervisor never
+    sees it) and is unconditionally resumed one round later, so pausing
+    can never deadlock a run.
+    """
+
+
+@dataclass(frozen=True)
 class Recv:
     """Effect yielded by a party: "block until a message arrives".
 

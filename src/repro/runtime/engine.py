@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.groups.base import Group
-from repro.runtime.channels import Mailbox, Message, Recv
+from repro.runtime.channels import Mailbox, Message, NextRound, Recv
 from repro.runtime.errors import DeadlockError, PartyCrashed, ProtocolError
 from repro.runtime.party import Party
 from repro.runtime.transcript import Transcript
@@ -81,6 +81,9 @@ class Engine:
         self._generators: Dict[int, Any] = {}
         self._waiting: Dict[int, Recv] = {}
         self._waiting_since: Dict[int, int] = {}
+        # Parties that yielded NextRound, keyed to the round they paused
+        # in; resumed unconditionally once the round advances past it.
+        self._paused: Dict[int, int] = {}
         self._finished: Dict[int, bool] = {}
         self._crashed: Dict[int, Optional[str]] = {}
         self._metered_groups = list(metered_groups or [])
@@ -231,6 +234,16 @@ class Engine:
         self.round += 1
         delivered += self._deliver_due()
         progressed = delivered > 0
+        # Resume parties that yielded the previous round (streaming
+        # senders).  Resumption is unconditional — a paused party always
+        # makes the next round progress, so pausing cannot deadlock.
+        due = sorted(pid for pid, since in self._paused.items() if since < self.round)
+        for party_id in due:
+            del self._paused[party_id]
+            if self._finished[party_id] or party_id in self._crashed:
+                continue
+            self._advance(party_id)
+            progressed = True
         # Keep advancing parties until nobody can move within this round.
         # A party may consume several already-delivered messages in one round,
         # but messages *sent* this round are only deliverable next round.
@@ -269,6 +282,10 @@ class Engine:
         message = self._mailboxes[party_id].try_take(want)
         if message is None:
             return False
+        if self.supervisor is not None:
+            observe = getattr(self.supervisor, "observe_wait", None)
+            if observe is not None:
+                observe(self.round - self.waiting_since(party_id))
         self._advance(party_id, message=message)
         return True
 
@@ -291,9 +308,14 @@ class Engine:
             return
         finally:
             self._detach_counters()
+        if isinstance(effect, NextRound):
+            self._waiting.pop(party_id, None)
+            self._paused[party_id] = self.round
+            return
         if not isinstance(effect, Recv):
             raise ProtocolError(
-                f"party {party_id} yielded {effect!r}; parties may only yield Recv"
+                f"party {party_id} yielded {effect!r}; parties may only "
+                "yield Recv or NextRound"
             )
         self._waiting[party_id] = effect
         self._waiting_since[party_id] = self.round

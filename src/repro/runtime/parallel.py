@@ -74,13 +74,20 @@ class ShuffleJob:
 class MixHopJob:
     """A slice of one mix-net hop: peel a layer, re-encrypt under the
     remaining key with pre-drawn randomness (permutation stays with the
-    owning member, after the slices are joined)."""
+    owning member, after the slices are joined).
+
+    When the owning member holds an offline randomness pool keyed to the
+    remaining joint key it ships ``rerandomizer_pairs`` — the
+    precomputed ``(g^r, y^r)`` *elements* — so the worker re-encrypts
+    with two multiplications per ciphertext instead of recomputing two
+    exponentiations from the bare exponent."""
 
     group: Group
     ciphertexts: Tuple[Ciphertext, ...]
     secret: int
     remaining_key: object
     rerandomizers: Optional[Tuple[int, ...]]  # None on the last hop
+    rerandomizer_pairs: Optional[Tuple[Tuple[object, object], ...]] = None
 
 
 # ---------------------------------------------------------------------------
@@ -139,7 +146,13 @@ def evaluate_mix_hop_job(job: MixHopJob) -> Tuple[List[Ciphertext], OperationCou
         processed: List[Ciphertext] = []
         for index, ciphertext in enumerate(job.ciphertexts):
             peeled = distkey.peel_layer(ciphertext, job.secret)
-            if job.rerandomizers is not None:
+            if job.rerandomizer_pairs is not None:
+                g_r, y_r = job.rerandomizer_pairs[index]
+                peeled = Ciphertext(
+                    c1=job.group.mul(peeled.c1, y_r),
+                    c2=job.group.mul(peeled.c2, g_r),
+                )
+            elif job.rerandomizers is not None:
                 r = job.rerandomizers[index]
                 peeled = Ciphertext(
                     c1=job.group.mul(peeled.c1, job.group.exp(job.remaining_key, r)),

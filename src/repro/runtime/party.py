@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Iterable, Optional
 
 from repro.math.rng import RNG
-from repro.runtime.channels import Message, Recv
+from repro.runtime.channels import Message, NextRound, Recv
 from repro.runtime.metrics import PartyMetrics
 
 
@@ -58,6 +58,13 @@ class Party:
             size_bits = estimate_size_bits(payload)
         self._engine.submit(self.party_id, dst, tag, payload, size_bits)
         self.metrics.record_send(size_bits)
+
+    def pause(self) -> Generator[NextRound, None, None]:
+        """Yield the rest of this engine round; resume at the next one.
+
+        Used by streaming senders to stagger chunk emissions across
+        round boundaries so downstream hops overlap with them."""
+        yield NextRound()
 
     def recv(self, src: Optional[int], tag: str) -> Generator[Recv, Message, Message]:
         """Block until one matching message arrives; return it."""

@@ -48,6 +48,9 @@ class Supervisor:
         max_retries: int = 2,
         backoff_base: int = 1,
         phase_of: Optional[Callable[[str], str]] = None,
+        adaptive: bool = False,
+        ewma_alpha: float = 0.2,
+        deadline_factor: float = 3.0,
     ):
         if timeout_rounds < 1:
             raise ValueError("timeout_rounds must be at least 1")
@@ -55,12 +58,51 @@ class Supervisor:
             raise ValueError("max_retries must be non-negative")
         if backoff_base < 1:
             raise ValueError("backoff_base must be at least 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if deadline_factor < 1.0:
+            raise ValueError("deadline_factor must be at least 1")
         self.timeout_rounds = timeout_rounds
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.phase_of = phase_of or (lambda tag: tag)
+        self.adaptive = adaptive
+        self.ewma_alpha = ewma_alpha
+        self.deadline_factor = deadline_factor
         self.retransmits = 0
         self.timeouts = 0
+        # EWMA of how many rounds satisfied receives actually waited,
+        # fed by the engine on every delivery (see Engine._try_satisfy).
+        self.latency_ewma: Optional[float] = None
+
+    # -- latency observation ---------------------------------------------------
+    def observe_wait(self, rounds_waited: int) -> None:
+        """Fold one satisfied receive's wait into the latency estimate.
+
+        Called by the engine for every delivered message, whether or not
+        ``adaptive`` is set — the estimate is free and tests/operators
+        can always read it."""
+        value = float(max(0, rounds_waited))
+        if self.latency_ewma is None:
+            self.latency_ewma = value
+        else:
+            alpha = self.ewma_alpha
+            self.latency_ewma = alpha * value + (1.0 - alpha) * self.latency_ewma
+
+    def effective_timeout_rounds(self) -> int:
+        """The deadline currently in force.
+
+        ``adaptive`` scales the observed EWMA latency by
+        ``deadline_factor``; the configured ``timeout_rounds`` is a hard
+        floor, so adaptation can only *extend* deadlines (protecting
+        slow-but-honest parties under load), never tighten them."""
+        if not self.adaptive or self.latency_ewma is None:
+            return self.timeout_rounds
+        import math
+
+        return max(
+            self.timeout_rounds, math.ceil(self.latency_ewma * self.deadline_factor)
+        )
 
     # -- engine hook ----------------------------------------------------------
     def on_quiescent(self, engine: "Engine") -> bool:
@@ -89,7 +131,7 @@ class Supervisor:
         longest = max(
             engine.round - engine.waiting_since(pid) for pid in blocked
         )
-        return longest >= self.timeout_rounds
+        return longest >= self.effective_timeout_rounds()
 
     def _retransmit(self, engine: "Engine", blocked: Dict[int, Recv]) -> bool:
         for pid in sorted(blocked):

@@ -24,19 +24,32 @@ Implemented sub-protocols, each as engine messages:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Sequence, Union
 
 from repro.math.modular import mod_inverse, mod_sqrt
 from repro.math.rng import RNG, SeededRNG
 from repro.runtime.engine import Engine
-from repro.runtime.errors import ProtocolError
+from repro.runtime.errors import ProtocolAbort, ProtocolError
+from repro.runtime.faults import FaultInjector, FaultSpec
 from repro.runtime.party import Party
+from repro.runtime.supervisor import Supervisor
 from repro.runtime.transcript import Transcript
 from repro.sharing.shamir import ShamirScheme, Share
 
 TAG_INPUT_SHARE = "ss-input"
 TAG_RESHARE = "ss-reshare"
 TAG_OPEN = "ss-open"
+
+
+def ss_phase_of(tag: str) -> str:
+    """Collapse sequence-numbered SS tags to their sub-protocol name.
+
+    ``ss-reshare-17`` → ``ss-reshare`` and so on, so blame reports name
+    the sub-protocol rather than an opaque sequence number."""
+    for base in (TAG_RESHARE, TAG_OPEN, TAG_INPUT_SHARE):
+        if tag.startswith(base):
+            return base
+    return tag
 
 
 class SSParty(Party):
@@ -80,12 +93,20 @@ class SSParty(Party):
                 self.send(share.x, tag, share.y, size_bits=self._field_bits)
         return own
 
+    def _require_field_value(self, value, sender: int, tag: str) -> int:
+        """Validated-abort check: any share leaving the field blames its
+        sender (a corrupted wire value must never enter the algebra)."""
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or not 0 <= value < self.p:
+            raise ProtocolAbort(
+                f"P{sender} sent an out-of-field share",
+                blamed=sender, phase=ss_phase_of(tag),
+            )
+        return value
+
     def receive_input(self, dealer: int, tag: str) -> Generator:
         message = yield from self.recv(dealer, tag)
-        value = message.payload
-        if not isinstance(value, int) or not 0 <= value < self.p:
-            raise ProtocolError(f"P{dealer} dealt an out-of-field share")
-        return value
+        return self._require_field_value(message.payload, dealer, tag)
 
     def multiply(self, my_share_a: int, my_share_b: int) -> Generator:
         """GRR multiplication: returns this party's share of ``a·b``.
@@ -105,6 +126,7 @@ class SSParty(Party):
         received = yield from self.recv_from_all(self._others, tag)
         total = self._lagrange[self.party_id] * own_subshare % self.p
         for sender, subshare in received.items():
+            self._require_field_value(subshare, sender, tag)
             total = (total + self._lagrange[sender] * subshare) % self.p
         return total
 
@@ -114,7 +136,8 @@ class SSParty(Party):
         self.broadcast(self._others, tag, my_share, size_bits=self._field_bits)
         received = yield from self.recv_from_all(self._others, tag)
         shares = [Share(x=self.party_id, y=my_share)] + [
-            Share(x=sender, y=value) for sender, value in sorted(received.items())
+            Share(x=sender, y=self._require_field_value(value, sender, tag))
+            for sender, value in sorted(received.items())
         ]
         return self.scheme.reconstruct(shares)
 
@@ -126,7 +149,8 @@ class SSParty(Party):
         own = self.deal_input(contribution, tag)
         received = yield from self.recv_from_all(self._others, tag)
         total = own
-        for value in received.values():
+        for sender, value in received.items():
+            self._require_field_value(value, sender, tag)
             total = (total + value) % self.p
         return total
 
@@ -219,6 +243,8 @@ class SSRankParty(SSParty):
         own_share = self.deal_input(self.value, tag)
         shares: Dict[int, int] = {self.party_id: own_share}
         received = yield from self.recv_from_all(self._others, tag)
+        for sender, value in received.items():
+            self._require_field_value(value, sender, tag)
         shares.update(received)
         # 2. Pairwise comparisons, opened to everyone: [v_i < v_j], and —
         # when that is 0 — the reverse [v_j < v_i] to separate "greater"
@@ -258,13 +284,37 @@ class DistributedSSRun:
 
 
 def run_distributed_ss_ranking(
-    values: List[int], prime: int, rng: Optional[RNG] = None
+    values: List[int], prime: int, rng: Optional[RNG] = None,
+    *,
+    faults: Union[FaultInjector, Sequence[FaultSpec], None] = None,
+    timeout_rounds: Optional[int] = None,
+    max_retries: int = 2,
 ) -> DistributedSSRun:
     """Engine-based SS ranking of ``values`` (party ``i+1`` holds
-    ``values[i]``)."""
+    ``values[i]``).
+
+    ``faults`` injects a deterministic fault plan exactly as the main
+    framework does; any injection (or an explicit ``timeout_rounds``)
+    also installs a :class:`Supervisor`, so a faulty run terminates in a
+    typed, blamed error or heals via retransmission — never a bare
+    deadlock.  The SS baseline has no dropout recovery (the paper's
+    comparison point is the protocol itself, not a fault-tolerance
+    layer), so blame always propagates to the caller."""
     rng = rng or SeededRNG(0)
     n = len(values)
-    engine = Engine()
+    injector = faults
+    if injector is not None and not isinstance(injector, FaultInjector):
+        fork = getattr(rng, "fork", None)
+        fault_rng = fork("ss-faults") if callable(fork) else rng
+        injector = FaultInjector(list(injector), rng=fault_rng, phase_of=ss_phase_of)
+    supervisor = None
+    if injector is not None or timeout_rounds is not None:
+        supervisor = Supervisor(
+            timeout_rounds=timeout_rounds if timeout_rounds is not None else 4,
+            max_retries=max_retries,
+            phase_of=ss_phase_of,
+        )
+    engine = Engine(faults=injector, supervisor=supervisor)
     for party_id, value in enumerate(values, start=1):
         fork = getattr(rng, "fork", None)
         party_rng = fork(f"ss{party_id}") if callable(fork) else rng

@@ -1,0 +1,130 @@
+"""End-to-end lossy-link run: protocol supervisor + packet simulator.
+
+The runtime engine executes a full ranking under a Bernoulli-lossy
+"wire" (:class:`LossyLinkFaults` — netsim's loss model speaking the
+engine's fault interface), so the supervisor's bounded retransmits must
+heal real, randomly-placed losses for the run to finish at all.  The
+resulting transcript is then replayed over the packet-level simulator in
+lossy mode, exercising the per-hop retransmit timer on the same traffic.
+One run drives both recovery layers.
+"""
+
+import pytest
+
+from repro.core.framework import GroupRankingFramework
+from repro.core.parties import FrameworkConfig, phase_of_tag
+from repro.math.rng import SeededRNG
+from repro.netsim.simulator import LinkConfig, NetworkSimulator
+from repro.netsim.topology import random_connected_topology
+from repro.netsim.transport import LossyLinkFaults, replay_transcript
+from tests.conftest import make_participants
+
+N = 3
+LOSS = 0.03
+
+
+def build(group, schema, initiator_input, **overrides):
+    config_kwargs = dict(
+        group=group, schema=schema, num_participants=N, k=2, rho_bits=6,
+        timeout_rounds=3, max_retries=6,
+    )
+    config_kwargs.update(overrides)
+    config = FrameworkConfig(**config_kwargs)
+    participants = make_participants(schema, N, seed=19)
+    return GroupRankingFramework(
+        config, initiator_input, participants, rng=SeededRNG(5)
+    )
+
+
+class TestLossyLinkFaults:
+    def test_lossless_rate_never_loses(self):
+        faults = LossyLinkFaults(0.0, rng=SeededRNG(1))
+        from repro.runtime.channels import Message
+
+        msg = Message(src=1, dst=2, tag="t", payload=0, size_bits=8)
+        verdicts = [faults.on_send(msg, round=r) for r in range(50)]
+        assert not any(v.lost for v in verdicts)
+        assert faults.losses == 0 and faults.sends == 50
+
+    def test_losses_replay_by_seed(self):
+        from repro.runtime.channels import Message
+
+        msg = Message(src=1, dst=2, tag="t", payload=0, size_bits=8)
+
+        def pattern(seed):
+            faults = LossyLinkFaults(0.3, rng=SeededRNG(seed))
+            return [faults.on_send(msg, round=r).lost for r in range(100)]
+
+        assert pattern(9) == pattern(9)
+        assert pattern(9) != pattern(10)
+        assert any(pattern(9))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LossyLinkFaults(1.0)
+
+
+class TestLossyEndToEnd:
+    def test_supervisor_heals_random_losses(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        faults = LossyLinkFaults(
+            LOSS, rng=SeededRNG(23), phase_of=phase_of_tag
+        )
+        result = framework.run(faults=faults)
+        # The wire really was lossy, and every loss was healed by a
+        # supervisor retransmit (the run cannot finish otherwise).
+        assert faults.losses > 0
+        assert framework.last_supervisor.retransmits >= faults.losses > 0
+        assert framework.check_result(result) == []
+
+    def test_transcript_replays_over_lossy_packet_network(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        framework = build(small_dl_group, small_schema, small_initiator_input)
+        faults = LossyLinkFaults(
+            LOSS, rng=SeededRNG(23), phase_of=phase_of_tag
+        )
+        result = framework.run(faults=faults)
+
+        topology = random_connected_topology(20, 30, SeededRNG(41))
+        topology.place_parties(list(range(N + 1)), SeededRNG(42))
+        clean = replay_transcript(result.transcript, topology)
+
+        lossy_sim = NetworkSimulator(
+            topology, LinkConfig().with_loss(0.05), rng=SeededRNG(7)
+        )
+        lossy = replay_transcript(
+            result.transcript, topology, simulator=lossy_sim
+        )
+        # The simulator's own per-hop retransmit timer fired, nothing
+        # was abandoned, and the lost transmissions cost wall-clock time.
+        assert lossy_sim.retransmissions > 0
+        assert lossy_sim.dropped == []
+        assert lossy.total_time_s > clean.total_time_s
+        # Replay counts message-bearing rounds; the engine's total also
+        # includes the idle rounds the losses cost, so it is at least that.
+        assert lossy.rounds == clean.rounds <= result.rounds
+
+    def test_lossy_run_is_deterministic(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        def fingerprint():
+            framework = build(
+                small_dl_group, small_schema, small_initiator_input
+            )
+            faults = LossyLinkFaults(
+                LOSS, rng=SeededRNG(23), phase_of=phase_of_tag
+            )
+            result = framework.run(faults=faults)
+            return (
+                result.ranks,
+                faults.losses,
+                tuple(
+                    (e.round, e.src, e.dst, e.tag, e.size_bits)
+                    for e in result.transcript
+                ),
+            )
+
+        assert fingerprint() == fingerprint()

@@ -1,0 +1,142 @@
+"""Fault-injection matrix for the SS baseline, mirroring the main
+framework's (:mod:`tests.test_runtime_faults`).
+
+Same acceptance bar: every injected run must end either with correct
+ranks (the fault healed) or with a typed error blaming the faulty
+party — never a hang, a bare deadlock, or a silently wrong ranking.
+The SS baseline has no dropout recovery, so the "heal" outcomes are
+retransmission (drop) and tolerance (delay, duplicate); everything else
+must blame.
+"""
+
+import pytest
+
+from repro.math.primes import random_prime
+from repro.math.rng import SeededRNG
+from repro.runtime.errors import PartyTimeout, ProtocolAbort
+from repro.runtime.faults import FaultSpec
+from repro.sharing.protocol import (
+    TAG_OPEN,
+    TAG_RESHARE,
+    run_distributed_ss_ranking,
+    ss_phase_of,
+)
+
+PRIME = random_prime(12, SeededRNG(53))
+VALUES = [40, 7, 23]   # all < p/2; distinct, so ranks are unambiguous
+EXPECTED_RANKS = {
+    i + 1: 1 + sum(1 for v in VALUES if v > mine)
+    for i, mine in enumerate(VALUES)
+}
+FAULTY = 2
+
+# One representative injection point per SS sub-protocol, all from P2.
+PHASE_SPECS = {
+    "input": dict(tag="ss-rank-input"),
+    "reshare": dict(phase=TAG_RESHARE),
+    "open": dict(phase=TAG_OPEN),
+}
+
+
+def run(faults, seed=7, **kwargs):
+    return run_distributed_ss_ranking(
+        list(VALUES), PRIME, rng=SeededRNG(seed), faults=faults, **kwargs
+    )
+
+
+class TestPhaseMapping:
+    def test_sequence_numbers_collapse(self):
+        assert ss_phase_of("ss-reshare-17") == TAG_RESHARE
+        assert ss_phase_of("ss-open-3") == TAG_OPEN
+        assert ss_phase_of("ss-input-2-rand") == "ss-input"
+        assert ss_phase_of("ss-rank-input") == "ss-rank-input"
+
+
+class TestFaultMatrix:
+    """kind × sub-protocol sweep; no recovery, so blame must propagate."""
+
+    @pytest.mark.parametrize("point", sorted(PHASE_SPECS))
+    def test_crash_blames_the_dead_party(self, point):
+        specs = [FaultSpec(kind="crash", party=FAULTY, **PHASE_SPECS[point])]
+        with pytest.raises(PartyTimeout) as excinfo:
+            run(specs)
+        assert excinfo.value.blamed == FAULTY
+
+    @pytest.mark.parametrize("point", sorted(PHASE_SPECS))
+    def test_corrupt_blames_the_sender(self, point):
+        specs = [FaultSpec(kind="corrupt", party=FAULTY, **PHASE_SPECS[point])]
+        with pytest.raises(ProtocolAbort, match="out-of-field") as excinfo:
+            run(specs)
+        assert excinfo.value.blamed == FAULTY
+
+    @pytest.mark.parametrize("point", sorted(PHASE_SPECS))
+    def test_drop_heals_via_retransmit(self, point):
+        specs = [FaultSpec(kind="drop", party=FAULTY, **PHASE_SPECS[point])]
+        result = run(specs)
+        assert result.ranks == EXPECTED_RANKS
+
+    @pytest.mark.parametrize("point", sorted(PHASE_SPECS))
+    def test_stall_exhausts_retries_then_blames(self, point):
+        specs = [FaultSpec(kind="stall", party=FAULTY, **PHASE_SPECS[point])]
+        with pytest.raises(PartyTimeout) as excinfo:
+            run(specs)
+        assert excinfo.value.blamed == FAULTY
+
+    @pytest.mark.parametrize("point", sorted(PHASE_SPECS))
+    def test_delay_only_costs_rounds(self, point):
+        specs = [
+            FaultSpec(kind="delay", party=FAULTY, delay_rounds=2,
+                      **PHASE_SPECS[point])
+        ]
+        result = run(specs)
+        assert result.ranks == EXPECTED_RANKS
+
+    @pytest.mark.parametrize("point", sorted(PHASE_SPECS))
+    def test_duplicate_is_tolerated(self, point):
+        specs = [FaultSpec(kind="duplicate", party=FAULTY, **PHASE_SPECS[point])]
+        result = run(specs)
+        assert result.ranks == EXPECTED_RANKS
+
+
+class TestDeterminismAndPlumbing:
+    def fingerprint(self, result):
+        return (
+            result.ranks,
+            tuple(
+                (e.round, e.src, e.dst, e.tag, e.size_bits)
+                for e in result.transcript
+            ),
+        )
+
+    @pytest.mark.parametrize("kind", ["drop", "delay", "duplicate"])
+    def test_same_seed_same_outcome(self, kind):
+        specs = [FaultSpec(kind=kind, party=FAULTY, phase=TAG_OPEN)]
+        assert self.fingerprint(run(list(specs))) == self.fingerprint(
+            run(list(specs))
+        )
+
+    def test_empty_fault_plan_changes_nothing(self):
+        """Installing the injector + supervisor must not perturb a
+        healthy run's transcript."""
+        plain = run_distributed_ss_ranking(
+            list(VALUES), PRIME, rng=SeededRNG(7)
+        )
+        plumbed = run(faults=[])
+        assert self.fingerprint(plain) == self.fingerprint(plumbed)
+
+
+class TestBaselinePassThrough:
+    def test_ss_framework_forwards_faults(self, small_schema,
+                                          small_initiator_input):
+        from repro.baselines.ss_framework import SSGroupRankingFramework
+        from tests.conftest import make_participants
+
+        participants = make_participants(small_schema, 3, seed=19)
+        framework = SSGroupRankingFramework(
+            small_schema, small_initiator_input, participants, k=2,
+            rho_bits=6, rng=SeededRNG(5),
+        )
+        specs = [FaultSpec(kind="crash", party=FAULTY, phase=TAG_OPEN)]
+        with pytest.raises(PartyTimeout) as excinfo:
+            framework.run(specs)
+        assert excinfo.value.blamed == FAULTY

@@ -76,9 +76,18 @@ def counting_run(
     h: int = 15,
     element_bits: int = 1024,
     order_bits: Optional[int] = None,
+    wire: str = "declared",
+    coalesce: bool = True,
 ) -> CountedRun:
-    """Execute the real protocol on an inert group; return exact counts."""
-    key = (n, m, t, d1, d2, h, element_bits, order_bits)
+    """Execute the real protocol on an inert group; return exact counts.
+
+    ``wire="measured"`` routes every message through the wire transport
+    so the transcript carries *measured* encoded bytes (envelopes,
+    framing, per-round coalescing per ``coalesce``) instead of the
+    analytic declared sizes — the counting group reports the target
+    family's element width, so encoded sizes match the real family's.
+    """
+    key = (n, m, t, d1, d2, h, element_bits, order_bits, wire, coalesce)
     if key in _COUNT_CACHE:
         return _COUNT_CACHE[key]
     schema = AttributeSchema(
@@ -102,6 +111,7 @@ def counting_run(
     config = FrameworkConfig(
         group=group, schema=schema, num_participants=n,
         k=max(1, n // 8), rho_bits=h,
+        wire=wire, coalesce=coalesce,
     )
     framework = GroupRankingFramework(config, initiator, participants, rng=SeededRNG(2))
     result = framework.run()

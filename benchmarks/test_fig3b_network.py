@@ -6,8 +6,9 @@ links, TCP transport, ECC-160 vs DL-1024 vs the SS framework.
 Our reproduction (DESIGN.md §5, substitution 2):
 
 * DL/ECC — the *real* protocol transcript (counting run with the target
-  family's wire sizes) replayed through the store-and-forward simulator
-  with per-round barriers.
+  family's wire sizes, measured through the wire transport so sizes are
+  encoded bytes and frame counts reflect per-round coalescing) replayed
+  through the store-and-forward simulator with per-round barriers.
 * SS — the comparisons of the Batcher network serialized (the paper's
   own round accounting charges at least one round per multiplication;
   we batch each comparison's multiplications into
@@ -112,9 +113,16 @@ def series():
     for n in ns:
         topology = paper_topology(SeededRNG(17))
         topology.place_parties(list(range(n + 1)), SeededRNG(18))
-        run_dl = counting_run_for_family("DL", 80, n=n, **params)
+        # Measured wire: the replay sees real encoded bytes (envelopes,
+        # varint framing) and real frame counts (coalesced batches fold
+        # into one wire message per channel per round).
+        run_dl = counting_run_for_family(
+            "DL", 80, n=n, wire="measured", **params
+        )
         dl.append(replay_transcript(run_dl.transcript, topology, link).total_time_s)
-        run_ecc = counting_run_for_family("ECC", 80, n=n, **params)
+        run_ecc = counting_run_for_family(
+            "ECC", 80, n=n, wire="measured", **params
+        )
         ecc.append(replay_transcript(run_ecc.transcript, topology, link).total_time_s)
         ss_hi.append(ss_network_seconds(n, run_dl.beta_bits, topology, link, "batched"))
         ss_lo.append(ss_network_seconds(n, run_dl.beta_bits, topology, link, "interaction"))
@@ -150,7 +158,9 @@ def test_fig3b_series(series, benchmark):
     params = {k: v for k, v in PAPER_DEFAULTS.items() if k != "n"}
     topology = paper_topology(SeededRNG(17))
     topology.place_parties(list(range(ns[0] + 1)), SeededRNG(18))
-    run = counting_run_for_family("ECC", 80, n=ns[0], **params)
+    run = counting_run_for_family(
+        "ECC", 80, n=ns[0], wire="measured", **params
+    )
     benchmark(lambda: replay_transcript(run.transcript, topology))
 
     # Robust shape claims:

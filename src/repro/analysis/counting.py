@@ -108,3 +108,13 @@ class CountingGroup(Group):
 
     def serialize(self, a) -> bytes:
         return b"\x00" * ((self._element_bits + 7) // 8)
+
+    def deserialize(self, data: bytes):
+        return 1
+
+    @property
+    def wire_faithful(self) -> bool:
+        # All elements collapse to the constant 1; interning or
+        # transcoding over this group would dedupe every transfer and
+        # falsify the byte counts it exists to produce.
+        return False

@@ -24,6 +24,7 @@ from repro.anonmsg.encoding import decode_message, encode_message
 from repro.anonmsg.mixnet import DecryptionMixnet, StreamingMixHop
 from repro.groups.dl import DLGroup
 from repro.math.rng import RNG, SeededRNG
+from repro.runtime.channels import WireStats, WireTransport
 from repro.runtime.engine import Engine
 from repro.runtime.errors import ProtocolAbort
 from repro.runtime.party import Party
@@ -85,7 +86,7 @@ class MemberParty(Party):
             chunk = batch[lo:hi]
             self.send(
                 dst, TAG_CHUNK, (index, chunk),
-                size_bits=len(chunk) * 2 * self.group.element_bits + 32,
+                size_bits=self.mixnet.batch_wire_bits(len(chunk)) + 32,
             )
             if index < len(bounds) - 1:
                 yield from self.pause()
@@ -117,10 +118,11 @@ class MemberParty(Party):
         #    could be layered on; kept lean here to spotlight the mixing).
         secret = group.random_exponent(self.rng)
         public = group.exp_generator(secret)
-        self.broadcast(others, TAG_SHARE, public, size_bits=group.element_bits)
+        self.broadcast(others, TAG_SHARE, public,
+                       size_bits=8 * group.wire_bytes)
         publics = yield from self.recv_from_all(others, TAG_SHARE)
         publics[self.party_id] = public
-        mixnet = DecryptionMixnet(group, publics)
+        mixnet = self.mixnet = DecryptionMixnet(group, publics)
 
         # 2. Encrypt and submit to the head of the chain.
         encoded = encode_message(self.message, group)
@@ -133,7 +135,7 @@ class MemberParty(Party):
                 batch.append(received[sender])
         else:
             self.send(1, TAG_SUBMIT, ciphertext,
-                      size_bits=2 * group.element_bits)
+                      size_bits=mixnet.batch_wire_bits(1))
             if streaming:
                 hop = StreamingMixHop(
                     mixnet, self.party_id, secret,
@@ -151,7 +153,7 @@ class MemberParty(Party):
             batch = mixnet.mix_hop(batch, self.party_id, secret, self.rng)
 
         # 4. Forward — or open and deliver if last.
-        batch_bits = len(batch) * 2 * group.element_bits
+        batch_bits = mixnet.batch_wire_bits(len(batch))
         if self.party_id < self.num_members:
             if streaming:
                 yield from self._send_stream(self.party_id + 1, batch)
@@ -161,7 +163,7 @@ class MemberParty(Party):
         else:
             outputs = mixnet.open_outputs(batch)
             self.send(0, TAG_OUTPUT, outputs,
-                      size_bits=len(outputs) * group.element_bits)
+                      size_bits=len(outputs) * 8 * group.wire_bytes)
         self.output = "mixed"
 
 
@@ -172,23 +174,34 @@ class AnonymousCollection:
     messages: List[int]
     rounds: int
     transcript: Transcript
+    wire_stats: Optional[WireStats] = None
 
 
 def run_anonymous_collection(
     group: DLGroup, messages: List[int], rng: Optional[RNG] = None,
-    *, stream_chunk: int = 0,
+    *, stream_chunk: int = 0, wire: str = "declared",
+    wire_codec: str = "v2", coalesce: bool = True,
 ) -> AnonymousCollection:
     """Convenience one-call runner: returns the collector's view.
 
     ``stream_chunk > 0`` streams each hop's batch in chunks of that many
-    ciphertexts (same multiset, pipelined hops)."""
+    ciphertexts (same multiset, pipelined hops).  ``wire`` selects the
+    communication accounting exactly as in
+    :class:`~repro.core.parties.FrameworkConfig`: ``"declared"`` keeps
+    the analytic sizes above, ``"measured"``/``"conformance"`` route
+    every message through a :class:`~repro.runtime.channels.WireTransport`
+    (codec ``wire_codec``, per-round batching per ``coalesce``)."""
     rng = rng or SeededRNG(0)
     n = len(messages)
     if n < 2:
         raise ValueError("anonymity needs at least two members")
     if stream_chunk < 0:
         raise ValueError("stream_chunk must be non-negative")
-    engine = Engine(metered_groups=[group])
+    transport = None
+    if wire != "declared":
+        transport = WireTransport(group, codec=wire_codec,
+                                  coalesce=coalesce, mode=wire)
+    engine = Engine(metered_groups=[group], wire=transport)
     engine.add_party(CollectorParty(group, n, _fork(rng, "collector")))
     for member_id, message in enumerate(messages, start=1):
         engine.add_party(
@@ -200,6 +213,7 @@ def run_anonymous_collection(
         messages=outputs[0],
         rounds=engine.transcript.rounds,
         transcript=engine.transcript,
+        wire_stats=transport.stats() if transport is not None else None,
     )
 
 

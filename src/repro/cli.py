@@ -46,6 +46,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="pipeline the shuffle chain in chunks")
     demo.add_argument("--chunk-sets", type=int, default=1, metavar="C",
                       help="ciphertext sets per streamed chunk (with --streaming)")
+    _add_wire_flags(demo)
 
     games = sub.add_parser("games", help="run the security games")
     games.add_argument("--trials", type=int, default=16)
@@ -53,6 +54,7 @@ def _build_parser() -> argparse.ArgumentParser:
     netsim = sub.add_parser("netsim", help="replay a run over the paper network")
     netsim.add_argument("-n", "--participants", type=int, default=6)
     netsim.add_argument("--seed", type=int, default=1)
+    _add_wire_flags(netsim)
 
     sub.add_parser("curves", help="verify and list bundled group parameters")
 
@@ -66,6 +68,35 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--network", action="store_true",
                       help="include network time on the reference topology")
     return parser
+
+
+def _add_wire_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--wire", choices=["declared", "measured", "conformance"],
+        default="declared",
+        help="communication accounting: declared analytic sizes, measured "
+             "encoded bytes, or measured with a declared-vs-measured "
+             "cross-check",
+    )
+    command.add_argument("--wire-codec", choices=["v1", "v2"], default="v2",
+                         help="wire format (v2 = varint framing + interning)")
+    command.add_argument("--coalesce", dest="coalesce", action="store_true",
+                         default=True,
+                         help="batch per-(sender,receiver,round) messages "
+                              "into one framed envelope (default)")
+    command.add_argument("--no-coalesce", dest="coalesce", action="store_false",
+                         help="one wire message per protocol datum")
+
+
+def _print_wire_stats(result, out) -> None:
+    stats = result.wire_stats
+    if stats is None:
+        return
+    print(f"wire: codec={stats.codec} coalesce={stats.coalesce} "
+          f"mode={stats.mode}   {stats.wire_messages} wire messages / "
+          f"{stats.logical_messages} logical   "
+          f"{stats.wire_bytes / 1e6:.3f} MB on the wire", file=out)
+    print(f"wire digest: {stats.digest[:16]}…", file=out)
 
 
 def _make_group(name: str):
@@ -115,6 +146,9 @@ def cmd_demo(args, out) -> int:
         bit_proofs=args.bit_proofs,
         streaming=args.streaming,
         stream_chunk_sets=args.chunk_sets,
+        wire=args.wire,
+        wire_codec=args.wire_codec,
+        coalesce=args.coalesce,
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)
@@ -132,6 +166,7 @@ def cmd_demo(args, out) -> int:
           f"(verified: {result.initiator_output.verified})", file=out)
     print(f"rounds: {result.rounds}   messages: {len(result.transcript)}   "
           f"traffic: {result.transcript.total_bits / 8e6:.2f} MB", file=out)
+    _print_wire_stats(result, out)
     print(f"max participant group-mults: "
           f"{result.max_participant_multiplications():,}", file=out)
     problems = framework.check_result(result)
@@ -202,6 +237,7 @@ def cmd_netsim(args, out) -> int:
     config = FrameworkConfig(
         group=make_test_group(), schema=schema,
         num_participants=args.participants, k=2, rho_bits=8,
+        wire=args.wire, wire_codec=args.wire_codec, coalesce=args.coalesce,
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)
@@ -213,7 +249,9 @@ def cmd_netsim(args, out) -> int:
     print(f"topology: {topology.node_count} nodes / {topology.edge_count} edges",
           file=out)
     print(f"communication time: {replay.total_time_s:.2f} s over "
-          f"{replay.rounds} rounds ({replay.total_bits / 8e6:.2f} MB)", file=out)
+          f"{replay.rounds} rounds ({replay.total_bytes / 1e6:.2f} MB, "
+          f"{replay.wire_messages} wire messages)", file=out)
+    _print_wire_stats(result, out)
     return 0
 
 

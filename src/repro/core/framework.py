@@ -50,6 +50,7 @@ from repro.core.parties import (
     phase_of_tag,
 )
 from repro.math.rng import RNG, SeededRNG
+from repro.runtime.channels import WireStats, WireTransport
 from repro.runtime.engine import Engine
 from repro.runtime.errors import PartyTimeout, ProtocolAbort, ProtocolError
 from repro.runtime.faults import FaultInjector, FaultSpec
@@ -72,6 +73,9 @@ class FrameworkResult:
     betas: Dict[int, int]                  # participant id -> unsigned β (for analysis)
     attempts: int = 1                      # 1 = no recovery was needed
     excluded: List[int] = field(default_factory=list)  # blamed & dropped ids
+    # Wire-path accounting (None for legacy declared-size runs).  After
+    # a recovery, stats cover the final (successful) attempt.
+    wire_stats: Optional[WireStats] = None
 
     def selected_ids(self) -> List[int]:
         return [party_id for party_id, _, _ in self.initiator_output.selected]
@@ -194,11 +198,20 @@ class GroupRankingFramework:
             phase_of=phase_of_tag,
             adaptive=config.adaptive_timeouts,
         )
+        transport = None
+        if config.wire != "declared":
+            transport = WireTransport(
+                config.group,
+                codec=config.wire_codec,
+                coalesce=config.coalesce,
+                mode=config.wire,
+            )
         engine = Engine(
             metered_groups=[config.group],
             worker_pool=worker_pool,
             faults=injector,
             supervisor=supervisor,
+            wire=transport,
         )
         rng = self._rng
         prefix = "" if attempt == 0 else f"A{attempt}|"
@@ -243,6 +256,7 @@ class GroupRankingFramework:
             metrics={pid: party.metrics for pid, party in engine.parties.items()},
             rounds=engine.transcript.rounds,
             betas=betas,
+            wire_stats=transport.stats() if transport is not None else None,
         )
 
     # -- reference computations for verification --------------------------------

@@ -139,6 +139,19 @@ class FrameworkConfig:
 
     Robustness switches:
 
+    Wire-path switches (accounting only; ranks never change):
+
+    * ``wire`` — ``"declared"`` (default) keeps the legacy hand-declared
+      sizes; ``"measured"`` routes every message through the wire codec
+      and accounts real encoded bytes (payload + secure-channel
+      envelope); ``"conformance"`` additionally cross-checks measured
+      sizes against the declared ones and aborts on drift.
+    * ``wire_codec`` — ``"v2"`` (compact varint framing + per-channel
+      element interning) or ``"v1"`` (legacy fixed 4-byte framing).
+    * ``coalesce`` — batch all messages one sender emits to one receiver
+      within an engine round into a single framed wire message (one
+      envelope per batch instead of one per bit/ciphertext).
+
     * ``recovery`` — when a run fails with a typed, blamed error
       (crash, timeout, validated abort), exclude the blamed participant
       and deterministically re-run over the survivors.
@@ -176,10 +189,19 @@ class FrameworkConfig:
     timeout_rounds: int = 6
     max_retries: int = 2
     validate_elements: bool = True
+    wire: str = "declared"          # or "measured" / "conformance"
+    wire_codec: str = "v2"          # or "v1"
+    coalesce: bool = True           # batch per (sender, receiver, round)
 
     def __post_init__(self):
         if self.zkp_mode not in ("interactive", "fiat-shamir"):
             raise ValueError("zkp_mode must be 'interactive' or 'fiat-shamir'")
+        if self.wire not in ("declared", "measured", "conformance"):
+            raise ValueError(
+                "wire must be 'declared', 'measured' or 'conformance'"
+            )
+        if self.wire_codec not in ("v1", "v2"):
+            raise ValueError("wire_codec must be 'v1' or 'v2'")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         if self.precompute < 0:

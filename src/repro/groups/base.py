@@ -94,6 +94,14 @@ class Group:
 
     counter: OperationCounter = field(default_factory=OperationCounter)
 
+    #: Cap on the memoized serialize/deserialize caches.  Once full the
+    #: caches stop growing and further elements are encoded directly.
+    SERIALIZE_CACHE_MAX = 4096
+
+    def __post_init__(self) -> None:
+        self._serialize_cache: dict = {}
+        self._deserialize_cache: dict = {}
+
     # -- facts subclasses must provide ------------------------------------
     @property
     def order(self) -> int:
@@ -161,6 +169,63 @@ class Group:
     def serialize(self, a: Element) -> bytes:
         """Canonical byte encoding; length matches ``element_bits``."""
         raise NotImplementedError
+
+    def deserialize(self, data: bytes) -> Element:
+        """Inverse of :meth:`serialize` with membership validation."""
+        a = int.from_bytes(data, "big")
+        if not self.is_element(a):
+            raise ValueError("decoded value is not a group element")
+        return a
+
+    # -- wire facts ---------------------------------------------------------
+    @property
+    def wire_bytes(self) -> int:
+        """Exact length of one canonical element encoding, in bytes.
+
+        The wire codec relies on this being constant per group so element
+        bodies need no length prefix.
+        """
+        return (self.element_bits + 7) // 8
+
+    @property
+    def wire_faithful(self) -> bool:
+        """Whether serialize/deserialize round-trips distinct elements.
+
+        The analysis-only :class:`CountingGroup` collapses every element
+        to the constant 1, so interning and transcoding over it would
+        fraudulently dedupe all traffic; it reports ``False``.
+        """
+        return True
+
+    # -- memoized canonical encodings ---------------------------------------
+    def serialize_cached(self, a: Element) -> bytes:
+        """:meth:`serialize` with a bounded per-group memo.
+
+        Hot protocol paths serialize the same elements repeatedly (``g``,
+        ``y``, pooled ``(g^r, y^r)`` pairs, rerandomized chain entries);
+        the memo makes each element's canonical bytes a one-time cost.
+        """
+        cache = self._serialize_cache
+        data = cache.get(a)
+        if data is None:
+            data = self.serialize(a)
+            if len(cache) < self.SERIALIZE_CACHE_MAX:
+                cache[a] = data
+        return data
+
+    def deserialize_cached(self, data: bytes) -> Element:
+        """:meth:`deserialize` with a bounded per-group memo.
+
+        Caching the inverse direction matters most for curves, where
+        decompression pays a modular square root per point.
+        """
+        cache = self._deserialize_cache
+        a = cache.get(data)
+        if a is None:
+            a = self.deserialize(data)
+            if len(cache) < self.SERIALIZE_CACHE_MAX:
+                cache[data] = a
+        return a
 
     def attach_counter(self, counter: Optional[OperationCounter]) -> None:
         """Redirect this group's operation metering to ``counter``."""

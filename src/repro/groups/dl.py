@@ -109,6 +109,18 @@ class DLGroup(Group):
     def serialize(self, a: int) -> bytes:
         return int(a).to_bytes((self.element_bits + 7) // 8, "big")
 
+    def deserialize(self, data: bytes) -> int:
+        # The wire format ships fixed-width element bodies, so a length
+        # mismatch means framing corruption — reject it before the
+        # residue check can misread a short/long buffer as some other
+        # (valid) element.
+        if len(data) != self.wire_bytes:
+            raise ValueError(
+                f"{self.name}: element body must be {self.wire_bytes} bytes, "
+                f"got {len(data)}"
+            )
+        return super().deserialize(data)
+
     def __repr__(self) -> str:
         return f"DLGroup(bits={self._p.bit_length()}, security={self._security_bits})"
 

@@ -204,6 +204,13 @@ class EllipticCurveGroup(Group):
         return self._params.p.bit_length() + 1
 
     @property
+    def wire_bytes(self) -> int:
+        # Compressed SEC-style encoding: 1 prefix byte + full x coordinate.
+        # (element_bits rounds the *bit* count; the byte encoding pads x
+        # to whole field bytes, so derive from the field size directly.)
+        return (self._params.p.bit_length() + 7) // 8 + 1
+
+    @property
     def security_bits(self) -> int:
         return self._params.security_bits
 

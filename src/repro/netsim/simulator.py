@@ -119,11 +119,17 @@ class NetworkSimulator:
         self._sequence = itertools.count()
         self.retransmissions = 0
         self.dropped: List[SimMessage] = []
+        #: Bits actually serialized onto links, summed over every hop
+        #: transmission (including lost ones — the bits were sent).
+        #: With multi-hop routes this exceeds the injected byte total,
+        #: which is exactly the forwarding load Fig. 3(b) charges.
+        self.bits_forwarded = 0
 
     def reset(self) -> None:
         self._link_free_at.clear()
         self.retransmissions = 0
         self.dropped.clear()
+        self.bits_forwarded = 0
 
     def _hop_lost(self) -> bool:
         """One seeded Bernoulli draw per hop transmission."""
@@ -159,6 +165,7 @@ class NetworkSimulator:
             wire_bits = message.size_bits + self.link.per_message_overhead_bits
             serialization = wire_bits / self.link.bandwidth_bps
             self._link_free_at[key] = start + serialization
+            self.bits_forwarded += wire_bits
             if self._hop_lost():
                 # The bits were sent (link stays busy) but never arrive;
                 # the hop's sender notices after the timeout and resends.

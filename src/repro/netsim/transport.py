@@ -67,12 +67,25 @@ class LossyLinkFaults:
 
 @dataclass
 class TranscriptReplay:
-    """Timing results of replaying one transcript."""
+    """Timing results of replaying one transcript.
+
+    ``message_count`` counts *logical* transcript entries;
+    ``wire_messages`` counts the frames actually injected into the
+    simulator — for a measured-wire transcript these differ (coalesced
+    batch members fold into their carrier frame, uncoalesced bitwise
+    broadcasts fan out per fragment).  For declared-size transcripts the
+    two are equal.
+    """
 
     total_time_s: float
     round_times_s: List[float] = field(default_factory=list)
     total_bits: int = 0
     message_count: int = 0
+    wire_messages: int = 0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8
 
     @property
     def rounds(self) -> int:
@@ -100,20 +113,34 @@ def replay_transcript(
     clock = 0.0
     total_bits = 0
     message_count = 0
+    wire_messages = 0
     for round_index in sorted(by_round):
         batch: List[SimMessage] = []
+        # Coalesced batch members (frames == 0) ride in the frame of the
+        # most recent entry on the same directed channel this round.
+        carrier: Dict[tuple, SimMessage] = {}
         for entry in by_round[round_index]:
-            batch.append(
-                SimMessage(
+            message_count += 1
+            total_bits += entry.size_bits
+            channel = (entry.src, entry.dst)
+            if entry.frames == 0 and channel in carrier:
+                carrier[channel].size_bits += entry.size_bits
+                continue
+            fragments = max(1, entry.frames)
+            # An uncoalesced multi-fragment entry (per-bit broadcast)
+            # fans out into `frames` wire messages splitting its bits.
+            base, remainder = divmod(entry.size_bits, fragments)
+            for index in range(fragments):
+                sim_message = SimMessage(
                     src_node=topology.node_of(entry.src),
                     dst_node=topology.node_of(entry.dst),
-                    size_bits=entry.size_bits,
+                    size_bits=base + (remainder if index == 0 else 0),
                     inject_time=clock,
                     label=entry.tag,
                 )
-            )
-            total_bits += entry.size_bits
-            message_count += 1
+                batch.append(sim_message)
+                wire_messages += 1
+            carrier[channel] = batch[-fragments]
         finish = simulator.deliver(batch)
         finish = max(finish, clock)
         round_times.append(finish - clock)
@@ -123,6 +150,7 @@ def replay_transcript(
         round_times_s=round_times,
         total_bits=total_bits,
         message_count=message_count,
+        wire_messages=wire_messages,
     )
 
 

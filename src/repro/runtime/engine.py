@@ -37,11 +37,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.groups.base import Group
-from repro.runtime.channels import Mailbox, Message, NextRound, Recv
+from repro.runtime.channels import Mailbox, Message, NextRound, Recv, WireTransport
 from repro.runtime.errors import DeadlockError, PartyCrashed, ProtocolError
 from repro.runtime.party import Party
 from repro.runtime.transcript import Transcript
@@ -66,12 +66,15 @@ class Engine:
         worker_pool: Optional[Any] = None,
         faults: Optional[Any] = None,
         supervisor: Optional[Any] = None,
+        wire: Optional[WireTransport] = None,
     ):
         # A repro.runtime.parallel.WorkerPool (or None).  The engine only
         # holds it; parties decide which stages to fan out through it.
         self.worker_pool = worker_pool
         self.faults = faults
         self.supervisor = supervisor
+        # Measured-bytes wire path (or None for legacy declared sizes).
+        self.wire = wire
         self.parties: Dict[int, Party] = {}
         self.transcript = Transcript()
         self.round = 0
@@ -87,6 +90,12 @@ class Engine:
         self._finished: Dict[int, bool] = {}
         self._crashed: Dict[int, Optional[str]] = {}
         self._metered_groups = list(metered_groups or [])
+        if wire is not None:
+            self.transcript.meta.update(
+                wire_codec=wire.codec_version,
+                wire_coalesce=wire.coalesce,
+                wire_mode=wire.mode,
+            )
         # Future deliveries: (round, sequence, message) min-heap fed by
         # delay faults and supervisor retransmits.
         self._scheduled: List[Tuple[int, int, Message]] = []
@@ -166,24 +175,65 @@ class Engine:
             src=src, dst=dst, tag=tag, payload=payload,
             size_bits=size_bits, round_sent=self.round,
         )
+        if self.wire is not None:
+            # Encode + transcode atomically at submit time so both ends'
+            # interning tables advance in lockstep even if the fault
+            # layer later drops this message.
+            message = self.wire.prepare(message)
         if self.faults is not None:
             verdict = self.faults.on_send(message, self.round)
             if verdict.crashed:
                 # Unwind the sender's stack like a real process death; the
                 # engine catches this in _advance and marks the party dead.
                 raise PartyCrashed(src, phase=self.faults.phase_of(tag))
-            self.transcript.record(self.round, src, dst, tag, size_bits)
+            if self.wire is not None:
+                # Under injection every logical message frames alone:
+                # retransmits and duplicates need standalone envelopes,
+                # so coalescing is bypassed.
+                message = self.wire.finalize(message, batched=False)
+            self._record_sent(message)
             if verdict.lost:
                 self._lost.append(LostMessage(message=message))
                 return
             for deliver_round, copy in verdict.deliveries:
+                if self.wire is not None:
+                    # Copies were taken before finalize; carry the
+                    # measured size (corrupted payloads keep theirs).
+                    copy = replace(
+                        copy, size_bits=message.size_bits, wire=message.wire
+                    )
                 if deliver_round is None:
                     self._outbox.append(copy)
                 else:
                     self._schedule(copy, deliver_round)
             return
+        if self.wire is not None and self.wire.coalesce:
+            # Accounting is deferred to the round-boundary flush, where
+            # (sender, receiver) batches are known.
+            self._outbox.append(message)
+            return
+        if self.wire is not None:
+            message = self.wire.finalize(message, batched=False)
         self._outbox.append(message)
-        self.transcript.record(self.round, src, dst, tag, size_bits)
+        self._record_sent(message)
+
+    def _record_sent(self, message: Message) -> None:
+        """Record one sent logical message (transcript + sender metrics)."""
+        frames = message.wire.wire_messages if message.wire is not None else 1
+        self.transcript.record(
+            message.round_sent, message.src, message.dst, message.tag,
+            message.size_bits, frames=frames,
+        )
+        party = self.parties.get(message.src)
+        if party is not None:
+            party.metrics.record_send(message.size_bits)
+
+    def _account_delivery(self, message: Message) -> Message:
+        """Credit the receiver at delivery time (wire mode only)."""
+        party = self.parties.get(message.dst)
+        if party is not None:
+            party.metrics.record_receive(message.size_bits)
+        return replace(message, accounted=True)
 
     # -- execution ---------------------------------------------------------------
     def run(self) -> Dict[int, Any]:
@@ -260,7 +310,21 @@ class Engine:
 
     def _flush_outbox(self) -> int:
         count = len(self._outbox)
+        first_seen: set = set()
         for message in self._outbox:
+            if self.wire is not None:
+                if message.wire is not None and not message.wire.finalized:
+                    # Coalescing: this round's messages on one directed
+                    # channel share one framed batch; the envelope is
+                    # attributed to the first record of the batch.
+                    channel = (message.src, message.dst)
+                    message = self.wire.finalize(
+                        message, batched=True,
+                        first_in_batch=channel not in first_seen,
+                    )
+                    first_seen.add(channel)
+                    self._record_sent(message)
+                message = self._account_delivery(message)
             self._mailboxes[message.dst].deliver(message)
         self._outbox = []
         return count
@@ -271,6 +335,8 @@ class Engine:
         count = 0
         while self._scheduled and self._scheduled[0][0] <= self.round:
             _, _, message = heapq.heappop(self._scheduled)
+            if self.wire is not None:
+                message = self._account_delivery(message)
             self._mailboxes[message.dst].deliver(message)
             count += 1
         return count

@@ -45,7 +45,13 @@ class PartyMetrics:
 
 
 def merge_max(metrics: Dict[int, PartyMetrics]) -> Dict[str, int]:
-    """Worst party per dimension — the paper reports per-participant cost."""
+    """Worst party per dimension — the paper reports per-participant cost.
+
+    Covers both directions of every communication dimension
+    :meth:`PartyMetrics.summary` exposes, not just the sent side: a
+    party can be receive-dominated (the initiator in the ranking phase)
+    and would otherwise vanish from the worst-case report.
+    """
     if not metrics:
         return {}
     return {
@@ -54,5 +60,7 @@ def merge_max(metrics: Dict[int, PartyMetrics]) -> Dict[str, int]:
         ),
         "group_exponentiations": max(m.ops.exponentiations for m in metrics.values()),
         "bits_sent": max(m.bits_sent for m in metrics.values()),
+        "bits_received": max(m.bits_received for m in metrics.values()),
         "messages_sent": max(m.messages_sent for m in metrics.values()),
+        "messages_received": max(m.messages_received for m in metrics.values()),
     }

@@ -56,8 +56,10 @@ class Party:
             raise RuntimeError("party is not attached to an engine")
         if size_bits is None:
             size_bits = estimate_size_bits(payload)
+        # Sender-side accounting happens inside Engine.submit: in
+        # measured-wire mode the true size is only known there (and, with
+        # coalescing, only at the round-boundary flush).
         self._engine.submit(self.party_id, dst, tag, payload, size_bits)
-        self.metrics.record_send(size_bits)
 
     def pause(self) -> Generator[NextRound, None, None]:
         """Yield the rest of this engine round; resume at the next one.
@@ -69,7 +71,10 @@ class Party:
     def recv(self, src: Optional[int], tag: str) -> Generator[Recv, Message, Message]:
         """Block until one matching message arrives; return it."""
         message = yield Recv(src=src, tag=tag)
-        self.metrics.record_receive(message.size_bits)
+        if not message.accounted:
+            # In measured-wire mode the engine already credited this
+            # receiver when the bytes were delivered to its mailbox.
+            self.metrics.record_receive(message.size_bits)
         return message
 
     def recv_from_all(

@@ -3,12 +3,20 @@
 The transcript is the interface between protocol execution and both the
 efficiency analysis (bits/rounds per party) and the network simulator,
 which replays the trace over a simulated topology (Fig. 3(b)).
+
+In measured-wire mode ``size_bits`` is the *measured* encoded size
+(payload bytes plus envelope/framing overhead) and ``frames`` counts the
+wire messages the entry contributed: uncoalesced, a bitwise-ciphertext
+broadcast costs one wire message per bit; coalesced, only the first
+entry of each (sender, receiver, round) batch carries the envelope and a
+``frames`` of 1, the rest ride in the same batch with ``frames == 0``.
+In legacy declared-size mode every entry is one wire message.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -20,6 +28,7 @@ class TranscriptEntry:
     dst: int
     tag: str
     size_bits: int
+    frames: int = 1     # wire messages this entry put on the network
 
 
 @dataclass
@@ -27,10 +36,20 @@ class Transcript:
     """Ordered record of every message in a run."""
 
     entries: List[TranscriptEntry] = field(default_factory=list)
+    #: Wire-path annotations (codec, coalescing, accounting mode) set by
+    #: the engine when a measured transport is active; empty for
+    #: declared-size runs.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
-    def record(self, round_sent: int, src: int, dst: int, tag: str, size_bits: int) -> None:
+    def record(
+        self, round_sent: int, src: int, dst: int, tag: str, size_bits: int,
+        frames: int = 1,
+    ) -> None:
         self.entries.append(
-            TranscriptEntry(round=round_sent, src=src, dst=dst, tag=tag, size_bits=size_bits)
+            TranscriptEntry(
+                round=round_sent, src=src, dst=dst, tag=tag,
+                size_bits=size_bits, frames=frames,
+            )
         )
 
     def __len__(self) -> int:
@@ -42,6 +61,11 @@ class Transcript:
     @property
     def total_bits(self) -> int:
         return sum(entry.size_bits for entry in self.entries)
+
+    @property
+    def total_frames(self) -> int:
+        """Wire messages the run put on the network."""
+        return sum(entry.frames for entry in self.entries)
 
     @property
     def rounds(self) -> int:
@@ -62,6 +86,20 @@ class Transcript:
             totals[entry.src] = (sent + entry.size_bits, received)
             sent, received = totals.get(entry.dst, (0, 0))
             totals[entry.dst] = (sent, received + entry.size_bits)
+        return totals
+
+    def bits_by_tag(self) -> Dict[str, int]:
+        """Total bits per message tag (phase slicing for the benches)."""
+        totals: Dict[str, int] = {}
+        for entry in self.entries:
+            totals[entry.tag] = totals.get(entry.tag, 0) + entry.size_bits
+        return totals
+
+    def frames_by_tag(self) -> Dict[str, int]:
+        """Wire-message count per tag."""
+        totals: Dict[str, int] = {}
+        for entry in self.entries:
+            totals[entry.tag] = totals.get(entry.tag, 0) + entry.frames
         return totals
 
     def tags(self) -> List[str]:

@@ -127,3 +127,248 @@ class TestSizeAccounting:
         declared = bitenc.ciphertext_bits(width)
         actual = codec.encoded_bits(ciphertext)
         assert declared <= actual <= declared * 1.6  # framing overhead only
+
+
+# ---------------------------------------------------------------------------
+# v2: varint framing + element interning
+# ---------------------------------------------------------------------------
+
+from repro.runtime.wire import (  # noqa: E402
+    InternTable,
+    WireCodecV2,
+    decode_varint,
+    encode_varint,
+    fragment_count,
+    make_codec,
+    unzigzag,
+    zigzag,
+)
+
+
+@pytest.fixture
+def codec_v2(small_dl_group):
+    return WireCodecV2(small_dl_group)
+
+
+@pytest.fixture
+def curve_codec_v2(tiny_curve):
+    return WireCodecV2(tiny_curve)
+
+
+class TestVarints:
+    @given(st.integers(0, 2**70))
+    @settings(max_examples=100)
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, offset = decode_varint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_single_byte_boundary(self):
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+    def test_truncated_varint_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80")  # continuation bit set, nothing follows
+
+    @given(st.integers(-(2**62), 2**62))
+    @settings(max_examples=100)
+    def test_zigzag_roundtrip(self, value):
+        assert unzigzag(zigzag(value)) == value
+
+    def test_zigzag_keeps_small_magnitudes_small(self):
+        # -1 -> 1, 1 -> 2: one byte either way on the wire.
+        assert zigzag(-1) == 1
+        assert len(encode_varint(zigzag(-64))) == 1
+
+
+@pytest.mark.parametrize("version", ["v1", "v2"])
+class TestBothCodecsRoundtrip:
+    """The property battery runs over both codec generations and both
+    group families — the wire is codec- and group-agnostic."""
+
+    def _codecs(self, version, small_dl_group, tiny_curve):
+        return make_codec(small_dl_group, version), make_codec(tiny_curve, version)
+
+    @given(value=st.integers(-(10**30), 10**30))
+    @settings(max_examples=40)
+    def test_integers(self, version, value):
+        from repro.groups.dl import DLGroup
+
+        codec = make_codec(DLGroup.random(32, rng=SeededRNG(99)), version)
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_none_bytes_str(self, version, small_dl_group, tiny_curve):
+        codec, _ = self._codecs(version, small_dl_group, tiny_curve)
+        for value in (None, b"", b"\x00\xff" * 5, "", "tag-name", "π"):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_bool_rejected(self, version, small_dl_group, tiny_curve):
+        # bool is int's subclass; letting it through would silently turn
+        # flags into integers on the far side.
+        codec, _ = self._codecs(version, small_dl_group, tiny_curve)
+        with pytest.raises(TypeError):
+            codec.encode(True)
+        with pytest.raises(TypeError):
+            codec.encode([1, False])
+
+    def test_tuple_list_distinction(self, version, small_dl_group, tiny_curve):
+        codec, _ = self._codecs(version, small_dl_group, tiny_curve)
+        decoded = codec.decode(codec.encode((1, [2, (3,)], -4)))
+        assert decoded == (1, [2, (3,)], -4)
+        assert isinstance(decoded, tuple)
+        assert isinstance(decoded[1], list)
+        assert isinstance(decoded[1][1], tuple)
+
+    def test_nested_ciphertext_lists(self, version, small_dl_group, tiny_curve):
+        for group in (small_dl_group, tiny_curve):
+            codec = make_codec(group, version)
+            scheme = ExponentialElGamal(group)
+            rng = SeededRNG(5)
+            keypair = scheme.generate_keypair(rng)
+            payload = [
+                [scheme.encrypt(1, keypair.public, rng)],
+                [scheme.encrypt(0, keypair.public, rng), 42],
+            ]
+            decoded = codec.decode(codec.encode(payload))
+            assert decoded[1][1] == 42
+            assert scheme.decrypt_small(decoded[0][0], keypair.secret, 4) == 1
+
+    def test_bitwise_ciphertext(self, version, small_dl_group, tiny_curve):
+        for group in (small_dl_group, tiny_curve):
+            codec = make_codec(group, version)
+            bitenc = BitwiseElGamal(group)
+            rng = SeededRNG(4)
+            keypair = bitenc.scheme.generate_keypair(rng)
+            ciphertext = bitenc.encrypt(0b1011, 6, keypair.public, rng)
+            decoded = codec.decode(codec.encode(ciphertext))
+            assert isinstance(decoded, BitwiseCiphertext)
+            assert bitenc.decrypt(decoded, keypair.secret) == 0b1011
+
+    def test_registered_objects(self, version, small_dl_group, tiny_curve):
+        from repro.crypto.zkp import NIZKProof
+
+        codec, _ = self._codecs(version, small_dl_group, tiny_curve)
+        element = small_dl_group.random_element(SeededRNG(8))
+        proof = NIZKProof(commitment=element, response=12345)
+        decoded = codec.decode(codec.encode(proof))
+        assert isinstance(decoded, NIZKProof)
+        assert small_dl_group.eq(decoded.commitment, element)
+        assert decoded.response == 12345
+
+    def test_trailing_garbage_rejected(self, version, small_dl_group, tiny_curve):
+        codec, _ = self._codecs(version, small_dl_group, tiny_curve)
+        with pytest.raises(ValueError):
+            codec.decode(codec.encode(1) + b"\x00")
+
+    def test_truncation_rejected(self, version, small_dl_group, tiny_curve):
+        codec, _ = self._codecs(version, small_dl_group, tiny_curve)
+        encoded = codec.encode([small_dl_group.generator(), 7])
+        with pytest.raises(ValueError):
+            codec.decode(encoded[:-1])
+
+
+class TestInterning:
+    def test_repeat_element_sent_once(self, codec_v2, small_dl_group):
+        element = small_dl_group.random_element(SeededRNG(11))
+        first = codec_v2.encode_element(element)
+        second = codec_v2.encode_element(element)
+        assert len(second) < len(first)
+        # A paired decoder replays both sends and agrees on both.
+        decoder = WireCodecV2(small_dl_group)
+        assert small_dl_group.eq(decoder.decode(first), element)
+        assert small_dl_group.eq(decoder.decode(second), element)
+
+    def test_decode_out_of_order_fails(self, codec_v2, small_dl_group):
+        """A reference frame is meaningless to a decoder that never saw
+        the first occurrence — stream order is part of the contract."""
+        element = small_dl_group.random_element(SeededRNG(12))
+        codec_v2.encode_element(element)
+        reference_frame = codec_v2.encode_element(element)
+        fresh_decoder = WireCodecV2(small_dl_group)
+        with pytest.raises(ValueError):
+            fresh_decoder.decode(reference_frame)
+
+    def test_rollback_undoes_partial_encode(self, codec_v2, small_dl_group):
+        scheme = ExponentialElGamal(small_dl_group)
+        rng = SeededRNG(13)
+        keypair = scheme.generate_keypair(rng)
+        ciphertext = scheme.encrypt(1, keypair.public, rng)
+        mark = codec_v2.intern_mark()
+        payload = [ciphertext, object()]  # second item unencodable
+        with pytest.raises(TypeError):
+            codec_v2.encode(payload)
+        codec_v2.intern_rollback(mark)
+        # After rollback the components encode raw again, so a fresh
+        # decoder stays in sync despite never seeing the aborted frame.
+        decoder = WireCodecV2(small_dl_group)
+        decoded = decoder.decode(codec_v2.encode(ciphertext))
+        assert scheme.decrypt_small(decoded, keypair.secret, 4) == 1
+
+    def test_transcode_keeps_both_tables_in_step(self, small_dl_group):
+        """decode(encode(x)) on ONE codec models the transport's
+        transcode-at-submit: after k messages the encode- and
+        decode-side tables hold the same entries."""
+        codec = WireCodecV2(small_dl_group)
+        rng = SeededRNG(14)
+        elements = [small_dl_group.random_element(rng) for _ in range(5)]
+        for element in elements + elements:
+            decoded = codec.decode(codec.encode_element(element))
+            assert small_dl_group.eq(decoded, element)
+        # Second pass was all references: table holds each element once.
+        assert len(codec._enc_table) == len(codec._dec_table) == 5
+
+    def test_interning_disabled_for_unfaithful_group(self):
+        from repro.analysis.counting import CountingGroup
+
+        group = CountingGroup.like_dl(64)
+        codec = WireCodecV2(group)
+        assert codec.intern is False
+        first = codec.encode_element(group.generator())
+        second = codec.encode_element(group.generator())
+        assert first == second  # no reference form: every send is raw
+
+    def test_table_bound_respected(self, small_dl_group):
+        table = InternTable(max_size=2)
+        table.register("a")
+        table.register("b")
+        table.register("c")  # over budget: silently not registered
+        assert len(table) == 2
+        assert table.lookup("c") is None
+
+    def test_v2_repeat_heavy_payload_smaller_than_v1(self, small_dl_group):
+        """The win the interning exists for: re-sending the same
+        ciphertext many times (retransmits, repeated references)."""
+        scheme = ExponentialElGamal(small_dl_group)
+        rng = SeededRNG(15)
+        keypair = scheme.generate_keypair(rng)
+        payload = [scheme.encrypt(1, keypair.public, rng)] * 32
+        v1 = make_codec(small_dl_group, "v1")
+        v2 = make_codec(small_dl_group, "v2")
+        assert len(v2.encode(payload)) < len(v1.encode(payload)) / 4
+
+
+class TestFragmentCount:
+    def test_scalar_is_one(self, small_dl_group):
+        assert fragment_count(7) == 1
+        assert fragment_count("tag") == 1
+
+    def test_bitwise_ciphertext_counts_bits(self, small_dl_group):
+        bitenc = BitwiseElGamal(small_dl_group)
+        rng = SeededRNG(16)
+        keypair = bitenc.scheme.generate_keypair(rng)
+        ciphertext = bitenc.encrypt(5, 8, keypair.public, rng)
+        assert fragment_count(ciphertext) == 8
+
+    def test_ciphertext_list_sums(self, small_dl_group):
+        scheme = ExponentialElGamal(small_dl_group)
+        rng = SeededRNG(17)
+        keypair = scheme.generate_keypair(rng)
+        batch = [scheme.encrypt(0, keypair.public, rng) for _ in range(5)]
+        assert fragment_count(batch) == 5
+
+    def test_mixed_payload_is_one_fragment(self, small_dl_group):
+        # A (rank, values) tuple or any scalar-bearing structure ships
+        # as one datum in the v1 transport model.
+        assert fragment_count((3, [1, 2])) == 1

@@ -1,0 +1,234 @@
+"""End-to-end tests of the measured-bytes wire path.
+
+Covers the transport-level guarantees the codec unit tests cannot:
+conformance between declared and measured sizes over a full run, digest
+determinism across coalescing settings, and equality of protocol
+outcomes across every accounting mode.
+"""
+
+import pytest
+
+from repro.core.framework import FrameworkConfig, GroupRankingFramework
+from repro.core.gain import AttributeSchema, InitiatorInput, ParticipantInput
+from repro.math.rng import SeededRNG
+from repro.runtime.channels import WireTransport
+from repro.runtime.faults import FaultSpec
+from repro.runtime.metrics import PartyMetrics, merge_max
+from tests.conftest import make_participants
+
+
+def run_wired(group, schema, initiator_input, participants, seed=21,
+              **config_kwargs):
+    config = FrameworkConfig(
+        group=group,
+        schema=schema,
+        num_participants=len(participants),
+        k=2,
+        rho_bits=6,
+        **config_kwargs,
+    )
+    framework = GroupRankingFramework(
+        config, initiator_input, participants, rng=SeededRNG(seed)
+    )
+    return framework, framework.run()
+
+
+def _module_schema():
+    schema = AttributeSchema(
+        names=("age", "pressure", "friends", "income"),
+        num_equal=2,
+        value_bits=6,
+        weight_bits=4,
+    )
+    initiator = InitiatorInput.create(
+        schema, criterion=[35, 20, 0, 0], weights=[3, 5, 2, 7]
+    )
+    return schema, initiator
+
+
+@pytest.fixture(scope="module")
+def wired_runs(small_dl_group):
+    """One n=4 instance run under every accounting configuration."""
+    small_schema, small_initiator_input = _module_schema()
+    participants = make_participants(small_schema, 4, seed=41)
+    runs = {}
+    for key, kwargs in {
+        "declared": {},
+        "measured": {"wire": "measured"},
+        "measured_uncoalesced": {"wire": "measured", "coalesce": False},
+        "measured_v1": {"wire": "measured", "wire_codec": "v1",
+                        "coalesce": False},
+        "conformance": {"wire": "conformance"},
+    }.items():
+        runs[key] = run_wired(
+            small_dl_group, small_schema, small_initiator_input,
+            participants, **kwargs,
+        )
+    return runs
+
+
+class TestOutcomeEquality:
+    def test_all_modes_rank_identically(self, wired_runs):
+        ranks = [result.ranks for _, result in wired_runs.values()]
+        assert all(r == ranks[0] for r in ranks)
+
+    def test_all_modes_pass_reference_check(self, wired_runs):
+        for framework, result in wired_runs.values():
+            assert framework.check_result(result) == []
+
+    def test_declared_run_has_no_wire_stats(self, wired_runs):
+        _, result = wired_runs["declared"]
+        assert result.wire_stats is None
+        assert result.transcript.meta == {}
+
+
+class TestConformance:
+    def test_full_run_passes_with_checks(self, wired_runs):
+        """Satellite check: a conformance run cross-checks every message
+        and none trips the declared-vs-measured band."""
+        _, result = wired_runs["conformance"]
+        stats = result.wire_stats
+        assert stats.mode == "conformance"
+        assert stats.conformance_checks == stats.logical_messages > 0
+        assert stats.encode_fallbacks == 0
+
+    def test_every_tag_measured_close_to_declared(self, wired_runs):
+        """Per message type, measured payload bits stay within the
+        transport's tolerance band of the declared analytic sizes."""
+        _, declared = wired_runs["declared"]
+        # Coalesced: envelopes amortize once per batch, so per-tag wire
+        # bits are comparable to the declared (payload-only) sizes.
+        _, measured = wired_runs["measured"]
+        declared_by_tag = declared.transcript.bits_by_tag()
+        measured_by_tag = measured.wire_stats.bits_by_tag
+        assert set(measured_by_tag) == set(declared_by_tag)
+        for tag, declared_bits in declared_by_tag.items():
+            entries = sum(
+                1 for e in declared.transcript if e.tag == tag
+            )
+            low = 0.2 * declared_bits - 512 * entries
+            high = 3.0 * declared_bits + 512 * entries
+            assert low <= measured_by_tag[tag] <= high, tag
+        assert (
+            0.2
+            <= measured.wire_stats.payload_bits / declared.transcript.total_bits
+            <= 3.0
+        )
+
+    def test_violation_raises(self, small_dl_group):
+        from repro.runtime.channels import Message
+        from repro.runtime.wire import WireConformanceError
+
+        transport = WireTransport(small_dl_group, mode="conformance")
+        absurd = Message(src=1, dst=2, tag="t", payload=[1, 2, 3],
+                         size_bits=10**9, round_sent=0)
+        with pytest.raises(WireConformanceError):
+            transport.prepare(absurd)
+
+
+class TestDeterminismDigest:
+    def test_digest_identical_coalesce_on_off(self, wired_runs):
+        """Acceptance criterion: the serialized payload stream is
+        byte-identical whether or not messages are batched."""
+        _, on = wired_runs["measured"]
+        _, off = wired_runs["measured_uncoalesced"]
+        assert on.wire_stats.digest == off.wire_stats.digest
+
+    def test_digest_stable_across_repeat_runs(self, small_dl_group,
+                                              small_schema,
+                                              small_initiator_input):
+        participants = make_participants(small_schema, 3, seed=5)
+        digests = set()
+        for _ in range(2):
+            _, result = run_wired(
+                small_dl_group, small_schema, small_initiator_input,
+                participants, wire="measured",
+            )
+            digests.add(result.wire_stats.digest)
+        assert len(digests) == 1
+
+
+class TestCoalescingAccounting:
+    def test_coalescing_cuts_wire_messages(self, wired_runs):
+        _, on = wired_runs["measured"]
+        _, off = wired_runs["measured_uncoalesced"]
+        assert on.wire_stats.wire_messages < off.wire_stats.wire_messages / 3
+        assert on.wire_stats.wire_bits < off.wire_stats.wire_bits
+
+    def test_v2_smaller_than_v1(self, wired_runs):
+        _, v1 = wired_runs["measured_v1"]
+        _, v2 = wired_runs["measured_uncoalesced"]
+        assert v2.wire_stats.wire_bits < v1.wire_stats.wire_bits
+
+    def test_transcript_totals_match_wire_stats(self, wired_runs):
+        for key in ("measured", "measured_uncoalesced", "measured_v1"):
+            _, result = wired_runs[key]
+            assert result.transcript.total_bits == result.wire_stats.wire_bits
+            assert result.transcript.total_frames == result.wire_stats.wire_messages
+
+    def test_metrics_consistent_with_transcript(self, wired_runs):
+        _, result = wired_runs["measured"]
+        per_party = result.transcript.bits_per_party()
+        for pid, metrics in result.metrics.items():
+            sent, received = per_party.get(pid, (0, 0))
+            assert metrics.bits_sent == sent
+            assert metrics.bits_received == received
+
+    def test_meta_annotations(self, wired_runs):
+        _, result = wired_runs["measured"]
+        assert result.transcript.meta["wire_codec"] == "v2"
+        assert result.transcript.meta["wire_coalesce"] is True
+        assert result.transcript.meta["wire_mode"] == "measured"
+
+
+class TestFaultInterplay:
+    def test_lost_message_under_measured_wire_recovers(
+        self, small_dl_group, small_schema, small_initiator_input
+    ):
+        """Retransmit path: coalescing is bypassed under injection, and
+        the supervisor's retry still completes the run."""
+        participants = make_participants(small_schema, 3, seed=9)
+        config = FrameworkConfig(
+            group=small_dl_group, schema=small_schema,
+            num_participants=3, k=2, rho_bits=6, wire="measured",
+        )
+        framework = GroupRankingFramework(
+            config, small_initiator_input, participants, rng=SeededRNG(2)
+        )
+        result = framework.run(
+            faults=[FaultSpec(kind="drop", party=1, count=1)]
+        )
+        assert framework.check_result(result) == []
+        assert result.wire_stats.wire_messages > 0
+
+
+class TestAnonmsgWire:
+    def test_collection_measured_matches_declared(self, small_dl_group):
+        from repro.anonmsg.collection import run_anonymous_collection
+
+        messages = [9, 2, 14]
+        declared = run_anonymous_collection(
+            small_dl_group, messages, SeededRNG(31)
+        )
+        measured = run_anonymous_collection(
+            small_dl_group, messages, SeededRNG(31), wire="conformance"
+        )
+        assert declared.messages == measured.messages == sorted(messages)
+        assert measured.wire_stats.encode_fallbacks == 0
+        assert measured.wire_stats.conformance_checks > 0
+
+
+class TestMergeMaxReceiveSide:
+    def test_receive_dimensions_included(self):
+        """Satellite fix: a receive-dominated party must surface in the
+        worst-case report."""
+        sender = PartyMetrics(party_id=1)
+        receiver = PartyMetrics(party_id=2)
+        sender.record_send(1000)
+        receiver.record_receive(1000)
+        receiver.record_receive(2000)
+        merged = merge_max({1: sender, 2: receiver})
+        assert merged["bits_received"] == 3000
+        assert merged["messages_received"] == 2
+        assert merged["bits_sent"] == 1000
+        assert merged["messages_sent"] == 1

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Protocol-aware static analysis gate: secret-flow taint linter plus
+# crypto invariant rules (see docs/SECURITY.md, "Static guarantees").
+# Usage: sh scripts/lint.sh [extra repro.lint args]
+#
+# --strict also fails on stale baseline entries, so lint-baseline.json
+# can only ever shrink.  Pass --write-baseline (after review!) to accept
+# current findings.
+set -e
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src python -m repro.lint --strict "$@"

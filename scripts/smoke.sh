@@ -11,6 +11,9 @@ echo "== demo with batching + streaming on =="
 PYTHONPATH=src python -m repro demo -n 5 --zkp fiat-shamir \
     --batch-verify --bit-proofs --streaming --chunk-sets 2
 
+echo "== protocol lint (taint + invariants) =="
+PYTHONPATH=src python -m repro.lint --strict
+
 echo "== lint =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src

@@ -171,6 +171,9 @@ class DecryptionMixnet:
         )
         processed = []
         for ciphertext in ciphertexts:
+            # repro-lint: ignore[R-GUARD] -- hot hop path; batches are
+            # membership-checked at receipt (mix_hop validate_from /
+            # StreamingMixHop.absorb) before any peeling
             peeled = self._distkey.peel_layer(ciphertext, secret)
             if not is_last:
                 peeled = scheme.rerandomize(peeled, remaining, rng)

@@ -59,8 +59,9 @@ class AttributeSchema:
         bound = 1 << self.value_bits
         for name, value in zip(self.names, values):
             if not 0 <= value < bound:
+                # Attribute values are party-private; name the slot, not the value.
                 raise ValueError(
-                    f"{label}[{name}] = {value} outside [0, 2^{self.value_bits})"
+                    f"{label}[{name}] outside [0, 2^{self.value_bits})"
                 )
 
     def check_weights(self, weights: Sequence[int]) -> None:
@@ -70,7 +71,7 @@ class AttributeSchema:
         for name, weight in zip(self.names, weights):
             if not 0 <= weight < bound:
                 raise ValueError(
-                    f"weight[{name}] = {weight} outside [0, 2^{self.weight_bits})"
+                    f"weight[{name}] outside [0, 2^{self.weight_bits})"
                 )
 
 
@@ -200,12 +201,13 @@ def to_unsigned(value: int, width: int) -> int:
     add ``2^(l-1)``."""
     shifted = value + (1 << (width - 1))
     if not 0 <= shifted < (1 << width):
-        raise ValueError(f"{value} out of signed {width}-bit range")
+        # The offending value is often a secret-masked gain; never echo it.
+        raise ValueError(f"value out of signed {width}-bit range")
     return shifted
 
 
 def to_signed(value: int, width: int) -> int:
     """Inverse of :func:`to_unsigned`."""
     if not 0 <= value < (1 << width):
-        raise ValueError(f"{value} out of unsigned {width}-bit range")
+        raise ValueError(f"value out of unsigned {width}-bit range")
     return value - (1 << (width - 1))

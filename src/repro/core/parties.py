@@ -283,7 +283,7 @@ class InitiatorParty(Party):
     ):
         super().__init__(INITIATOR_ID, rng)
         self.config = config
-        self.secret_input = secret_input
+        self.secret_input = secret_input  # repro: secret
         self.active_ids: List[int] = sorted(
             active_ids if active_ids is not None else config.participant_ids
         )
@@ -304,8 +304,8 @@ class InitiatorParty(Party):
             # ρ and the per-participant ρ_j are the initiator's private
             # state; the security games read them only when the initiator
             # is adversary-controlled.
-            self.rho = rho
-            self.rho_assignments: Dict[int, int] = {}
+            self.rho = rho  # repro: secret
+            self.rho_assignments: Dict[int, int] = {}  # repro: secret
             extended = initiator_extended_vector(config.schema, self.secret_input, rho)
             response_bits = dot.message_bits(len(extended))[1]
             pending: Set[int] = set(participants)
@@ -434,7 +434,7 @@ class ParticipantParty(Party):
             raise ValueError("participant ids run from 1 to n")
         super().__init__(party_id, rng)
         self.config = config
-        self.secret_input = secret_input
+        self.secret_input = secret_input  # repro: secret
         self.active_ids: List[int] = sorted(
             active_ids if active_ids is not None else config.participant_ids
         )

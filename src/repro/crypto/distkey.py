@@ -10,7 +10,7 @@ exponential scheme, ``g^M``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.elgamal import Ciphertext
@@ -23,7 +23,7 @@ class KeyShare:
     """One party's share: secret exponent + published commitment."""
 
     party_id: int
-    secret: int
+    secret: int = field(repr=False)  # repro: secret
     public: Element
 
 
@@ -83,8 +83,22 @@ class DistributedKey:
         return joint
 
     # -- layered decryption -----------------------------------------------------
+    def _require_valid(self, ciphertext: Ciphertext, operation: str) -> None:
+        """Membership check before touching a ciphertext with secret/keyed
+        material — an adversarial non-element could otherwise coerce the
+        operation into a small subgroup and leak bits of the exponent."""
+        if not (
+            self.group.is_element(ciphertext.c1)
+            and self.group.is_element(ciphertext.c2)
+        ):
+            raise ValueError(f"refusing to {operation} a non-group ciphertext")
+
     def peel_layer(self, ciphertext: Ciphertext, secret: int) -> Ciphertext:
-        """Remove one share's layer: ``c -> c / c'^{x_i}`` (step 8, bullet 1)."""
+        """Remove one share's layer: ``c -> c / c'^{x_i}`` (step 8, bullet 1).
+
+        Hot primitive: callers validate ciphertexts at receipt (see
+        ``ShuffleProcessor``/``DecryptionMixnet``), so no per-call check.
+        """
         mask = self.group.exp(ciphertext.c2, secret)
         return Ciphertext(c1=self.group.div(ciphertext.c1, mask), c2=ciphertext.c2)
 
@@ -97,6 +111,7 @@ class DistributedKey:
         predicate the framework cares about (``M == 0``) while destroying
         the value of every non-zero plaintext.
         """
+        self._require_valid(ciphertext, "rerandomize")
         r = self.group.random_nonzero_exponent(rng)
         return self.rerandomize_with_exponent(ciphertext, r)
 
@@ -109,6 +124,7 @@ class DistributedKey:
 
     def full_decrypt(self, ciphertext: Ciphertext, secrets: Iterable[int]) -> Element:
         """Peel all layers at once (test helper; real parties decrypt in turn)."""
+        self._require_valid(ciphertext, "decrypt")
         current = ciphertext
         for secret in secrets:
             current = self.peel_layer(current, secret)

@@ -30,7 +30,7 @@ identical to the plain path for the same randomness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.groups.base import Element, Group
@@ -59,7 +59,7 @@ class Ciphertext:
 class KeyPair:
     """Secret exponent and the matching public element ``y = g^x``."""
 
-    secret: int
+    secret: int = field(repr=False)  # repro: secret
     public: Element
 
 

@@ -98,6 +98,19 @@ class Paillier:
         return PaillierCiphertext(value=gm * pow(r, n, n2) % n2)
 
     @staticmethod
+    def _require_valid(
+        ciphertext: PaillierCiphertext, public: PaillierPublicKey, operation: str
+    ) -> None:
+        """A valid ciphertext is a unit of Z_{n²}; anything else (0, a
+        multiple of p or q, an out-of-range value) would let a keyed
+        operation act as a factoring oracle."""
+        value = ciphertext.value
+        if not isinstance(value, int) or not 0 < value < public.n_squared:
+            raise ValueError(f"refusing to {operation} an out-of-range ciphertext")
+        if _gcd(value, public.n) != 1:
+            raise ValueError(f"refusing to {operation} a non-unit ciphertext")
+
+    @staticmethod
     def decrypt(ciphertext: PaillierCiphertext, private: PaillierPrivateKey) -> int:
         """Full decryption: ``m = L(c^λ mod n²) · μ mod n``.
 
@@ -105,6 +118,7 @@ class Paillier:
         the property that disqualifies Paillier for the framework's
         comparison phase.
         """
+        Paillier._require_valid(ciphertext, private.public, "decrypt")
         n, n2 = private.public.n, private.public.n_squared
         u = pow(ciphertext.value, private.lam, n2)
         return _l_function(u, n) * private.mu % n
@@ -137,6 +151,7 @@ class Paillier:
     def rerandomize(
         a: PaillierCiphertext, public: PaillierPublicKey, rng: RNG
     ) -> PaillierCiphertext:
+        Paillier._require_valid(a, public, "rerandomize")
         n, n2 = public.n, public.n_squared
         while True:
             r = rng.rand_nonzero(n)

@@ -30,7 +30,7 @@ mismatch.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Optional
 
 from repro.crypto.elgamal import Ciphertext
@@ -43,7 +43,7 @@ from repro.math.rng import RNG
 class RandomPair:
     """One precomputed encryption randomness: ``(r, g^r, y^r)``."""
 
-    r: int
+    r: int = field(repr=False)  # repro: secret
     g_r: Element
     y_r: Element
 

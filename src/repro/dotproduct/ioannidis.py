@@ -31,7 +31,7 @@ unknowns (``Q`` and ``X``); ``c'`` and ``g`` add ``2d`` equations against
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
 from repro.math.modular import mod_inverse
@@ -72,9 +72,9 @@ class AliceResponse:
 class BobState:
     """Bob's retained secrets between the two messages."""
 
-    b: int
-    r2: int
-    r3: int
+    b: int = field(repr=False)  # repro: secret
+    r2: int = field(repr=False)  # repro: secret
+    r3: int = field(repr=False)  # repro: secret
 
 
 class DotProductProtocol:

@@ -1,0 +1,35 @@
+"""Protocol-aware static analysis for the repro codebase.
+
+The paper's guarantees (private input hiding, gain secrecy, identity
+unlinkability) are checked dynamically by ``repro.analysis`` probes and
+the adversarial test suite; this package checks them *structurally*:
+
+* **Layer 1 — secret-flow taint analysis** (:mod:`repro.lint.taint`).
+  A registry of secret sources (``rho``, key shares, shuffle
+  permutations, pool randomness, …), sinks (logging, exception-message
+  interpolation, transcript/metrics fields, wire encode paths,
+  ``__repr__``), and sanitizers (encryption, commitments, hashing,
+  ``g^x``), with intra-procedural propagation and a one-level call
+  summary so cross-module flows are caught.
+* **Layer 2 — protocol invariant rules** (:mod:`repro.lint.invariants`).
+  Randomness discipline, decrypt/rerandomize membership guards,
+  worker-pool randomness hygiene, integer-only crypto arithmetic, and
+  no swallowed blamed aborts.
+
+Run it as ``python -m repro.lint`` (see :mod:`repro.lint.cli`); findings
+not in the committed baseline fail the build.
+"""
+
+from repro.lint.findings import Finding, Rule, RULES
+from repro.lint.registry import TaintRegistry, default_registry
+from repro.lint.runner import LintReport, lint_paths
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "RULES",
+    "TaintRegistry",
+    "default_registry",
+    "lint_paths",
+]

@@ -1,0 +1,141 @@
+"""Suppression baseline: reviewed, intentional findings live here.
+
+The committed baseline (``lint-baseline.json`` at the repo root) lists
+fingerprints of findings that were reviewed and accepted — e.g. the
+leakage probes in ``repro.analysis`` that *deliberately* handle secrets
+to measure what they leak.  Fingerprints hash (rule, path, symbol,
+normalized snippet), never line numbers, so unrelated edits do not
+churn the file.
+
+Workflow:
+
+* ``python -m repro.lint --write-baseline`` after reviewing findings;
+* entries carry an optional ``reason`` (edit the JSON; it is preserved
+  on rewrite);
+* a baselined finding that no longer occurs is *stale* and fails
+  ``--strict`` runs, so the file can only shrink, never rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    symbol: str
+    snippet: str
+    count: int = 1
+    reason: str = ""
+
+
+@dataclass
+class Baseline:
+    entries: Dict[str, BaselineEntry] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r}"
+            )
+        baseline = cls()
+        for raw in data.get("entries", []):
+            entry = BaselineEntry(
+                fingerprint=raw["fingerprint"],
+                rule=raw["rule"],
+                path=raw["path"],
+                symbol=raw.get("symbol", ""),
+                snippet=raw.get("snippet", ""),
+                count=int(raw.get("count", 1)),
+                reason=raw.get("reason", ""),
+            )
+            baseline.entries[entry.fingerprint] = entry
+        return baseline
+
+    @classmethod
+    def from_findings(
+        cls, findings: List[Finding], reasons: Optional[Dict[str, str]] = None
+    ) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if fingerprint in baseline.entries:
+                baseline.entries[fingerprint].count += 1
+            else:
+                baseline.entries[fingerprint] = BaselineEntry(
+                    fingerprint=fingerprint,
+                    rule=finding.rule,
+                    path=finding.path,
+                    symbol=finding.symbol,
+                    snippet=" ".join(finding.snippet.split()),
+                    reason=(reasons or {}).get(fingerprint, ""),
+                )
+        return baseline
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {
+                "fingerprint": entry.fingerprint,
+                "rule": entry.rule,
+                "path": entry.path,
+                "symbol": entry.symbol,
+                "snippet": entry.snippet,
+                "count": entry.count,
+                "reason": entry.reason,
+            }
+            for entry in sorted(
+                self.entries.values(), key=lambda e: (e.path, e.rule, e.symbol)
+            )
+        ]
+        path.write_text(
+            json.dumps(
+                {"version": BASELINE_VERSION, "tool": "repro.lint", "entries": entries},
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def carry_reasons_from(self, previous: "Baseline") -> None:
+        for fingerprint, entry in self.entries.items():
+            old = previous.entries.get(fingerprint)
+            if old is not None and old.reason:
+                entry.reason = old.reason
+
+    def split(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """(fresh, baselined, stale) for one run's findings.
+
+        Each baseline entry absorbs up to ``count`` occurrences of its
+        fingerprint; extra occurrences are fresh, unconsumed entries are
+        stale.
+        """
+        budget = {fp: entry.count for fp, entry in self.entries.items()}
+        fresh: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if budget.get(fingerprint, 0) > 0:
+                budget[fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                fresh.append(finding)
+        stale = [
+            self.entries[fp] for fp, remaining in budget.items() if remaining > 0
+        ]
+        stale.sort(key=lambda e: (e.path, e.rule))
+        return fresh, baselined, stale

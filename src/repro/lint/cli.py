@@ -1,0 +1,176 @@
+"""Command line interface: ``python -m repro.lint``.
+
+Exit codes: 0 clean, 1 findings (or, with ``--strict``, stale baseline
+entries), 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import Baseline, DEFAULT_BASELINE_NAME
+from repro.lint.findings import RULES
+from repro.lint.runner import LintReport, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Protocol-aware static analysis: secret-flow taint linter "
+            "plus crypto invariant rules."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files/directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="root for module-name resolution (default: current directory)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries (CI mode)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _render_text(report: LintReport, strict: bool, out) -> None:
+    for finding in report.fresh:
+        print(finding.render(), file=out)
+        print(f"    {finding.snippet}", file=out)
+    for entry in report.stale:
+        print(
+            f"{entry.path}: stale baseline entry {entry.fingerprint} "
+            f"({entry.rule} [{entry.symbol}]) — violation no longer occurs; "
+            "refresh with --write-baseline",
+            file=out,
+        )
+    summary = (
+        f"{report.files_scanned} files: {len(report.fresh)} finding(s), "
+        f"{len(report.baselined)} baselined, {len(report.suppressed)} "
+        f"inline-suppressed, {len(report.stale)} stale baseline entr"
+        f"{'y' if len(report.stale) == 1 else 'ies'}"
+    )
+    print(summary, file=out)
+    if not report.fresh and not (strict and report.stale):
+        print("lint OK", file=out)
+
+
+def _render_json(report: LintReport, out) -> None:
+    payload = {
+        "files_scanned": report.files_scanned,
+        "findings": [finding.to_json() for finding in report.fresh],
+        "baselined": [finding.to_json() for finding in report.baselined],
+        "suppressed": [finding.to_json() for finding in report.suppressed],
+        "stale": [
+            {"fingerprint": entry.fingerprint, "rule": entry.rule, "path": entry.path}
+            for entry in report.stale
+        ],
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id:20s} [{rule.layer}] {rule.title}", file=out)
+            print(f"{'':20s} {rule.rationale}", file=out)
+        return 0
+
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        default = root / "src" / "repro"
+        if not default.is_dir():
+            print(
+                f"error: no paths given and {default} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [default]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path {path}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    baseline: Optional[Baseline] = None
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as error:
+            print(f"error: unreadable baseline {baseline_path}: {error}",
+                  file=sys.stderr)
+            return 2
+
+    report = lint_paths(
+        paths,
+        root=root,
+        baseline=None if args.write_baseline else baseline,
+    )
+    if report.parse_errors:
+        for error in report.parse_errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        new_baseline = Baseline.from_findings(report.fresh)
+        if baseline is not None:
+            new_baseline.carry_reasons_from(baseline)
+        new_baseline.save(baseline_path)
+        print(
+            f"wrote {len(new_baseline.entries)} baseline entr"
+            f"{'y' if len(new_baseline.entries) == 1 else 'ies'} to "
+            f"{baseline_path}",
+            file=out,
+        )
+        return 0
+
+    if args.format == "json":
+        _render_json(report, out)
+    else:
+        _render_text(report, args.strict, out)
+    return report.exit_code(strict=args.strict)

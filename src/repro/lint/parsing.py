@@ -1,0 +1,172 @@
+"""File parsing: module naming, annotation comments, AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.lint.registry import IGNORE_ANNOTATION, SECRET_ANNOTATION
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by both layers."""
+
+    path: Path  # absolute
+    rel_path: str  # repo-relative, posix
+    module: str  # dotted module name, e.g. "repro.core.shuffle"
+    tree: ast.Module
+    lines: List[str]
+    #: 1-based line numbers carrying ``# repro: secret``.
+    secret_lines: Set[int] = field(default_factory=set)
+    #: 1-based line number -> rule ids suppressed on that line.
+    ignore_lines: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Names annotated as secret anywhere in this module (collected from
+    #: ``secret_lines`` during parsing; module-scoped sources).
+    annotated_secret_names: Set[str] = field(default_factory=set)
+
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def is_ignored(self, rule: str, lineno: int, end_lineno: Optional[int]) -> bool:
+        """True when an inline waiver covers the finding: on any of its
+        own lines, or in the contiguous comment block directly above."""
+        last = end_lineno if end_lineno is not None else lineno
+        for line in range(lineno, last + 1):
+            if rule in self.ignore_lines.get(line, set()):
+                return True
+        line = lineno - 1
+        while 1 <= line <= len(self.lines) and self.lines[line - 1].lstrip().startswith("#"):
+            if rule in self.ignore_lines.get(line, set()):
+                return True
+            line -= 1
+        return False
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to ``root``.
+
+    A leading ``src/`` segment is stripped so files under the standard
+    layout get their import names; fixture trees that mimic the package
+    layout (``fixtures/repro/crypto/x.py``) resolve the same way.
+    """
+    rel = path.resolve().relative_to(root.resolve())
+    parts = list(rel.parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _bound_names(node: ast.AST) -> Set[str]:
+    """Names bound by an assignment-like statement or function arg."""
+    names: Set[str] = set()
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            names.update(_target_names(target))
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        names.update(_target_names(node.target))
+    elif isinstance(node, ast.arg):
+        names.add(node.arg)
+    return names
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, ast.Attribute):
+        names.add(target.attr)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            names.update(_target_names(elt))
+    elif isinstance(target, ast.Starred):
+        names.update(_target_names(target.value))
+    return names
+
+
+def parse_module(path: Path, root: Path) -> ParsedModule:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    parsed = ParsedModule(
+        path=path,
+        rel_path=path.resolve().relative_to(root.resolve()).as_posix(),
+        module=module_name_for(path, root),
+        tree=tree,
+        lines=lines,
+    )
+    for index, line in enumerate(lines, start=1):
+        if SECRET_ANNOTATION.search(line):
+            parsed.secret_lines.add(index)
+        match = IGNORE_ANNOTATION.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            parsed.ignore_lines.setdefault(index, set()).update(
+                rule for rule in rules if rule
+            )
+    if parsed.secret_lines:
+        for node in ast.walk(tree):
+            lineno = getattr(node, "lineno", None)
+            if lineno is None:
+                continue
+            end = getattr(node, "end_lineno", lineno)
+            if any(line in parsed.secret_lines for line in range(lineno, end + 1)):
+                if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.arg)):
+                    parsed.annotated_secret_names.update(_bound_names(node))
+    return parsed
+
+
+def call_name(node: ast.Call) -> str:
+    """Rightmost name of a call's function expression ('' if dynamic)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def chain_names(expr: ast.AST) -> Set[str]:
+    """Every Name id and Attribute attr along an access chain.
+
+    ``self.transcript.record`` -> {"self", "transcript", "record"}.
+    """
+    names: Set[str] = set()
+    node: Optional[ast.AST] = expr
+    while node is not None:
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+            node = None
+        elif isinstance(node, (ast.Subscript, ast.Call)):
+            node = node.value if isinstance(node, ast.Subscript) else node.func
+        else:
+            node = None
+    return names
+
+
+def qualname_index(tree: ast.Module) -> Dict[ast.AST, str]:
+    """Map every function/class node to its dotted qualname."""
+    index: Dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                index[child] = qual
+                visit(child, qual)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return index

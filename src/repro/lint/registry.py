@@ -1,0 +1,208 @@
+"""Source/sink/sanitizer registry for the taint layer.
+
+Secret *sources* come from two places:
+
+* this registry — attribute/variable names that are secret wherever
+  they occur under a package prefix (``rho``, ``secret``, shuffle
+  ``permutation`` randomness, …), and
+* in-code annotations — a trailing ``# repro: secret`` comment on an
+  assignment, dataclass field, or parameter marks the bound name as a
+  source for that module (used for names too generic to register
+  globally, e.g. the pool's ``r`` exponent).
+
+*Sanitizers* are calls whose result is safe to expose even when an
+argument is secret: encryption, commitments, hashing, and ``g^x``-style
+exponentiation (public under DL).  *Validators* are the membership /
+structure checks the R-GUARD rule accepts as dominators.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+#: Trailing comment marking the names bound on that line as secret.
+SECRET_ANNOTATION = re.compile(r"#\s*repro:\s*secret\b")
+
+#: Trailing comment suppressing specific rules on that statement, e.g.
+#: ``# repro-lint: ignore[R-GUARD] -- validated at receipt``.
+IGNORE_ANNOTATION = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([A-Z0-9\-,\s]+)\]"
+)
+
+#: Names secret *everywhere* under ``repro.`` — the paper's symbols and
+#: their direct representations (see docs/PROTOCOL.md for the mapping).
+GLOBAL_SECRET_NAMES: FrozenSet[str] = frozenset(
+    {
+        "rho",  # ρ — the initiator's gain-masking multiplier (§gain)
+        "rho_j",  # ρ_j — per-participant additive mask (§gain)
+        "rho_assignments",
+        "secret",  # ElGamal key shares x_i, DGK keys (§distkey)
+        "secret_key",
+        "secret_exponent",
+        "secret_input",  # the initiator's private weight/value vectors
+        "private_vector",
+    }
+)
+
+#: Names secret only under specific package prefixes (dotted module
+#: name prefix -> names).  Shuffle randomness is secret in protocol and
+#: runtime code, but ``permutation`` is a public object in e.g.
+#: ``repro.sorting`` (sorting networks are public by definition).
+SCOPED_SECRET_NAMES: Dict[str, FrozenSet[str]] = {
+    "repro.core": frozenset({"permutation", "rerandomizers"}),
+    "repro.crypto": frozenset({"permutation", "rerandomizers"}),
+    "repro.anonmsg": frozenset(
+        {"permutation", "rerandomizers", "rerandomizer_pairs"}
+    ),
+    "repro.runtime": frozenset(
+        {"permutation", "rerandomizers", "rerandomizer_pairs"}
+    ),
+}
+
+#: Call names whose result is safe even with secret arguments.
+SANITIZERS: FrozenSet[str] = frozenset(
+    {
+        # encryption / commitments / proofs
+        "encrypt",
+        "encrypt_zero",
+        "encrypt_bit",
+        "encrypt_bits",
+        "commit",
+        "commitment",
+        "prove",
+        "challenge_for",
+        # hashing
+        "sha256",
+        "blake2b",
+        "digest",
+        "hexdigest",
+        "hash_to_exponent",
+        # g^x-style exponentiation is public under DL
+        "exp",
+        "exp_generator",
+        "small_exp",
+        "multi_exp",
+        "g_pow",
+        "y_pow",
+        "power",
+        "pow",
+        # blinded/encrypted transforms
+        "peel_layer",
+        "rerandomize",
+        "rerandomize_exponent",
+        "rerandomize_with_exponent",
+        "decrypt",  # honest decryption output is protocol-visible
+        "decrypt_is_zero",
+        "decrypt_small",
+        # structure-only reads
+        "len",
+        "bit_length",
+        "type",
+        "is_element",
+        "is_identity",
+        "isinstance",
+        "fork",
+    }
+)
+
+#: Logging-method names; a call ``X.debug(...)`` is a log sink when the
+#: receiver chain mentions a logger-ish name.
+LOG_METHODS: FrozenSet[str] = frozenset(
+    {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+)
+LOGGER_BASE = re.compile(r"log", re.IGNORECASE)
+
+#: Receiver names that make attribute calls / stores transcript sinks.
+TRANSCRIPT_BASES: FrozenSet[str] = frozenset({"transcript", "metrics"})
+TRANSCRIPT_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {"Transcript", "TranscriptEntry", "PartyMetrics"}
+)
+
+#: The wire-encode module; names imported from it become wire sinks in
+#: the importing module, plus ``codec.encode*(...)`` attribute calls.
+WIRE_MODULE = "repro.runtime.wire"
+WIRE_RECEIVERS = re.compile(r"codec|wire", re.IGNORECASE)
+
+#: decrypt-family primitives R-GUARD tracks.
+SENSITIVE_CALLS: FrozenSet[str] = frozenset(
+    {
+        "decrypt",
+        "decrypt_is_zero",
+        "decrypt_small",
+        "full_decrypt",
+        "peel_layer",
+        "rerandomize",
+        "rerandomize_exponent",
+        "rerandomize_with_exponent",
+    }
+)
+
+#: Calls R-GUARD accepts as dominating membership/structure validation.
+VALIDATORS: FrozenSet[str] = frozenset(
+    {
+        "validate",
+        "_require_valid",
+        "_require_elements",
+        "validate_batch",
+        "validate_request",
+        "is_element",
+        "chain_set_flaw",
+        "verify_bit_proofs_or_abort",
+    }
+)
+
+#: Modules allowed to touch ``random``/``secrets`` directly.
+RNG_ALLOWED_MODULES: FrozenSet[str] = frozenset(
+    {"repro.math.rng", "repro.crypto.precompute"}
+)
+
+#: Module prefixes where float arithmetic is forbidden.
+FLOAT_FORBIDDEN_PREFIXES = ("repro.crypto",)
+FLOAT_FORBIDDEN_MODULES: FrozenSet[str] = frozenset({"repro.math.modular"})
+
+#: Module whose worker-job evaluators must not touch an RNG.
+POOL_MODULE = "repro.runtime.parallel"
+
+#: RNG types/methods a worker body must not reference.
+POOL_RNG_NAMES: FrozenSet[str] = frozenset({"SystemRNG", "SeededRNG", "Random"})
+POOL_RNG_METHODS: FrozenSet[str] = frozenset(
+    {
+        "randbits",
+        "randrange",
+        "randint",
+        "shuffle",
+        "permutation",
+        "choice",
+        "sample_distinct",
+        "rand_group_exponent",
+        "rand_nonzero",
+        "random_exponent",
+        "random_nonzero_exponent",
+        "fork",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TaintRegistry:
+    """The configurable half of the analysis: sources and sanitizers."""
+
+    global_secret_names: FrozenSet[str] = GLOBAL_SECRET_NAMES
+    scoped_secret_names: Dict[str, FrozenSet[str]] = field(
+        default_factory=lambda: dict(SCOPED_SECRET_NAMES)
+    )
+    sanitizers: FrozenSet[str] = SANITIZERS
+
+    def secret_names_for(self, module: str) -> Set[str]:
+        """All registry source names in force for a dotted module name."""
+        names = set(self.global_secret_names)
+        for prefix, scoped in self.scoped_secret_names.items():
+            if module == prefix or module.startswith(prefix + "."):
+                names.update(scoped)
+        return names
+
+
+def default_registry() -> TaintRegistry:
+    return TaintRegistry()

@@ -1,0 +1,111 @@
+"""Orchestration: walk files, run both layers, apply suppressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint import invariants, taint
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.findings import Finding
+from repro.lint.parsing import ParsedModule, parse_module
+from repro.lint.registry import TaintRegistry, default_registry
+from repro.lint.summaries import build_summaries
+
+_SKIP_DIRS = {"__pycache__", ".git", "repro.egg-info"}
+
+
+@dataclass
+class LintReport:
+    """Everything one run produced, pre-split by suppression state."""
+
+    fresh: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return self.fresh + self.baselined + self.suppressed
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.parse_errors:
+            return 2
+        if self.fresh:
+            return 1
+        if strict and self.stale:
+            return 1
+        return 0
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.append(candidate)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    root: Optional[Path] = None,
+    registry: Optional[TaintRegistry] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Run both layers over ``paths``; module names resolve against ``root``."""
+    registry = registry or default_registry()
+    root = (root or Path.cwd()).resolve()
+    report = LintReport()
+    modules: List[ParsedModule] = []
+    for file_path in collect_files([Path(p) for p in paths]):
+        try:
+            modules.append(parse_module(file_path, root))
+        except (SyntaxError, ValueError) as error:
+            report.parse_errors.append(f"{file_path}: {error}")
+    report.files_scanned = len(modules)
+    if report.parse_errors:
+        return report
+
+    index = build_summaries(modules)
+    raw: List[Finding] = []
+    for parsed in modules:
+        raw.extend(taint.check_module(parsed, index, registry))
+        raw.extend(invariants.check_module(parsed, index))
+    findings = _dedupe(raw)
+
+    by_path = {parsed.rel_path: parsed for parsed in modules}
+    kept: List[Finding] = []
+    for finding in findings:
+        parsed = by_path.get(finding.path)
+        if parsed is not None and parsed.is_ignored(
+            finding.rule, finding.line, finding.end_line
+        ):
+            report.suppressed.append(finding)
+        else:
+            kept.append(finding)
+
+    if baseline is not None:
+        report.fresh, report.baselined, report.stale = baseline.split(kept)
+    else:
+        report.fresh = kept
+    return report
+
+
+def _dedupe(findings: Iterable[Finding]) -> List[Finding]:
+    seen = set()
+    unique: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.line, finding.col, finding.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(finding)
+    unique.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return unique

@@ -1,0 +1,155 @@
+"""One-level call summaries shared by both analysis layers.
+
+For every function in the linted set we record:
+
+* ``param_sinks`` — parameters that flow into a taint sink *inside* the
+  function body (rule id per parameter).  A call site passing a secret
+  into such a parameter is reported at the call site, which is how
+  cross-module flows (e.g. ``core.parties`` -> ``math.modular``) are
+  caught without whole-program analysis.
+* ``guarded`` — for decrypt-family implementations, whether the body
+  performs a membership/structure validation before its sensitive work
+  (directly, or by delegating only to guarded implementations; computed
+  as a small fixpoint).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.lint.parsing import ParsedModule, call_name, qualname_index
+from repro.lint.registry import SENSITIVE_CALLS, VALIDATORS
+
+
+@dataclass
+class FunctionSummary:
+    module: str
+    qualname: str
+    name: str
+    params: List[str] = field(default_factory=list)
+    #: param name -> sink rule ids the param reaches inside the body.
+    param_sinks: Dict[str, Set[str]] = field(default_factory=dict)
+    #: lines of validator calls / sensitive-family calls in the body.
+    validator_lines: List[int] = field(default_factory=list)
+    sensitive_calls: List[ast.Call] = field(default_factory=list)
+    #: resolved by fixpoint; meaningful for decrypt-family names.
+    guarded: bool = False
+
+
+@dataclass
+class SummaryIndex:
+    """Summaries addressable by bare function name (merged on collision)."""
+
+    by_name: Dict[str, List[FunctionSummary]] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> List[FunctionSummary]:
+        return self.by_name.get(name, [])
+
+    def param_sinks_for(self, name: str) -> Dict[str, Set[str]]:
+        merged: Dict[str, Set[str]] = {}
+        for summary in self.lookup(name):
+            for param, rules in summary.param_sinks.items():
+                merged.setdefault(param, set()).update(rules)
+        return merged
+
+    def all_guarded(self, name: str) -> bool:
+        """True iff implementations of ``name`` exist and all validate."""
+        summaries = self.lookup(name)
+        return bool(summaries) and all(s.guarded for s in summaries)
+
+
+def _function_params(node) -> List[str]:  # ast.FunctionDef | ast.AsyncFunctionDef
+    args = node.args
+    params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    return params
+
+
+def build_summaries(modules: Iterable[ParsedModule]) -> SummaryIndex:
+    from repro.lint.taint import collect_param_sinks  # cycle: taint uses index
+
+    index = SummaryIndex()
+    for parsed in modules:
+        quals = qualname_index(parsed.tree)
+        for node, qual in quals.items():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            summary = FunctionSummary(
+                module=parsed.module,
+                qualname=qual,
+                name=node.name,
+                params=_function_params(node),
+            )
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call):
+                    name = call_name(inner)
+                    if name in VALIDATORS:
+                        summary.validator_lines.append(inner.lineno)
+                    elif name in SENSITIVE_CALLS:
+                        summary.sensitive_calls.append(inner)
+            summary.param_sinks = collect_param_sinks(parsed, node)
+            index.by_name.setdefault(node.name, []).append(summary)
+    _resolve_guarded(index)
+    return index
+
+
+def has_dominating_validator(summary: FunctionSummary, call: ast.Call) -> bool:
+    """A validator call no later than ``call`` in the same body."""
+    return any(line <= call.lineno for line in summary.validator_lines)
+
+
+def _resolve_guarded(index: SummaryIndex) -> None:
+    """Greatest fixpoint over decrypt-family implementations.
+
+    An implementation is guarded when every sensitive call in its body
+    is either dominated by a local validator or resolves (by name) to
+    implementations that are all guarded; a family-named body with no
+    sensitive calls and no validator is an unguarded *primitive* (its
+    call sites carry the obligation).
+
+    Pure delegators (``ExponentialElGamal.decrypt`` calling
+    ``super().decrypt``; ``BitwiseElGamal.decrypt`` calling
+    ``self.scheme.decrypt``) form name-resolution cycles, so the fixpoint
+    runs coinductively: delegating bodies start optimistically guarded
+    and are refuted downward whenever any sensitive call neither has a
+    dominating validator nor resolves to all-guarded implementations.
+    An unguarded primitive anywhere in the family refutes every cycle
+    that leans on it.
+    """
+    family = [
+        summary
+        for name in SENSITIVE_CALLS
+        for summary in index.lookup(name)
+    ]
+    for summary in family:
+        # Optimistic start: bodies that validate, or that at least do
+        # *something* resolvable (delegate). Bare primitives start — and
+        # stay — unguarded.
+        summary.guarded = bool(summary.validator_lines) or bool(
+            summary.sensitive_calls
+        )
+    for _ in range(len(family) + 1):
+        changed = False
+        for summary in family:
+            if not summary.guarded:
+                continue
+            if summary.validator_lines and all(
+                has_dominating_validator(summary, call)
+                for call in summary.sensitive_calls
+            ):
+                continue  # locally guarded, nothing to refute
+            ok = all(
+                has_dominating_validator(summary, call)
+                or index.all_guarded(call_name(call))
+                for call in summary.sensitive_calls
+            )
+            if not ok:
+                summary.guarded = False
+                changed = True
+        if not changed:
+            break

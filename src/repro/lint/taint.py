@@ -1,0 +1,551 @@
+"""Layer 1: secret-flow taint analysis.
+
+Per function: seed an environment from registry/annotation sources,
+propagate through assignments, calls, and containers to a (flow
+insensitive) fixpoint, then check every sink expression.  Calls resolve
+through the one-level summaries in :mod:`repro.lint.summaries`, so a
+secret passed into a helper whose *body* interpolates a parameter into
+an exception or log line is reported at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.parsing import ParsedModule, call_name, chain_names, qualname_index
+from repro.lint.registry import (
+    LOG_METHODS,
+    LOGGER_BASE,
+    TRANSCRIPT_BASES,
+    TRANSCRIPT_CONSTRUCTORS,
+    TaintRegistry,
+    WIRE_MODULE,
+    WIRE_RECEIVERS,
+)
+from repro.lint.summaries import SummaryIndex
+
+_EXCEPTION_BASE = re.compile(r"(Error|Exception|Abort|Timeout|Crashed|Warning)$")
+_REPR_METHODS = {"__repr__", "__str__", "__format__"}
+
+
+class TaintChecker:
+    """Expression-level taint query against one scope's environment."""
+
+    def __init__(self, env: Set[str], secret_names: Set[str], sanitizers: Set[str]):
+        self.env = env
+        self.secret_names = secret_names
+        self.sanitizers = sanitizers
+
+    def tainted(self, node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.env or node.id in self.secret_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.secret_names or self.tainted(node.value)
+        if isinstance(node, ast.Call):
+            if call_name(node) in self.sanitizers:
+                return False
+            return any(self.tainted(arg) for arg in node.args) or any(
+                self.tainted(kw.value) for kw in node.keywords
+            )
+        if isinstance(node, ast.JoinedStr):
+            return any(self.tainted(value) for value in node.values)
+        if isinstance(node, ast.FormattedValue):
+            return self.tainted(node.value)
+        if isinstance(node, ast.BinOp):
+            return self.tainted(node.left) or self.tainted(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.tainted(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return any(self.tainted(value) for value in node.values)
+        if isinstance(node, ast.Compare):
+            return False  # predicates over secrets are protocol outputs
+        if isinstance(node, ast.IfExp):
+            return self.tainted(node.body) or self.tainted(node.orelse)
+        if isinstance(node, ast.Subscript):
+            return self.tainted(node.value)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return any(self.tainted(elt) for elt in node.elts)
+        if isinstance(node, ast.Dict):
+            return any(self.tainted(k) for k in node.keys if k is not None) or any(
+                self.tainted(v) for v in node.values
+            )
+        if isinstance(node, ast.Starred):
+            return self.tainted(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.tainted(node.elt) or self._generators_tainted(node.generators)
+        if isinstance(node, ast.DictComp):
+            return (
+                self.tainted(node.key)
+                or self.tainted(node.value)
+                or self._generators_tainted(node.generators)
+            )
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.tainted(node.value)
+        if isinstance(node, ast.Yield):
+            return self.tainted(node.value)
+        if isinstance(node, ast.NamedExpr):
+            return self.tainted(node.value)
+        return False
+
+    def _generators_tainted(self, generators: Iterable[ast.comprehension]) -> bool:
+        return any(self.tainted(gen.iter) for gen in generators)
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            names.update(_target_names(elt))
+    elif isinstance(target, ast.Starred):
+        names.update(_target_names(target.value))
+    elif isinstance(target, ast.Attribute):
+        names.add(target.attr)
+    return names
+
+
+def _function_params(node: ast.AST) -> List[str]:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return []
+    args = node.args
+    params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    return params
+
+
+def build_env(
+    scope: ast.AST,
+    parsed: ParsedModule,
+    secret_names: Set[str],
+    sanitizers: Set[str],
+    seed: Optional[Set[str]] = None,
+) -> Set[str]:
+    """Tainted local names in ``scope`` (flow-insensitive fixpoint)."""
+    env: Set[str] = set(seed or ())
+    for param in _function_params(scope):
+        if param in secret_names or _node_annotated(scope, parsed, param):
+            env.add(param)
+    checker = TaintChecker(env, secret_names, sanitizers)
+    for _ in range(4):
+        changed = False
+        for node in ast.walk(scope):
+            targets: Set[str] = set()
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                value = node.value
+                for target in node.targets:
+                    targets.update(_target_names(target))
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                value = node.value
+                targets.update(_target_names(node.target))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                value = node.iter
+                targets.update(_target_names(node.target))
+            elif isinstance(node, ast.comprehension):
+                value = node.iter
+                targets.update(_target_names(node.target))
+            elif isinstance(node, ast.NamedExpr):
+                value = node.value
+                targets.update(_target_names(node.target))
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                value = node.context_expr
+                targets.update(_target_names(node.optional_vars))
+            if not targets:
+                continue
+            annotated = _statement_annotated(node, parsed)
+            if annotated or (value is not None and checker.tainted(value)):
+                new = targets - env
+                if new:
+                    env.update(new)
+                    changed = True
+        if not changed:
+            break
+    return env
+
+
+def _statement_annotated(node: ast.AST, parsed: ParsedModule) -> bool:
+    lineno = getattr(node, "lineno", None)
+    if lineno is None or not parsed.secret_lines:
+        return False
+    end = getattr(node, "end_lineno", lineno)
+    return any(line in parsed.secret_lines for line in range(lineno, end + 1))
+
+
+def _node_annotated(scope: ast.AST, parsed: ParsedModule, param: str) -> bool:
+    if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    args = scope.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs + [
+        a for a in (args.vararg, args.kwarg) if a is not None
+    ]:
+        if arg.arg == param and arg.lineno in parsed.secret_lines:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Sink scanning
+# ---------------------------------------------------------------------------
+
+OnHit = Callable[[str, ast.AST, List[ast.AST], str], None]
+"""(rule, node, candidate expressions, description) callback."""
+
+
+def _is_log_sink(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "print"
+    if isinstance(func, ast.Attribute) and func.attr in LOG_METHODS:
+        return any(LOGGER_BASE.search(name) for name in chain_names(func.value))
+    return False
+
+
+def _is_transcript_sink(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in TRANSCRIPT_CONSTRUCTORS
+    if isinstance(func, ast.Attribute):
+        return bool(TRANSCRIPT_BASES & chain_names(func.value))
+    return False
+
+
+def _is_wire_sink(node: ast.Call, wire_imports: Set[str]) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in wire_imports
+    if isinstance(func, ast.Attribute) and func.attr.startswith("encode"):
+        return any(WIRE_RECEIVERS.search(name) for name in chain_names(func.value))
+    return False
+
+
+def _is_super_exception_init(node: ast.Call, in_exception_class: bool) -> bool:
+    """``super().__init__(...)`` inside an Exception subclass — the
+    arguments become the raised message, so treat them as an EXC sink."""
+    if not in_exception_class:
+        return False
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "__init__"
+        and isinstance(func.value, ast.Call)
+        and call_name(func.value) == "super"
+    )
+
+
+def _call_exprs(node: ast.Call) -> List[ast.AST]:
+    return list(node.args) + [kw.value for kw in node.keywords]
+
+
+def wire_import_names(parsed: ParsedModule) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(parsed.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == WIRE_MODULE:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def scan_sinks(
+    scope: ast.AST,
+    parsed: ParsedModule,
+    wire_imports: Set[str],
+    on_hit: OnHit,
+    index: Optional[SummaryIndex],
+    in_exception_class: bool = False,
+    repr_scope: bool = False,
+) -> None:
+    """Invoke ``on_hit`` for every sink expression in ``scope``.
+
+    Taint is *not* judged here — the callback owns that — so the same
+    walk serves both finding emission and param-sink summarisation.
+    """
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            if _is_log_sink(node):
+                on_hit("R-TAINT-LOG", node, _call_exprs(node), "logging/print call")
+            if _is_transcript_sink(node):
+                on_hit(
+                    "R-TAINT-TRANSCRIPT",
+                    node,
+                    _call_exprs(node),
+                    "Transcript/PartyMetrics write",
+                )
+            if _is_wire_sink(node, wire_imports):
+                on_hit("R-TAINT-WIRE", node, _call_exprs(node), "wire encode call")
+            if _is_super_exception_init(node, in_exception_class):
+                on_hit(
+                    "R-TAINT-EXC",
+                    node,
+                    _call_exprs(node),
+                    "exception message construction",
+                )
+            if index is not None:
+                _check_call_summaries(node, index, on_hit)
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            exprs = (
+                _call_exprs(node.exc)
+                if isinstance(node.exc, ast.Call)
+                else [node.exc]
+            )
+            on_hit("R-TAINT-EXC", node, exprs, "raised exception message")
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)) and (
+                    TRANSCRIPT_BASES & chain_names(target)
+                ):
+                    on_hit(
+                        "R-TAINT-TRANSCRIPT",
+                        node,
+                        [node.value],
+                        "Transcript/PartyMetrics field store",
+                    )
+        elif isinstance(node, ast.Return) and repr_scope and node.value is not None:
+            on_hit("R-TAINT-REPR", node, [node.value], "__repr__/__str__ return")
+
+
+def _check_call_summaries(
+    node: ast.Call, index: SummaryIndex, on_hit: OnHit
+) -> None:
+    name = call_name(node)
+    if not name:
+        return
+    sinks = index.param_sinks_for(name)
+    if not sinks:
+        return
+    summaries = index.lookup(name)
+    params = summaries[0].params if summaries else []
+    offset = 0
+    if params and params[0] in ("self", "cls") and isinstance(node.func, ast.Attribute):
+        offset = 1
+    for position, arg in enumerate(node.args):
+        param_index = position + offset
+        if param_index < len(params) and params[param_index] in sinks:
+            for rule in sorted(sinks[params[param_index]]):
+                on_hit(
+                    rule,
+                    node,
+                    [arg],
+                    f"argument {params[param_index]!r} reaches a "
+                    f"{rule} sink inside {name}()",
+                )
+    for keyword in node.keywords:
+        if keyword.arg and keyword.arg in sinks:
+            for rule in sorted(sinks[keyword.arg]):
+                on_hit(
+                    rule,
+                    node,
+                    [keyword.value],
+                    f"argument {keyword.arg!r} reaches a "
+                    f"{rule} sink inside {name}()",
+                )
+
+
+def collect_param_sinks(
+    parsed: ParsedModule, func  # ast.FunctionDef | ast.AsyncFunctionDef
+) -> Dict[str, Set[str]]:
+    """Which of ``func``'s parameters flow into a sink in its own body.
+
+    Runs the sink walk with *only* the parameters tainted (no registry
+    sources, no cross-call summaries — this is the one-level half).
+    Sanitizers still apply: ``len(v)`` in an exception message does not
+    make ``v`` a sink parameter.
+    """
+    from repro.lint.registry import default_registry
+
+    params = set(_function_params(func))
+    if not params:
+        return {}
+    sanitizers = set(default_registry().sanitizers)
+    checker = TaintChecker(set(params), set(), sanitizers)
+    result: Dict[str, Set[str]] = {}
+
+    def on_hit(rule: str, node: ast.AST, exprs: List[ast.AST], _desc: str) -> None:
+        for expr in exprs:
+            if not checker.tainted(expr):
+                continue
+            for name in _unsanitized_names(expr, sanitizers):
+                if name in params:
+                    result.setdefault(name, set()).add(rule)
+
+    in_exc_class = _encloses_exception_class(parsed, func)
+    scan_sinks(
+        func,
+        parsed,
+        wire_import_names(parsed),
+        on_hit,
+        index=None,
+        in_exception_class=in_exc_class,
+        repr_scope=func.name in _REPR_METHODS,
+    )
+    return result
+
+
+def _unsanitized_names(expr: ast.AST, sanitizers: Set[str]) -> Set[str]:
+    """Names in ``expr`` reachable without crossing a sanitizer call."""
+    names: Set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, ast.Call) and call_name(node) in sanitizers:
+            return
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(expr)
+    return names
+
+
+def _encloses_exception_class(parsed: ParsedModule, func: ast.AST) -> bool:
+    for node in ast.walk(parsed.tree):
+        if isinstance(node, ast.ClassDef) and func in ast.walk(node):
+            if any(
+                isinstance(base, ast.Name) and _EXCEPTION_BASE.search(base.id)
+                or isinstance(base, ast.Attribute)
+                and _EXCEPTION_BASE.search(base.attr)
+                for base in node.bases
+            ):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Module check
+# ---------------------------------------------------------------------------
+
+
+def _dataclass_decoration(node: ast.ClassDef) -> Optional[ast.AST]:
+    for deco in node.decorator_list:
+        name = ""
+        if isinstance(deco, ast.Name):
+            name = deco.id
+        elif isinstance(deco, ast.Attribute):
+            name = deco.attr
+        elif isinstance(deco, ast.Call):
+            name = call_name(deco)
+        if name == "dataclass":
+            return deco
+    return None
+
+
+def _dataclass_repr_disabled(deco: ast.AST) -> bool:
+    if isinstance(deco, ast.Call):
+        for keyword in deco.keywords:
+            if (
+                keyword.arg == "repr"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            ):
+                return True
+    return False
+
+
+def _field_repr_disabled(value: Optional[ast.AST]) -> bool:
+    if isinstance(value, ast.Call) and call_name(value) == "field":
+        for keyword in value.keywords:
+            if (
+                keyword.arg == "repr"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            ):
+                return True
+    return False
+
+
+def check_module(
+    parsed: ParsedModule, index: SummaryIndex, registry: TaintRegistry
+) -> List[Finding]:
+    findings: List[Finding] = []
+    secret_names = registry.secret_names_for(parsed.module)
+    secret_names |= parsed.annotated_secret_names
+    sanitizers = set(registry.sanitizers)
+    wire_imports = wire_import_names(parsed)
+    quals = qualname_index(parsed.tree)
+
+    def emit(rule: str, node: ast.AST, message: str, symbol: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        findings.append(
+            Finding(
+                rule=rule,
+                path=parsed.rel_path,
+                line=lineno,
+                col=getattr(node, "col_offset", 0) + 1,
+                symbol=symbol,
+                message=message,
+                snippet=parsed.snippet(lineno),
+                end_line=getattr(node, "end_lineno", lineno),
+            )
+        )
+
+    def scan_scope(scope: ast.AST, symbol: str, in_exc_class: bool) -> None:
+        repr_scope = (
+            isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and scope.name in _REPR_METHODS
+        )
+        env = build_env(scope, parsed, secret_names, sanitizers)
+        checker = TaintChecker(env, secret_names, sanitizers)
+
+        def on_hit(rule: str, node: ast.AST, exprs: List[ast.AST], desc: str) -> None:
+            for expr in exprs:
+                if checker.tainted(expr):
+                    emit(rule, node, f"secret value flows into {desc}", symbol)
+                    return
+
+        scan_sinks(
+            scope,
+            parsed,
+            wire_imports,
+            on_hit,
+            index,
+            in_exception_class=in_exc_class,
+            repr_scope=repr_scope,
+        )
+
+    # Function scopes (nested functions are rescanned with their own env;
+    # duplicate findings are deduplicated by the runner).
+    for node, qual in quals.items():
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_scope(node, qual, _encloses_exception_class(parsed, node))
+
+    # Module scope (skip function/class bodies — covered above).
+    module_scope = ast.Module(body=[], type_ignores=[])
+    module_scope.body = [
+        stmt
+        for stmt in parsed.tree.body
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    ]
+    if module_scope.body:
+        scan_scope(module_scope, "<module>", False)
+
+    # Dataclass auto-repr of secret fields.
+    for node, qual in quals.items():
+        if not isinstance(node, ast.ClassDef):
+            continue
+        deco = _dataclass_decoration(node)
+        if deco is None or _dataclass_repr_disabled(deco):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name
+            ):
+                continue
+            name = stmt.target.id
+            if name in secret_names or _statement_annotated(stmt, parsed):
+                if not _field_repr_disabled(stmt.value):
+                    emit(
+                        "R-TAINT-REPR",
+                        stmt,
+                        f"dataclass auto-repr exposes secret field {name!r}; "
+                        "use field(repr=False)",
+                        qual,
+                    )
+    return findings

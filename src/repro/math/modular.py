@@ -31,8 +31,8 @@ def mod_inverse(a: int, m: int) -> int:
 
     Fast path: CPython's native ``pow(a, -1, m)`` (C-level extended gcd,
     ~10× faster than the Python loop at cryptographic sizes).  The
-    :func:`egcd` fallback is kept for the non-invertible case so the
-    error still reports the offending gcd.
+    non-invertible case re-raises with a message that names only the
+    modulus — ``a`` may be a secret exponent.
 
     Raises
     ------
@@ -45,8 +45,8 @@ def mod_inverse(a: int, m: int) -> int:
     try:
         return pow(a, -1, m)
     except ValueError:
-        g, _, _ = egcd(a, m)
-        raise ValueError(f"{a} is not invertible modulo {m} (gcd={g})") from None
+        # Callers pass secret exponents here; echo the modulus, never the value.
+        raise ValueError(f"value is not invertible modulo {m}") from None
 
 
 def jacobi_symbol(a: int, n: int) -> int:
@@ -92,7 +92,7 @@ def mod_sqrt(a: int, p: int) -> int:
     if p == 2:
         return a
     if jacobi_symbol(a, p) != 1:
-        raise ValueError(f"{a} is not a quadratic residue modulo {p}")
+        raise ValueError(f"value is not a quadratic residue modulo {p}")
     if p % 4 == 3:
         root = pow(a, (p + 1) // 4, p)
         return min(root, p - root)
@@ -151,7 +151,8 @@ def int_to_bits(value: int, width: int) -> List[int]:
     if value < 0:
         raise ValueError("int_to_bits expects a non-negative integer")
     if value >> width:
-        raise ValueError(f"{value} does not fit in {width} bits")
+        # Gains/masked values are decomposed here; report size only.
+        raise ValueError(f"value does not fit in {width} bits")
     return [(value >> i) & 1 for i in range(width)]
 
 
@@ -160,6 +161,6 @@ def int_from_bits(bits: List[int]) -> int:
     value = 0
     for i, bit in enumerate(bits):
         if bit not in (0, 1):
-            raise ValueError(f"bit at index {i} is {bit}, expected 0 or 1")
+            raise ValueError(f"bit at index {i} is not 0 or 1")
         value |= bit << i
     return value

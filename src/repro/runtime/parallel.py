@@ -27,9 +27,10 @@ evaluators live at module level here.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pickle import PicklingError
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -65,9 +66,9 @@ class ShuffleJob:
 
     group: Group
     ciphertexts: Tuple[Ciphertext, ...]
-    secret: int
-    rerandomizers: Optional[Tuple[int, ...]]
-    permutation: Optional[Tuple[int, ...]]
+    secret: int = field(repr=False)  # repro: secret
+    rerandomizers: Optional[Tuple[int, ...]] = field(repr=False)  # repro: secret
+    permutation: Optional[Tuple[int, ...]] = field(repr=False)  # repro: secret
 
 
 @dataclass(frozen=True)
@@ -84,10 +85,12 @@ class MixHopJob:
 
     group: Group
     ciphertexts: Tuple[Ciphertext, ...]
-    secret: int
+    secret: int = field(repr=False)  # repro: secret
     remaining_key: object
-    rerandomizers: Optional[Tuple[int, ...]]  # None on the last hop
-    rerandomizer_pairs: Optional[Tuple[Tuple[object, object], ...]] = None
+    rerandomizers: Optional[Tuple[int, ...]] = field(repr=False)  # repro: secret
+    rerandomizer_pairs: Optional[Tuple[Tuple[object, object], ...]] = field(
+        default=None, repr=False
+    )  # repro: secret
 
 
 # ---------------------------------------------------------------------------
@@ -145,6 +148,8 @@ def evaluate_mix_hop_job(job: MixHopJob) -> Tuple[List[Ciphertext], OperationCou
         distkey = DistributedKey(job.group)
         processed: List[Ciphertext] = []
         for index, ciphertext in enumerate(job.ciphertexts):
+            # repro-lint: ignore[R-GUARD] -- job ciphertexts were membership-
+            # checked at receipt (mixnet validate_from) before slicing
             peeled = distkey.peel_layer(ciphertext, job.secret)
             if job.rerandomizer_pairs is not None:
                 g_r, y_r = job.rerandomizer_pairs[index]
@@ -212,6 +217,20 @@ class WorkerPool:
         """
         if not self.parallel or len(jobs) <= 1:
             return [fn(job) for job in jobs]
+        # Pre-flight the payload: an unpicklable fn/job that reaches the
+        # executor fails inside its queue-feeder thread and leaves the pool
+        # in a state whose teardown can deadlock (CPython gh-94777), so it
+        # must never be submitted at all.  Jobs are homogeneous dataclasses;
+        # checking the first is representative.
+        try:
+            pickle.dumps(fn)
+            pickle.dumps(jobs[0])
+        # repro-lint: ignore[R-EXCEPT] -- probe failure just means "run
+        # inline"; no worker ran, so there is no blamed abort to swallow
+        except Exception:
+            self._broken = True
+            self.shutdown()
+            return [fn(job) for job in jobs]
         try:
             executor = self._ensure_executor()
             chunksize = max(1, len(jobs) // (4 * self.workers))
@@ -231,13 +250,20 @@ class WorkerPool:
             raise
 
     def shutdown(self) -> None:
+        # wait=True: callers only shut down between batches, when workers
+        # are idle, so the join is cheap — and leaving the executor's
+        # management thread winding down asynchronously deadlocks with
+        # concurrent.futures' atexit join if the interpreter exits during
+        # that window (bpo-39104).
         if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
         try:
             self.shutdown()
+        # repro-lint: ignore[R-EXCEPT] -- nothing to re-raise into during
+        # interpreter teardown; swallowing is the point of this guard
         except Exception:
             pass
 

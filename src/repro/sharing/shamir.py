@@ -8,7 +8,7 @@ independent of the secret.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.math.modular import mod_inverse
@@ -20,7 +20,7 @@ class Share:
     """One party's share: the evaluation point and value."""
 
     x: int
-    y: int
+    y: int = field(repr=False)  # repro: secret
 
 
 class ShamirScheme:

@@ -1,0 +1,6 @@
+"""Fixture: ``# repro: secret`` annotation marks a local as a source."""
+
+
+def leak_annotated():
+    nonce = 7  # repro: secret
+    print("drew nonce", nonce)

@@ -1,0 +1,7 @@
+"""Fixture: direct stdlib randomness outside repro.math.rng (R-RNG)."""
+
+import random
+
+
+def draw():
+    return random.randrange(10)

@@ -1,0 +1,9 @@
+"""Fixture: sanitized secret use — must produce no findings."""
+
+
+def mask_gain(scheme, public_key, rho, rng):
+    return scheme.encrypt(rho, public_key, rng)
+
+
+def describe(values):
+    raise ValueError(f"expected 3 entries, got {len(values)}")

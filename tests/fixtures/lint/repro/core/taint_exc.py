@@ -1,0 +1,5 @@
+"""Fixture: secret interpolated into an exception message (R-TAINT-EXC)."""
+
+
+def leak_exc(secret_key):
+    raise ValueError(f"bad key {secret_key}")

@@ -1,0 +1,5 @@
+"""Fixture: registry-sourced secret reaches a logging sink (R-TAINT-LOG)."""
+
+
+def leak_log(rho):
+    print("masking with", rho)

@@ -1,0 +1,5 @@
+"""Fixture: inline waiver suppresses an acknowledged finding."""
+
+
+def waived(rho):
+    print("rho", rho)  # repro-lint: ignore[R-TAINT-LOG] -- fixture waiver

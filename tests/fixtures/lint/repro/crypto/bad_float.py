@@ -1,0 +1,5 @@
+"""Fixture: true division inside crypto code (R-FLOAT)."""
+
+
+def half(x):
+    return x / 2

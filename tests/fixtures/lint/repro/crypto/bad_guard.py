@@ -1,0 +1,5 @@
+"""Fixture: decrypt without a dominating validation check (R-GUARD)."""
+
+
+def sloppy_decrypt(scheme, ciphertext, secret_key):
+    return scheme.decrypt(ciphertext, secret_key)

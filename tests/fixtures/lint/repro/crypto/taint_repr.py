@@ -1,0 +1,9 @@
+"""Fixture: dataclass auto-repr exposes a secret field (R-TAINT-REPR)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LeakyShare:
+    party_id: int
+    secret: int

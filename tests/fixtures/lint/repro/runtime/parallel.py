@@ -1,0 +1,9 @@
+"""Fixture: worker-job code drawing randomness (R-POOL).
+
+The file name matters: module resolution maps it to
+``repro.runtime.parallel``, the one module the R-POOL rule watches.
+"""
+
+
+def evaluate_bad_job(job, rng):
+    return rng.randrange(job.size)

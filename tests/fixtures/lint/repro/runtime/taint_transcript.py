@@ -1,0 +1,5 @@
+"""Fixture: secret recorded into a transcript (R-TAINT-TRANSCRIPT)."""
+
+
+def leak_transcript(transcript, rho):
+    transcript.record("gain-mask", rho)

@@ -1,0 +1,7 @@
+"""Fixture: secret fed to a wire encoder (R-TAINT-WIRE)."""
+
+from repro.runtime.wire import encode_varint
+
+
+def leak_wire(secret_exponent):
+    return encode_varint(secret_exponent)

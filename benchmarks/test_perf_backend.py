@@ -1,0 +1,138 @@
+"""Wall-clock benchmark of the arithmetic backend seam.
+
+Times the primitive that dominates every protocol phase — full-width
+modular exponentiation — at the paper's real group sizes (DL-1024 and
+DL-2048) under the pure-python reference and, when installed, the gmpy2
+backend, plus the end-to-end ``DLGroup.exp`` path (seam dispatch +
+metering included) at 2048 bits.
+
+Acceptance bar (only enforced where gmpy2 exists — CI's nightly backend
+job): ≥ 5× on 2048-bit exponentiation.  The python-only portion always
+runs, so the bench also acts as a smoke test of the seam's dispatch
+overhead: ``DLGroup.exp`` must stay within 25 % of a raw ``pow`` call.
+
+Emits machine-readable ``results/BENCH_backend.json`` with ``null``
+gmpy2 fields when the library is absent.  With ``REPRO_BENCH_ENFORCE=1``
+the measured gmpy2 speedup is compared against the committed number and
+fails on a > 20 % regression (skipped while the committed artifact
+predates any gmpy2-capable runner).  Marked ``perf``: not part of
+tier-1.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.harness import RESULTS_DIR, write_result
+from repro.groups.dl import DLGroup
+from repro.math import backend
+from repro.math.backend import Gmpy2Backend, PythonBackend
+from repro.math.rng import SeededRNG
+
+pytestmark = pytest.mark.perf
+
+HAVE_GMPY2 = importlib.util.find_spec("gmpy2") is not None
+SIZES = (1024, 2048)
+REPS = {1024: 40, 2048: 12}
+MIN_SPEEDUP_2048 = 5.0
+MAX_DISPATCH_OVERHEAD = 0.25
+REGRESSION_TOLERANCE = 0.20
+
+
+def _workload(group, reps):
+    rng = SeededRNG(7)
+    p, q = group.modulus, group.order
+    bases = [rng.randint(2, p - 1) for _ in range(reps)]
+    exponents = [rng.randint(1, q - 1) for _ in range(reps)]
+    return p, list(zip(bases, exponents))
+
+
+def _time_powmod(impl, p, pairs):
+    impl.powmod(*pairs[0], p)  # warm
+    checksum = 0
+    t0 = time.perf_counter()
+    for base, exponent in pairs:
+        checksum ^= impl.powmod(base, exponent, p)
+    return (time.perf_counter() - t0) / len(pairs), checksum
+
+
+def _time_group_exp(group, pairs):
+    group.exp(*pairs[0])  # warm
+    t0 = time.perf_counter()
+    for base, exponent in pairs:
+        group.exp(base, exponent)
+    return (time.perf_counter() - t0) / len(pairs)
+
+
+def test_backend_speedup():
+    python = PythonBackend()
+    native = Gmpy2Backend() if HAVE_GMPY2 else None
+
+    sizes_payload = {}
+    speedup_2048 = None
+    for bits in SIZES:
+        group = DLGroup.standard(bits)
+        p, pairs = _workload(group, REPS[bits])
+        python_s, python_sum = _time_powmod(python, p, pairs)
+        entry = {
+            "python_modexp_ms": round(python_s * 1e3, 3),
+            "gmpy2_modexp_ms": None,
+            "speedup": None,
+        }
+        if native is not None:
+            native_s, native_sum = _time_powmod(native, p, pairs)
+            # Equivalence before speed: same math or the number is void.
+            assert native_sum == python_sum
+            entry["gmpy2_modexp_ms"] = round(native_s * 1e3, 3)
+            entry["speedup"] = round(python_s / native_s, 2)
+            if bits == 2048:
+                speedup_2048 = python_s / native_s
+        sizes_payload[str(bits)] = entry
+
+    # End-to-end seam path at 2048 bits: group.exp = meter + dispatch +
+    # active-backend powmod.
+    group = DLGroup.standard(2048)
+    p, pairs = _workload(group, REPS[2048])
+    with backend.use_backend("python"):
+        group_exp_s = _time_group_exp(group, pairs)
+    raw_s, _ = _time_powmod(python, p, pairs)
+    dispatch_overhead = group_exp_s / raw_s - 1.0
+
+    payload = {
+        "bench": "arithmetic_backend",
+        "gmpy2_available": HAVE_GMPY2,
+        "sizes": sizes_payload,
+        "group_exp_2048_ms": round(group_exp_s * 1e3, 3),
+        "dispatch_overhead": round(dispatch_overhead, 4),
+        "speedup_2048": round(speedup_2048, 2) if speedup_2048 else None,
+    }
+
+    committed_path = RESULTS_DIR / "BENCH_backend.json"
+    committed_speedup = None
+    if committed_path.exists():
+        committed_speedup = json.loads(committed_path.read_text()).get(
+            "speedup_2048"
+        )
+    write_result("BENCH_backend", json.dumps(payload, indent=2), suffix="json")
+
+    assert dispatch_overhead <= MAX_DISPATCH_OVERHEAD, payload
+    if HAVE_GMPY2:
+        assert speedup_2048 >= MIN_SPEEDUP_2048, payload
+
+    # Nightly gate: only meaningful once a gmpy2-capable runner has
+    # committed a baseline number AND this runner has gmpy2 too.
+    if (
+        os.environ.get("REPRO_BENCH_ENFORCE", "") == "1"
+        and committed_speedup
+        and speedup_2048
+    ):
+        floor = committed_speedup * (1.0 - REGRESSION_TOLERANCE)
+        assert speedup_2048 >= floor, (
+            f"speedup regressed: {speedup_2048:.2f}x vs committed "
+            f"{committed_speedup:.2f}x (floor {floor:.2f}x)"
+        )

@@ -11,6 +11,9 @@ echo "== demo with batching + streaming on =="
 PYTHONPATH=src python -m repro demo -n 5 --zkp fiat-shamir \
     --batch-verify --bit-proofs --streaming --chunk-sets 2
 
+echo "== demo with auto-detected arithmetic backend =="
+PYTHONPATH=src python -m repro demo -n 4 --backend auto
+
 echo "== protocol lint (taint + invariants) =="
 PYTHONPATH=src python -m repro.lint --strict
 

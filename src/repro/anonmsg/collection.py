@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.anonmsg.encoding import decode_message, encode_message
 from repro.anonmsg.mixnet import DecryptionMixnet, StreamingMixHop
 from repro.groups.dl import DLGroup
+from repro.math import backend as arith_backend
 from repro.math.rng import RNG, SeededRNG
 from repro.runtime.channels import WireStats, WireTransport
 from repro.runtime.engine import Engine
@@ -180,7 +181,7 @@ class AnonymousCollection:
 def run_anonymous_collection(
     group: DLGroup, messages: List[int], rng: Optional[RNG] = None,
     *, stream_chunk: int = 0, wire: str = "declared",
-    wire_codec: str = "v2", coalesce: bool = True,
+    wire_codec: str = "v2", coalesce: bool = True, backend: str = "auto",
 ) -> AnonymousCollection:
     """Convenience one-call runner: returns the collector's view.
 
@@ -190,7 +191,11 @@ def run_anonymous_collection(
     :class:`~repro.core.parties.FrameworkConfig`: ``"declared"`` keeps
     the analytic sizes above, ``"measured"``/``"conformance"`` route
     every message through a :class:`~repro.runtime.channels.WireTransport`
-    (codec ``wire_codec``, per-round batching per ``coalesce``)."""
+    (codec ``wire_codec``, per-round batching per ``coalesce``).
+    ``backend`` scopes the run to an arithmetic backend
+    (:mod:`repro.math.backend`; ``"auto"`` keeps the active one) —
+    transcript-equivalent, so the collected multiset, round count, and
+    wire bytes are identical whichever backend runs."""
     rng = rng or SeededRNG(0)
     n = len(messages)
     if n < 2:
@@ -201,14 +206,16 @@ def run_anonymous_collection(
     if wire != "declared":
         transport = WireTransport(group, codec=wire_codec,
                                   coalesce=coalesce, mode=wire)
-    engine = Engine(metered_groups=[group], wire=transport)
-    engine.add_party(CollectorParty(group, n, _fork(rng, "collector")))
-    for member_id, message in enumerate(messages, start=1):
-        engine.add_party(
-            MemberParty(member_id, group, n, message, _fork(rng, f"m{member_id}"),
-                        stream_chunk=stream_chunk)
-        )
-    outputs = engine.run()
+    with arith_backend.use_backend(backend):
+        engine = Engine(metered_groups=[group], wire=transport)
+        engine.add_party(CollectorParty(group, n, _fork(rng, "collector")))
+        for member_id, message in enumerate(messages, start=1):
+            engine.add_party(
+                MemberParty(member_id, group, n, message,
+                            _fork(rng, f"m{member_id}"),
+                            stream_chunk=stream_chunk)
+            )
+        outputs = engine.run()
     return AnonymousCollection(
         messages=outputs[0],
         rounds=engine.transcript.rounds,

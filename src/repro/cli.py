@@ -47,6 +47,7 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--chunk-sets", type=int, default=1, metavar="C",
                       help="ciphertext sets per streamed chunk (with --streaming)")
     _add_wire_flags(demo)
+    _add_backend_flag(demo)
 
     games = sub.add_parser("games", help="run the security games")
     games.add_argument("--trials", type=int, default=16)
@@ -55,6 +56,7 @@ def _build_parser() -> argparse.ArgumentParser:
     netsim.add_argument("-n", "--participants", type=int, default=6)
     netsim.add_argument("--seed", type=int, default=1)
     _add_wire_flags(netsim)
+    _add_backend_flag(netsim)
 
     sub.add_parser("curves", help="verify and list bundled group parameters")
 
@@ -68,6 +70,17 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--network", action="store_true",
                       help="include network time on the reference topology")
     return parser
+
+
+def _add_backend_flag(command: argparse.ArgumentParser) -> None:
+    from repro.math import backend as arith_backend
+
+    command.add_argument(
+        "--backend", choices=arith_backend.backend_choices(), default="auto",
+        help="arithmetic backend: auto (default; gmpy2 when installed, else "
+             "pure python), python, or gmpy2 — transcript-equivalent, "
+             "changes speed only",
+    )
 
 
 def _add_wire_flags(command: argparse.ArgumentParser) -> None:
@@ -149,6 +162,7 @@ def cmd_demo(args, out) -> int:
         wire=args.wire,
         wire_codec=args.wire_codec,
         coalesce=args.coalesce,
+        backend=args.backend,
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)
@@ -158,8 +172,12 @@ def cmd_demo(args, out) -> int:
         ("batch-verify", args.batch_verify), ("bit-proofs", args.bit_proofs),
         ("streaming", args.streaming),
     ) if on]
+    from repro.math import backend as arith_backend
+
+    ran_backend = (arith_backend.active_backend_name()
+                   if args.backend == "auto" else args.backend)
     print(f"group: {config.group.name}   n={args.participants}  k={args.top}  "
-          f"l={config.beta_bits} bits  zkp={args.zkp}"
+          f"l={config.beta_bits} bits  zkp={args.zkp}  backend={ran_backend}"
           + (f"  [{' '.join(flags)}]" if flags else ""), file=out)
     print("ranks:", dict(sorted(result.ranks.items())), file=out)
     print("selected:", result.selected_ids(),
@@ -238,6 +256,7 @@ def cmd_netsim(args, out) -> int:
         group=make_test_group(), schema=schema,
         num_participants=args.participants, k=2, rho_bits=8,
         wire=args.wire, wire_codec=args.wire_codec, coalesce=args.coalesce,
+        backend=args.backend,
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)

@@ -49,6 +49,7 @@ from repro.core.parties import (
     ParticipantParty,
     phase_of_tag,
 )
+from repro.math import backend
 from repro.math.rng import RNG, SeededRNG
 from repro.runtime.channels import WireStats, WireTransport
 from repro.runtime.engine import Engine
@@ -119,7 +120,19 @@ class GroupRankingFramework:
         caller (naming the blamed party).  With it, blamed participants
         are excluded and the run restarts over the survivors until it
         completes or fewer than 2 participants remain.
+
+        The whole run (every retry attempt included) executes under
+        ``config.backend``; the previous process-wide backend is
+        restored on exit.  Backends are transcript-equivalent, so this
+        scoping affects speed only.
         """
+        with backend.use_backend(self.config.backend):
+            return self._run_with_recovery(faults)
+
+    def _run_with_recovery(
+        self,
+        faults: Union[FaultInjector, Sequence[FaultSpec], None],
+    ) -> FrameworkResult:
         config = self.config
         injector = self._make_injector(faults)
         active = list(config.participant_ids)

@@ -116,6 +116,12 @@ class FrameworkConfig:
     * ``workers`` — process-pool width for the comparison and shuffle
       fan-out.  ``1`` (default) runs fully serial; any value produces
       the same ranks and a byte-identical transcript for the same seed.
+    * ``backend`` — arithmetic backend for all bigint work
+      (:mod:`repro.math.backend`): ``"auto"`` (default; keep the
+      import-time detection — gmpy2 when importable, else pure python),
+      ``"python"``, or ``"gmpy2"``.  Backends are transcript-equivalent:
+      the choice changes wall-clock speed only, never values, operation
+      counts, or wire bytes.
     * ``batch_verify`` — verify each round's key-knowledge proofs (and,
       with ``bit_proofs``, all bit-validity proofs) with ONE
       random-linear-combination multi-exponentiation instead of one pair
@@ -192,10 +198,17 @@ class FrameworkConfig:
     wire: str = "declared"          # or "measured" / "conformance"
     wire_codec: str = "v2"          # or "v1"
     coalesce: bool = True           # batch per (sender, receiver, round)
+    backend: str = "auto"           # arithmetic backend: "auto"/"python"/"gmpy2"
 
     def __post_init__(self):
         if self.zkp_mode not in ("interactive", "fiat-shamir"):
             raise ValueError("zkp_mode must be 'interactive' or 'fiat-shamir'")
+        from repro.math import backend as arith_backend
+
+        if self.backend not in arith_backend.backend_choices():
+            raise ValueError(
+                f"backend must be one of {arith_backend.backend_choices()}"
+            )
         if self.wire not in ("declared", "measured", "conformance"):
             raise ValueError(
                 "wire must be 'declared', 'measured' or 'conformance'"

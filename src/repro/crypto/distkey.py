@@ -6,6 +6,11 @@ to nobody), and a ciphertext ``(c, c')`` under ``y`` is decrypted in
 layers: each party replaces ``c`` by ``c / c'^{x_i}``.  Once every
 share-holder has peeled her layer the residue is the plaintext (for the
 exponential scheme, ``g^M``).
+
+Keying and layered decryption are written entirely over the abstract
+``group`` operations, so they inherit whatever arithmetic backend
+(:mod:`repro.math.backend`) the group dispatches to — no direct
+big-integer arithmetic lives in this module.
 """
 
 from __future__ import annotations

@@ -26,6 +26,11 @@ operation pattern exactly):
 
 Either switch changes *cost only*: the produced group elements are
 identical to the plain path for the same randomness.
+
+All arithmetic here goes through ``group.mul``/``group.exp``, which
+concrete groups route through :mod:`repro.math.backend` — selecting the
+gmpy2 backend accelerates every ElGamal operation without any change in
+this module, and without perturbing ciphertexts or transcripts.
 """
 
 from __future__ import annotations

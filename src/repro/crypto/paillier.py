@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.math import backend
 from repro.math.modular import mod_inverse
 from repro.math.primes import random_prime
 from repro.math.rng import RNG, SystemRNG
@@ -92,10 +93,12 @@ class Paillier:
         message %= n
         while True:
             r = rng.rand_nonzero(n)
-            if _gcd(r, n) == 1:
+            if backend.gcd(r, n) == 1:
                 break
         gm = (1 + message * n) % n2
-        return PaillierCiphertext(value=gm * pow(r, n, n2) % n2)
+        return PaillierCiphertext(
+            value=backend.mulmod(gm, backend.powmod(r, n, n2), n2)
+        )
 
     @staticmethod
     def _require_valid(
@@ -107,7 +110,7 @@ class Paillier:
         value = ciphertext.value
         if not isinstance(value, int) or not 0 < value < public.n_squared:
             raise ValueError(f"refusing to {operation} an out-of-range ciphertext")
-        if _gcd(value, public.n) != 1:
+        if backend.gcd(value, public.n) != 1:
             raise ValueError(f"refusing to {operation} a non-unit ciphertext")
 
     @staticmethod
@@ -120,7 +123,7 @@ class Paillier:
         """
         Paillier._require_valid(ciphertext, private.public, "decrypt")
         n, n2 = private.public.n, private.public.n_squared
-        u = pow(ciphertext.value, private.lam, n2)
+        u = backend.powmod(ciphertext.value, private.lam, n2)
         return _l_function(u, n) * private.mu % n
 
     # -- homomorphisms -------------------------------------------------------
@@ -128,20 +131,26 @@ class Paillier:
     def add(
         a: PaillierCiphertext, b: PaillierCiphertext, public: PaillierPublicKey
     ) -> PaillierCiphertext:
-        return PaillierCiphertext(value=a.value * b.value % public.n_squared)
+        return PaillierCiphertext(
+            value=backend.mulmod(a.value, b.value, public.n_squared)
+        )
 
     @staticmethod
     def add_plain(
         a: PaillierCiphertext, m: int, public: PaillierPublicKey
     ) -> PaillierCiphertext:
         gm = (1 + (m % public.n) * public.n) % public.n_squared
-        return PaillierCiphertext(value=a.value * gm % public.n_squared)
+        return PaillierCiphertext(
+            value=backend.mulmod(a.value, gm, public.n_squared)
+        )
 
     @staticmethod
     def scalar_mul(
         a: PaillierCiphertext, k: int, public: PaillierPublicKey
     ) -> PaillierCiphertext:
-        return PaillierCiphertext(value=pow(a.value, k % public.n, public.n_squared))
+        return PaillierCiphertext(
+            value=backend.powmod(a.value, k % public.n, public.n_squared)
+        )
 
     @staticmethod
     def negate(a: PaillierCiphertext, public: PaillierPublicKey) -> PaillierCiphertext:
@@ -155,9 +164,11 @@ class Paillier:
         n, n2 = public.n, public.n_squared
         while True:
             r = rng.rand_nonzero(n)
-            if _gcd(r, n) == 1:
+            if backend.gcd(r, n) == 1:
                 break
-        return PaillierCiphertext(value=a.value * pow(r, n, n2) % n2)
+        return PaillierCiphertext(
+            value=backend.mulmod(a.value, backend.powmod(r, n, n2), n2)
+        )
 
     @staticmethod
     def ciphertext_bits(public: PaillierPublicKey) -> int:
@@ -170,11 +181,5 @@ def _l_function(u: int, n: int) -> int:
     return (u - 1) // n
 
 
-def _gcd(a: int, b: int) -> int:
-    while b:
-        a, b = b, a % b
-    return a
-
-
 def _lcm(a: int, b: int) -> int:
-    return a // _gcd(a, b) * b
+    return a // backend.gcd(a, b) * b

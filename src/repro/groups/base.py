@@ -12,8 +12,9 @@ representation; it calls the group's methods.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.math.rng import RNG
 
@@ -22,12 +23,21 @@ Element = Any
 
 @dataclass
 class OperationCounter:
-    """Tally of group operations, attachable to one or more groups."""
+    """Tally of group operations, attachable to one or more groups.
+
+    Membership checks are tallied separately (``membership_checks`` /
+    ``membership_cache_hits``) and deliberately excluded from
+    :attr:`equivalent_multiplications`: validation is unmetered in the
+    paper's cost model, and the counters exist to quantify how much the
+    per-group membership memo saves.
+    """
 
     multiplications: int = 0
     exponentiations: int = 0
     exponent_bits: int = 0
     inversions: int = 0
+    membership_checks: int = 0
+    membership_cache_hits: int = 0
 
     def record_mul(self, count: int = 1) -> None:
         self.multiplications += count
@@ -38,6 +48,11 @@ class OperationCounter:
 
     def record_inv(self, count: int = 1) -> None:
         self.inversions += count
+
+    def record_membership(self, hit: bool) -> None:
+        self.membership_checks += 1
+        if hit:
+            self.membership_cache_hits += 1
 
     @property
     def equivalent_multiplications(self) -> int:
@@ -54,6 +69,8 @@ class OperationCounter:
             exponentiations=self.exponentiations,
             exponent_bits=self.exponent_bits,
             inversions=self.inversions,
+            membership_checks=self.membership_checks,
+            membership_cache_hits=self.membership_cache_hits,
         )
 
     def merge(self, other: "OperationCounter") -> None:
@@ -68,6 +85,8 @@ class OperationCounter:
         self.exponentiations += other.exponentiations
         self.exponent_bits += other.exponent_bits
         self.inversions += other.inversions
+        self.membership_checks += other.membership_checks
+        self.membership_cache_hits += other.membership_cache_hits
 
     def diff(self, earlier: "OperationCounter") -> "OperationCounter":
         return OperationCounter(
@@ -75,6 +94,10 @@ class OperationCounter:
             exponentiations=self.exponentiations - earlier.exponentiations,
             exponent_bits=self.exponent_bits - earlier.exponent_bits,
             inversions=self.inversions - earlier.inversions,
+            membership_checks=self.membership_checks - earlier.membership_checks,
+            membership_cache_hits=(
+                self.membership_cache_hits - earlier.membership_cache_hits
+            ),
         )
 
     def reset(self) -> None:
@@ -82,6 +105,8 @@ class OperationCounter:
         self.exponentiations = 0
         self.exponent_bits = 0
         self.inversions = 0
+        self.membership_checks = 0
+        self.membership_cache_hits = 0
 
 
 @dataclass
@@ -98,9 +123,14 @@ class Group:
     #: caches stop growing and further elements are encoded directly.
     SERIALIZE_CACHE_MAX = 4096
 
+    #: Cap on the membership-check memo (LRU; see
+    #: :meth:`_membership_cached`).
+    MEMBERSHIP_CACHE_MAX = 4096
+
     def __post_init__(self) -> None:
         self._serialize_cache: dict = {}
         self._deserialize_cache: dict = {}
+        self._membership_cache: "OrderedDict" = OrderedDict()
 
     # -- facts subclasses must provide ------------------------------------
     @property
@@ -212,6 +242,32 @@ class Group:
             if len(cache) < self.SERIALIZE_CACHE_MAX:
                 cache[a] = data
         return data
+
+    def _membership_cached(self, key: Any, compute: Callable[[], bool]) -> bool:
+        """Bounded LRU memo for subgroup-membership verdicts.
+
+        Groups are immutable, so a membership verdict never changes —
+        the memo needs no invalidation.  Protocol runs re-validate the
+        same elements constantly (``validate_elements`` checks every
+        received ciphertext component, and hot elements like ``g``,
+        ``y`` and pooled pairs recur across rounds), so the residue /
+        scalar-multiplication test is paid once per distinct element.
+        Hits and misses are tallied on the attached
+        :class:`OperationCounter` (``membership_*`` fields); the check
+        itself stays unmetered, matching the paper's cost model.
+        """
+        cache = self._membership_cache
+        verdict = cache.get(key)
+        if verdict is not None:
+            cache.move_to_end(key)
+            self.counter.record_membership(hit=True)
+            return verdict
+        verdict = bool(compute())
+        self.counter.record_membership(hit=False)
+        cache[key] = verdict
+        if len(cache) > self.MEMBERSHIP_CACHE_MAX:
+            cache.popitem(last=False)
+        return verdict
 
     def deserialize_cached(self, data: bytes) -> Element:
         """:meth:`deserialize` with a bounded per-group memo.

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.groups.base import Element, Group, OperationCounter
+from repro.math import backend
 from repro.math.modular import jacobi_symbol, mod_inverse
 from repro.math.primes import is_safe_prime, modp_safe_prime, random_safe_prime
 from repro.math.rng import RNG
@@ -83,14 +84,18 @@ class DLGroup(Group):
         return 1
 
     # -- operations -------------------------------------------------------------
+    # Arithmetic dispatches through repro.math.backend at call time, so
+    # the active backend (pure python or gmpy2) accelerates every group
+    # operation; the counter is recorded above the seam, keeping the
+    # paper's operation accounting backend-independent.
     def mul(self, a: int, b: int) -> int:
         self.counter.record_mul()
-        return a * b % self._p
+        return backend.mulmod(a, b, self._p)
 
     def exp(self, a: int, k: int) -> int:
         k %= self._q
         self.counter.record_exp(self._q.bit_length())
-        return pow(a, k, self._p)
+        return backend.powmod(a, k, self._p)
 
     def inv(self, a: int) -> int:
         self.counter.record_inv()
@@ -100,10 +105,17 @@ class DLGroup(Group):
         return a % self._p == b % self._p
 
     def is_element(self, a: Element) -> bool:
-        return (
-            isinstance(a, int)
-            and 0 < a < self._p
-            and (a == 1 or jacobi_symbol(a, self._p) == 1)
+        # The residue test costs a full-width Jacobi evaluation per
+        # call and protocol runs re-check the same elements constantly,
+        # so verdicts are memoized (bounded LRU; groups are immutable,
+        # hence no invalidation — hit counts land in the counter's
+        # membership_* fields).
+        if not isinstance(a, int) or not 0 < a < self._p:
+            return False
+        if a == 1:
+            return True
+        return self._membership_cached(
+            a, lambda: jacobi_symbol(a, self._p) == 1
         )
 
     def serialize(self, a: int) -> bytes:

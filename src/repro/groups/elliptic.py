@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.groups.base import Element, Group, OperationCounter
+from repro.math import backend
 from repro.math.modular import is_quadratic_residue, mod_inverse, mod_sqrt
 from repro.math.primes import is_prime
 
@@ -129,7 +130,7 @@ class _CurveArithmetic:
             return (0, 1, 0)
         ysq = y * y % p
         s = 4 * x * ysq % p
-        m = (3 * x * x + self.a * pow(z, 4, p)) % p
+        m = (3 * x * x + self.a * backend.powmod(z, 4, p)) % p
         nx = (m * m - 2 * s) % p
         ny = (m * (s - nx) - 8 * ysq * ysq) % p
         nz = 2 * y * z % p
@@ -249,10 +250,22 @@ class EllipticCurveGroup(Group):
             return False
         x, y = a
         p = self._params.p
-        if not (0 <= x < p and 0 <= y < p):
+        if not (
+            isinstance(x, int) and isinstance(y, int)
+            and 0 <= x < p and 0 <= y < p
+        ):
             return False
-        on_curve = (y * y - (x**3 + self._params.a * x + self._params.b)) % p == 0
-        if not on_curve:
+        # Memoized: the on-curve test (and, for cofactor curves, a full
+        # order-n scalar multiplication) is paid once per distinct point.
+        return self._membership_cached(a, lambda: self._check_membership(a))
+
+    def _check_membership(self, a: Tuple[int, int]) -> bool:
+        x, y = a
+        p = self._params.p
+        rhs = (
+            backend.powmod(x, 3, p) + self._params.a * x + self._params.b
+        ) % p
+        if backend.mulmod(y, y, p) != rhs:
             return False
         if self._params.h == 1:
             return True
@@ -276,7 +289,7 @@ class EllipticCurveGroup(Group):
             raise ValueError("bad point compression prefix")
         x = int.from_bytes(data[1:], "big")
         p = self._params.p
-        rhs = (x**3 + self._params.a * x + self._params.b) % p
+        rhs = (backend.powmod(x, 3, p) + self._params.a * x + self._params.b) % p
         if rhs != 0 and not is_quadratic_residue(rhs, p):
             raise ValueError("x is not on the curve")
         y = mod_sqrt(rhs, p)

@@ -10,6 +10,12 @@ fixed-base windowing trade (≈ ``λ/w`` multiplications instead of
 Opt-in: protocols keep calling ``group.exp_generator`` by default; a
 performance-sensitive caller builds a :class:`PrecomputedBase` once and
 reuses it.  The ABL-fixedbase bench quantifies the win on real groups.
+
+Table build and evaluation go through ``group.mul`` only, so they
+inherit the active arithmetic backend (:mod:`repro.math.backend`) and
+its native ``mulmod`` for free; table entries are plain ``int``
+elements on every backend, so a table built under one backend is valid
+under any other.
 """
 
 from __future__ import annotations

@@ -160,7 +160,13 @@ RNG_ALLOWED_MODULES: FrozenSet[str] = frozenset(
 
 #: Module prefixes where float arithmetic is forbidden.
 FLOAT_FORBIDDEN_PREFIXES = ("repro.crypto",)
-FLOAT_FORBIDDEN_MODULES: FrozenSet[str] = frozenset({"repro.math.modular"})
+#: repro.math.backend is the arithmetic seam every group bottoms out in:
+#: a float sneaking in there would corrupt every transcript at once, and
+#: it is deliberately NOT in RNG_ALLOWED_MODULES — backends are
+#: deterministic arithmetic only, randomness never crosses the seam.
+FLOAT_FORBIDDEN_MODULES: FrozenSet[str] = frozenset(
+    {"repro.math.modular", "repro.math.backend"}
+)
 
 #: Module whose worker-job evaluators must not touch an RNG.
 POOL_MODULE = "repro.runtime.parallel"

@@ -3,11 +3,18 @@
 All functions operate on plain Python integers (arbitrary precision) and
 raise :class:`ValueError` on mathematically invalid inputs rather than
 returning sentinel values.
+
+The heavy primitives (inversion, exponentiation, Jacobi) dispatch
+through :mod:`repro.math.backend`, so a native backend (gmpy2)
+accelerates every caller without any of them changing; results are
+identical whichever backend is active.
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
+
+from repro.math import backend
 
 
 def egcd(a: int, b: int) -> Tuple[int, int, int]:
@@ -29,10 +36,11 @@ def egcd(a: int, b: int) -> Tuple[int, int, int]:
 def mod_inverse(a: int, m: int) -> int:
     """Return the inverse of ``a`` modulo ``m``.
 
-    Fast path: CPython's native ``pow(a, -1, m)`` (C-level extended gcd,
-    ~10× faster than the Python loop at cryptographic sizes).  The
-    non-invertible case re-raises with a message that names only the
-    modulus — ``a`` may be a secret exponent.
+    Dispatches through the active arithmetic backend (CPython's
+    ``pow(a, -1, m)`` on the reference path, ``gmpy2.invert`` on the
+    native one).  The non-invertible case raises with a message that
+    names only the modulus — ``a`` may be a secret exponent; both
+    backends honour that contract.
 
     Raises
     ------
@@ -41,12 +49,7 @@ def mod_inverse(a: int, m: int) -> int:
     """
     if m <= 0:
         raise ValueError("modulus must be positive")
-    a %= m
-    try:
-        return pow(a, -1, m)
-    except ValueError:
-        # Callers pass secret exponents here; echo the modulus, never the value.
-        raise ValueError(f"value is not invertible modulo {m}") from None
+    return backend.invert(a % m, m)
 
 
 def jacobi_symbol(a: int, n: int) -> int:
@@ -57,18 +60,7 @@ def jacobi_symbol(a: int, n: int) -> int:
     """
     if n <= 0 or n % 2 == 0:
         raise ValueError("n must be a positive odd integer")
-    a %= n
-    result = 1
-    while a:
-        while a % 2 == 0:
-            a //= 2
-            if n % 8 in (3, 5):
-                result = -result
-        a, n = n, a
-        if a % 4 == 3 and n % 4 == 3:
-            result = -result
-        a %= n
-    return result if n == 1 else 0
+    return backend.jacobi(a, n)
 
 
 def is_quadratic_residue(a: int, p: int) -> bool:
@@ -94,7 +86,7 @@ def mod_sqrt(a: int, p: int) -> int:
     if jacobi_symbol(a, p) != 1:
         raise ValueError(f"value is not a quadratic residue modulo {p}")
     if p % 4 == 3:
-        root = pow(a, (p + 1) // 4, p)
+        root = backend.powmod(a, (p + 1) // 4, p)
         return min(root, p - root)
     # Tonelli-Shanks for p ≡ 1 (mod 4).
     q, s = p - 1, 0
@@ -106,21 +98,21 @@ def mod_sqrt(a: int, p: int) -> int:
     while jacobi_symbol(z, p) != -1:
         z += 1
     m = s
-    c = pow(z, q, p)
-    t = pow(a, q, p)
-    root = pow(a, (q + 1) // 2, p)
+    c = backend.powmod(z, q, p)
+    t = backend.powmod(a, q, p)
+    root = backend.powmod(a, (q + 1) // 2, p)
     while t != 1:
         # Find the least i with t^(2^i) == 1.
         i = 0
         t2i = t
         while t2i != 1:
-            t2i = t2i * t2i % p
+            t2i = backend.mulmod(t2i, t2i, p)
             i += 1
-        b = pow(c, 1 << (m - i - 1), p)
+        b = backend.powmod(c, 1 << (m - i - 1), p)
         m = i
-        c = b * b % p
-        t = t * c % p
-        root = root * b % p
+        c = backend.mulmod(b, b, p)
+        t = backend.mulmod(t, c, p)
+        root = backend.mulmod(root, b, p)
     return min(root, p - root)
 
 

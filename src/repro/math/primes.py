@@ -1,15 +1,23 @@
 """Primality testing and (safe) prime generation.
 
-Miller-Rabin is used deterministically for 64-bit inputs (fixed witness
-set) and probabilistically above that, with enough rounds that the error
-probability is far below 2^-100 for random inputs.
+Miller-Rabin with *deterministic* witness schedules throughout: the
+Jaeschke/Sorenson-Webster fixed set below ~3.3e24, and hash-derived
+witnesses (SHA-256 counter stream keyed to the candidate) above it.
+``is_prime`` is therefore a pure function of its input — no draw from
+any RNG — so prime generation (and everything derived from it, e.g.
+``FrameworkConfig.dp_field_prime``) is bit-reproducible across runs
+*and* across arithmetic backends; the witness exponentiations
+themselves dispatch through :mod:`repro.math.backend`, which is where
+a native backend (gmpy2) makes testing large candidates fast.
 """
 
 from __future__ import annotations
 
+import hashlib
 from functools import lru_cache
-from typing import Optional
+from typing import List, Optional
 
+from repro.math import backend
 from repro.math.pi import pi_times_power_of_two
 from repro.math.rng import RNG, SystemRNG
 
@@ -27,22 +35,42 @@ _DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
 
 def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:
     """True iff ``a`` witnesses the compositeness of ``n = d*2^r + 1``."""
-    x = pow(a, d, n)
+    x = backend.powmod(a, d, n)
     if x == 1 or x == n - 1:
         return False
     for _ in range(r - 1):
-        x = x * x % n
+        x = backend.mulmod(x, x, n)
         if x == n - 1:
             return False
     return True
 
 
-def is_prime(n: int, rng: Optional[RNG] = None, rounds: int = 40) -> bool:
-    """Miller-Rabin primality test.
+def _derived_witnesses(n: int, rounds: int) -> List[int]:
+    """``rounds`` witnesses derived from SHA-256(n ‖ counter).
 
-    Deterministic (fixed witness set) below ~3.3e24; otherwise ``rounds``
-    random witnesses drawn from ``rng`` (default: system randomness).
+    Deterministic in ``n`` alone, so large-candidate testing gives one
+    answer everywhere — no RNG, no backend dependence — while keeping
+    the error bound of ``rounds`` independent pseudo-random bases
+    (an adversarial candidate would have to be crafted against SHA-256
+    itself to survive the schedule).
     """
+    seed = n.to_bytes((n.bit_length() + 7) // 8, "big")
+    witnesses: List[int] = []
+    for counter in range(rounds):
+        digest = hashlib.sha256(seed + counter.to_bytes(8, "big")).digest()
+        witnesses.append(2 + int.from_bytes(digest, "big") % (n - 3))
+    return witnesses
+
+
+def is_prime(n: int, rng: Optional[RNG] = None, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test with deterministic witness schedules.
+
+    Below ~3.3e24 the fixed Jaeschke/Sorenson-Webster set decides
+    exactly; above it, ``rounds`` hash-derived witnesses keyed to ``n``
+    are used.  ``rng`` is accepted for backward compatibility but no
+    longer consulted — the verdict is a pure function of ``n``.
+    """
+    del rng  # kept for API compatibility; the schedule is deterministic
     if n < 2:
         return False
     for p in _SMALL_PRIMES:
@@ -58,8 +86,7 @@ def is_prime(n: int, rng: Optional[RNG] = None, rounds: int = 40) -> bool:
     if n < _DETERMINISTIC_LIMIT:
         witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n - 1]
     else:
-        rng = rng or SystemRNG()
-        witnesses = [rng.randint(2, n - 2) for _ in range(rounds)]
+        witnesses = _derived_witnesses(n, rounds)
     return not any(_miller_rabin_witness(n, a, d, r) for a in witnesses)
 
 

@@ -36,8 +36,24 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.crypto.elgamal import Ciphertext
 from repro.groups.base import Group, OperationCounter
+from repro.math import backend
 
 JobResult = TypeVar("JobResult")
+
+
+def _worker_select_backend(backend_name: str) -> None:
+    """Pool initializer: re-select the arithmetic backend in the worker.
+
+    A ``fork`` worker inherits the parent's active backend, but a
+    ``spawn``/``forkserver`` worker re-imports :mod:`repro.math.backend`
+    from scratch and re-runs its environment autodetection — which may
+    disagree with an explicit ``set_backend``/``use_backend`` choice made
+    in the parent.  Re-selecting by name keeps parent and workers on the
+    same arithmetic path.  Non-strict: backends are value-identical, so
+    a worker that cannot construct the requested backend degrades to
+    pure python without perturbing results.
+    """
+    backend.worker_initializer(backend_name)
 
 
 # ---------------------------------------------------------------------------
@@ -200,7 +216,10 @@ class WorkerPool:
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 context = multiprocessing.get_context()
             self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_worker_select_backend,
+                initargs=(backend.active_backend_name(),),
             )
         return self._executor
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro.math import backend
 from repro.math.modular import mod_inverse
 from repro.math.rng import RNG
 
@@ -53,9 +54,11 @@ class ShamirScheme:
         ]
 
     def _eval_poly(self, coefficients: Sequence[int], x: int) -> int:
+        # Horner over the backend seam: the multiply is the whole cost
+        # at cryptographic field sizes.
         result = 0
         for coefficient in reversed(coefficients):
-            result = (result * x + coefficient) % self.p
+            result = (backend.mulmod(result, x, self.p) + coefficient) % self.p
         return result
 
     # -- reconstruction ------------------------------------------------------------
@@ -73,7 +76,9 @@ class ShamirScheme:
             raise ValueError("duplicate evaluation points")
         secret = 0
         for i, share in enumerate(points):
-            secret = (secret + share.y * self._lagrange_at_zero(xs, i)) % self.p
+            secret = (
+                secret + backend.mulmod(share.y, self._lagrange_at_zero(xs, i), self.p)
+            ) % self.p
         return secret
 
     def _lagrange_at_zero(self, xs: Sequence[int], index: int) -> int:
@@ -83,9 +88,9 @@ class ShamirScheme:
         for j, xj in enumerate(xs):
             if j == index:
                 continue
-            numerator = numerator * (-xj) % self.p
-            denominator = denominator * (xi - xj) % self.p
-        return numerator * mod_inverse(denominator, self.p) % self.p
+            numerator = backend.mulmod(numerator, -xj, self.p)
+            denominator = backend.mulmod(denominator, xi - xj, self.p)
+        return backend.mulmod(numerator, mod_inverse(denominator, self.p), self.p)
 
     def lagrange_coefficients(self, xs: Sequence[int]) -> Dict[int, int]:
         """All basis coefficients at 0 for the given evaluation points."""

@@ -1,0 +1,5 @@
+"""Fixture: float arithmetic inside the backend seam (R-FLOAT)."""
+
+
+def approximate_ratio(a, b):
+    return a / b

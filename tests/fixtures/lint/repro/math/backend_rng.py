@@ -1,0 +1,11 @@
+"""Fixture: sampling inside the backend seam (R-RNG).
+
+Backends are deterministic arithmetic only; randomness stays in
+repro.math.rng and the precompute pool.
+"""
+
+import random
+
+
+def bad_witness(n):
+    return random.randrange(2, n)

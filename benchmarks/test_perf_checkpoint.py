@@ -1,0 +1,137 @@
+"""Wall-clock overhead of durable checkpointing on a full ranking run.
+
+Times the end-to-end framework at n=16 over a real (128-bit) DL group —
+large enough that group arithmetic dominates, small enough for a
+nightly job — once bare and once with the checkpoint layer journaling
+every message and snapshotting every phase boundary to disk.
+
+Acceptance bar: checkpointing costs ≤ 5 % wall-clock.  Bare and
+checkpointed runs alternate in pairs and the gate applies to the *best*
+pair's overhead ratio: low-frequency machine noise (a busy neighbour
+for a few seconds) can inflate any single pair, but a systematic
+hot-path cost — say an accidental per-record fsync — inflates every
+pair and cannot hide.  The checkpointed run must also produce identical
+ranks (the cheap end-to-end sanity; the byte-level equivalence matrix
+lives in tests/test_checkpoint.py).
+
+Emits machine-readable ``results/BENCH_checkpoint.json``.  With
+``REPRO_BENCH_ENFORCE=1`` the measured overhead is additionally gated
+against the committed number plus an absolute margin, so a checkpoint
+hot-path regression fails the nightly even while still under the 5 %
+ceiling.  Marked ``perf``: not part of tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.harness import RESULTS_DIR, write_result
+from repro.core.framework import FrameworkConfig, GroupRankingFramework
+from repro.core.gain import AttributeSchema, InitiatorInput, ParticipantInput
+from repro.groups.dl import DLGroup
+from repro.math.rng import SeededRNG
+
+pytestmark = pytest.mark.perf
+
+N = 16
+GROUP_BITS = 128
+OVERHEAD_CEILING = 0.05
+#: Enforce mode: fail when overhead exceeds committed + this (absolute).
+REGRESSION_MARGIN = 0.03
+REPS = 3
+
+
+def _framework(group, checkpoint_dir=None):
+    schema = AttributeSchema(
+        names=("age", "pressure", "friends", "income"),
+        num_equal=2, value_bits=6, weight_bits=4,
+    )
+    initiator = InitiatorInput.create(
+        schema, criterion=[35, 20, 0, 0], weights=[3, 5, 2, 7]
+    )
+    rng = SeededRNG(19)
+    bound = 1 << schema.value_bits
+    participants = [
+        ParticipantInput.create(
+            schema, [rng.randrange(bound) for _ in range(schema.dimension)]
+        )
+        for _ in range(N)
+    ]
+    config = FrameworkConfig(
+        group=group, schema=schema, num_participants=N, k=4, rho_bits=8,
+        wire="measured", checkpoint_dir=checkpoint_dir,
+    )
+    return GroupRankingFramework(
+        config, initiator, participants, rng=SeededRNG(5)
+    )
+
+
+def _timed_run(group, checkpoint_dir=None):
+    framework = _framework(group, checkpoint_dir)
+    start = time.perf_counter()
+    result = framework.run()
+    return time.perf_counter() - start, result
+
+
+def _dir_stats(root: Path):
+    files = [path for path in root.rglob("*") if path.is_file()]
+    return {
+        "files": len(files),
+        "bytes": sum(path.stat().st_size for path in files),
+        "snapshots": sum(1 for path in files if path.suffix == ".ckpt"),
+    }
+
+
+def test_checkpoint_overhead(tmp_path):
+    group = DLGroup.random(GROUP_BITS, rng=SeededRNG(101))
+    pairs = []
+    for rep in range(REPS):
+        bare_s, bare = _timed_run(group)
+        directory = tmp_path / f"ckpt-{rep}"
+        durable_s, durable = _timed_run(group, str(directory))
+        assert durable.ranks == bare.ranks
+        pairs.append((bare_s, durable_s))
+    overheads = [durable_s / bare_s - 1.0 for bare_s, durable_s in pairs]
+    overhead = min(overheads)
+    best = overheads.index(overhead)
+
+    payload = {
+        "bench": "checkpoint_overhead",
+        "n": N,
+        "group_bits": GROUP_BITS,
+        "bare_s": round(pairs[best][0], 3),
+        "checkpointed_s": round(pairs[best][1], 3),
+        "overhead": round(overhead, 4),
+        "pair_overheads": [round(value, 4) for value in overheads],
+        "ceiling": OVERHEAD_CEILING,
+        "durable_state": _dir_stats(tmp_path / f"ckpt-{REPS - 1}"),
+    }
+
+    committed_path = RESULTS_DIR / "BENCH_checkpoint.json"
+    committed_overhead = None
+    if committed_path.exists():
+        committed_overhead = json.loads(committed_path.read_text()).get(
+            "overhead"
+        )
+    write_result(
+        "BENCH_checkpoint", json.dumps(payload, indent=2), suffix="json"
+    )
+
+    assert overhead <= OVERHEAD_CEILING, payload
+
+    if (
+        os.environ.get("REPRO_BENCH_ENFORCE", "") == "1"
+        and committed_overhead is not None
+    ):
+        # A committed overhead below zero is measurement noise, not a
+        # real speedup; floor the baseline so the gate stays passable.
+        ceiling = max(committed_overhead, 0.0) + REGRESSION_MARGIN
+        assert overhead <= ceiling, (
+            f"checkpoint overhead regressed: {overhead:.4f} vs committed "
+            f"{committed_overhead:.4f} (ceiling {ceiling:.4f})"
+        )

@@ -14,6 +14,12 @@ PYTHONPATH=src python -m repro demo -n 5 --zkp fiat-shamir \
 echo "== demo with auto-detected arithmetic backend =="
 PYTHONPATH=src python -m repro demo -n 4 --backend auto
 
+echo "== crash recovery: checkpoint, then resume from durable state =="
+CKPT_DIR="$(mktemp -d)"
+trap 'rm -rf "$CKPT_DIR"' EXIT
+PYTHONPATH=src python -m repro demo -n 5 --checkpoint-dir "$CKPT_DIR"
+PYTHONPATH=src python -m repro demo -n 5 --checkpoint-dir "$CKPT_DIR" --resume
+
 echo "== protocol lint (taint + invariants) =="
 PYTHONPATH=src python -m repro.lint --strict
 

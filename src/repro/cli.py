@@ -48,6 +48,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="ciphertext sets per streamed chunk (with --streaming)")
     _add_wire_flags(demo)
     _add_backend_flag(demo)
+    _add_checkpoint_flags(demo)
 
     games = sub.add_parser("games", help="run the security games")
     games.add_argument("--trials", type=int, default=16)
@@ -57,6 +58,7 @@ def _build_parser() -> argparse.ArgumentParser:
     netsim.add_argument("--seed", type=int, default=1)
     _add_wire_flags(netsim)
     _add_backend_flag(netsim)
+    _add_checkpoint_flags(netsim)
 
     sub.add_parser("curves", help="verify and list bundled group parameters")
 
@@ -80,6 +82,21 @@ def _add_backend_flag(command: argparse.ArgumentParser) -> None:
         help="arithmetic backend: auto (default; gmpy2 when installed, else "
              "pure python), python, or gmpy2 — transcript-equivalent, "
              "changes speed only",
+    )
+
+
+def _add_checkpoint_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist durable per-party protocol state (encrypted at "
+             "rest) under DIR; enables kill-and-rejoin recovery and "
+             "--resume",
+    )
+    command.add_argument(
+        "--resume", action="store_true",
+        help="resume a run whose process died, from the durable state "
+             "in --checkpoint-dir (phase-1 work is not redone when "
+             "every participant's β survived)",
     )
 
 
@@ -163,11 +180,12 @@ def cmd_demo(args, out) -> int:
         wire_codec=args.wire_codec,
         coalesce=args.coalesce,
         backend=args.backend,
+        checkpoint_dir=args.checkpoint_dir,
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)
     )
-    result = framework.run()
+    result = framework.run(resume=args.resume)
     flags = [name for name, on in (
         ("batch-verify", args.batch_verify), ("bit-proofs", args.bit_proofs),
         ("streaming", args.streaming),
@@ -256,12 +274,12 @@ def cmd_netsim(args, out) -> int:
         group=make_test_group(), schema=schema,
         num_participants=args.participants, k=2, rho_bits=8,
         wire=args.wire, wire_codec=args.wire_codec, coalesce=args.coalesce,
-        backend=args.backend,
+        backend=args.backend, checkpoint_dir=args.checkpoint_dir,
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)
     )
-    result = framework.run()
+    result = framework.run(resume=args.resume)
     topology = paper_topology(SeededRNG(args.seed))
     topology.place_parties(list(range(args.participants + 1)), SeededRNG(args.seed + 1))
     replay = replay_transcript(result.transcript, topology)

@@ -74,6 +74,9 @@ class FrameworkResult:
     betas: Dict[int, int]                  # participant id -> unsigned β (for analysis)
     attempts: int = 1                      # 1 = no recovery was needed
     excluded: List[int] = field(default_factory=list)  # blamed & dropped ids
+    # Parties killed by a restartable fault and brought back from their
+    # durable checkpoints (they are NOT in ``excluded``).
+    rejoins: int = 0
     # Wire-path accounting (None for legacy declared-size runs).  After
     # a recovery, stats cover the final (successful) attempt.
     wire_stats: Optional[WireStats] = None
@@ -113,6 +116,8 @@ class GroupRankingFramework:
     def run(
         self,
         faults: Union[FaultInjector, Sequence[FaultSpec], None] = None,
+        *,
+        resume: bool = False,
     ) -> FrameworkResult:
         """Run the framework, optionally under an injected fault plan.
 
@@ -121,17 +126,34 @@ class GroupRankingFramework:
         are excluded and the run restarts over the survivors until it
         completes or fewer than 2 participants remain.
 
+        ``resume=True`` (requires ``config.checkpoint_dir``) restarts a
+        run whose *process* died: durable β values are harvested from
+        the newest on-disk attempt, and when every active participant
+        has one the new attempt re-enters at phase 2 — the crashed
+        process's phase-1 work is not redone.
+
         The whole run (every retry attempt included) executes under
         ``config.backend``; the previous process-wide backend is
         restored on exit.  Backends are transcript-equivalent, so this
         scoping affects speed only.
         """
         with backend.use_backend(self.config.backend):
-            return self._run_with_recovery(faults)
+            return self._run_with_recovery(faults, resume)
+
+    def _make_checkpoints(self):
+        """A checkpoint manager when the config asks for one."""
+        if self.config.checkpoint_dir is None:
+            return None
+        from repro.runtime.checkpoint import CheckpointManager
+
+        return CheckpointManager(
+            self.config.checkpoint_dir, sync_every=self.config.checkpoint_every
+        )
 
     def _run_with_recovery(
         self,
         faults: Union[FaultInjector, Sequence[FaultSpec], None],
+        resume: bool = False,
     ) -> FrameworkResult:
         config = self.config
         injector = self._make_injector(faults)
@@ -139,31 +161,44 @@ class GroupRankingFramework:
         excluded: List[int] = []
         known_betas: Dict[int, int] = {}
         attempt = 0
-        while True:
-            try:
-                result = self._run_attempt(active, known_betas, attempt, injector)
-            except (PartyTimeout, ProtocolAbort) as failure:
-                blamed = failure.blamed
-                if not (
-                    config.recovery
-                    and blamed is not None
-                    and blamed != INITIATOR_ID
-                    and blamed in active
-                ):
-                    raise
-                if len(active) - 1 < 2:
-                    raise ProtocolError(
-                        f"cannot recover: excluding P{blamed} leaves fewer "
-                        "than 2 participants"
-                    ) from failure
-                active = [j for j in active if j != blamed]
-                excluded.append(blamed)
-                known_betas = self._harvest_betas(active)
-                attempt += 1
-                continue
-            result.attempts = attempt + 1
-            result.excluded = list(excluded)
-            return result
+        manager = self._make_checkpoints()
+        # Exposed for tests/operators: rejoin bookkeeping lives here.
+        self.last_checkpoints = manager
+        if resume:
+            if manager is None:
+                raise ValueError("resume=True requires config.checkpoint_dir")
+            known_betas, attempt = manager.resume_state(active)
+        try:
+            while True:
+                try:
+                    result = self._run_attempt(
+                        active, known_betas, attempt, injector, manager
+                    )
+                except (PartyTimeout, ProtocolAbort) as failure:
+                    blamed = failure.blamed
+                    if not (
+                        config.recovery
+                        and blamed is not None
+                        and blamed != INITIATOR_ID
+                        and blamed in active
+                    ):
+                        raise
+                    if len(active) - 1 < 2:
+                        raise ProtocolError(
+                            f"cannot recover: excluding P{blamed} leaves fewer "
+                            "than 2 participants"
+                        ) from failure
+                    active = [j for j in active if j != blamed]
+                    excluded.append(blamed)
+                    known_betas = self._harvest_betas(active)
+                    attempt += 1
+                    continue
+                result.attempts = attempt + 1
+                result.excluded = list(excluded)
+                return result
+        finally:
+            if manager is not None:
+                manager.close()
 
     def _make_injector(self, faults):
         # Anything exposing on_send (a FaultInjector, netsim's
@@ -198,6 +233,7 @@ class GroupRankingFramework:
         known_betas: Dict[int, int],
         attempt: int,
         injector: Optional[FaultInjector],
+        manager=None,
     ) -> FrameworkResult:
         config = self.config
         worker_pool = None
@@ -219,36 +255,60 @@ class GroupRankingFramework:
                 coalesce=config.coalesce,
                 mode=config.wire,
             )
+        rng = self._rng
+        prefix = "" if attempt == 0 else f"A{attempt}|"
+        resume = bool(known_betas) and all(j in known_betas for j in active)
+
+        def build_party(party_id: int, known_beta: Optional[int] = None):
+            """Construct one party exactly as this attempt does.
+
+            Doubles as the checkpoint manager's rebuild factory: a
+            killed-and-rejoining party is reconstructed through the very
+            same closure (same RNG fork labels, same active set), so its
+            deterministic replay starts from an identical object.
+            ``known_beta`` is the phase-2 rehydration variant, where the
+            restored RNG state replaces the fork-label determinism.
+            """
+            if party_id == INITIATOR_ID:
+                return InitiatorParty(
+                    config,
+                    self.initiator_input,
+                    _fork(rng, prefix + "initiator"),
+                    active_ids=active,
+                    run_gain_phase=not resume,
+                )
+            beta = known_beta
+            if beta is None and resume:
+                beta = known_betas.get(party_id)
+            return ParticipantParty(
+                config,
+                party_id,
+                self.participant_inputs[party_id - 1],
+                _fork(rng, prefix + f"P{party_id}"),
+                active_ids=active,
+                known_beta=beta,
+            )
+
+        if manager is not None:
+            manager.start_attempt(attempt, build_party)
         engine = Engine(
             metered_groups=[config.group],
             worker_pool=worker_pool,
             faults=injector,
             supervisor=supervisor,
             wire=transport,
+            checkpoints=manager,
         )
-        rng = self._rng
-        prefix = "" if attempt == 0 else f"A{attempt}|"
-        resume = bool(known_betas) and all(j in known_betas for j in active)
-        initiator = InitiatorParty(
-            config,
-            self.initiator_input,
-            _fork(rng, prefix + "initiator"),
-            active_ids=active,
-            run_gain_phase=not resume,
-        )
-        engine.add_party(initiator)
+        engine.add_party(build_party(INITIATOR_ID))
         participants: List[ParticipantParty] = []
         for j in active:
-            party = ParticipantParty(
-                config,
-                j,
-                self.participant_inputs[j - 1],
-                _fork(rng, prefix + f"P{j}"),
-                active_ids=active,
-                known_beta=known_betas.get(j) if resume else None,
-            )
+            party = build_party(j)
             engine.add_party(party)
             participants.append(party)
+        if worker_pool is not None and manager is not None:
+            worker_pool.register_drain(
+                lambda: manager.persist_pool_cursors(engine.parties)
+            )
         # Kept for the security-game harness (which inspects *adversarial*
         # parties' internals) and for β harvesting after a failed attempt.
         self.last_parties = engine.parties
@@ -260,9 +320,14 @@ class GroupRankingFramework:
         finally:
             if worker_pool is not None:
                 worker_pool.shutdown()
+        # A rejoined party's live object replaced the original in the
+        # engine; read final state from the engine's view, not the
+        # construction-time list.
+        participants = [engine.parties[j] for j in active]
         ranks = {party.party_id: party.rank for party in participants}
         betas = {party.party_id: party.beta_unsigned for party in participants}
         return FrameworkResult(
+            rejoins=supervisor.rejoins,
             ranks=ranks,
             initiator_output=outputs[0],
             transcript=engine.transcript,

@@ -161,6 +161,15 @@ class FrameworkConfig:
     * ``recovery`` — when a run fails with a typed, blamed error
       (crash, timeout, validated abort), exclude the blamed participant
       and deterministically re-run over the survivors.
+    * ``checkpoint_dir`` — directory for durable per-party protocol
+      state (``None`` disables checkpointing).  With a checkpoint
+      manager attached, parties are snapshotted at every phase boundary,
+      a ``kill_restart`` fault rejoins the killed party from its durable
+      state instead of excluding it, and a crashed *process* can resume
+      a run with ``Framework.run(resume=True)``.  Secrets are encrypted
+      at rest (see :mod:`repro.runtime.checkpoint`).
+    * ``checkpoint_every`` — additionally fsync the journal every this
+      many engine rounds (``0`` = phase boundaries only).
     * ``timeout_rounds``/``max_retries`` — the supervisor's per-receive
       deadline (in engine rounds) and retransmit budget per lost
       message.
@@ -199,6 +208,8 @@ class FrameworkConfig:
     wire_codec: str = "v2"          # or "v1"
     coalesce: bool = True           # batch per (sender, receiver, round)
     backend: str = "auto"           # arithmetic backend: "auto"/"python"/"gmpy2"
+    checkpoint_dir: Optional[str] = None   # durable state directory (None = off)
+    checkpoint_every: int = 0       # extra journal fsync cadence, in rounds
 
     def __post_init__(self):
         if self.zkp_mode not in ("interactive", "fiat-shamir"):
@@ -225,6 +236,8 @@ class FrameworkConfig:
             raise ValueError("timeout_rounds must be at least 1")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
         from repro.core.gain import beta_bit_length
         from repro.math.primes import next_prime
 
@@ -302,6 +315,20 @@ class InitiatorParty(Party):
         )
         self.run_gain_phase = run_gain_phase
         self._zkp = MultiVerifierSchnorrProof(config.group)
+
+    def snapshot_state(self):
+        """Durable initiator state.  ``rho``/``rho_assignments`` are
+        secrets; they live only inside the sealed record body, never in
+        a record header or on disk in the clear."""
+        state = super().snapshot_state()
+        state.update(
+            role="initiator",
+            active_ids=list(self.active_ids),
+            run_gain_phase=self.run_gain_phase,
+            rho=getattr(self, "rho", None),
+            rho_assignments=dict(getattr(self, "rho_assignments", {})),
+        )
+        return state
 
     def protocol(self):
         config = self.config
@@ -459,9 +486,37 @@ class ParticipantParty(Party):
         self._zkp = MultiVerifierSchnorrProof(config.group)
         self.beta_unsigned: Optional[int] = None   # exposed for analysis/tests
         self.rank: Optional[int] = None
+        # Durable-state capture points (see snapshot_state): the keying
+        # share and the precompute pool, once made.
+        self._key_share = None
+        self._pool: Optional[RandomnessPool] = None
         # What this party saw when decrypting her own final set; the
         # security games read this ONLY from adversarial parties.
         self.final_residues: List[Element] = []
+
+    def snapshot_state(self):
+        """Durable participant state, captured at phase boundaries.
+
+        The ``keying``-boundary snapshot is the rejoin entry point: it is
+        taken *before* the key-share draw, so a twin rebuilt with
+        ``known_beta`` and the recorded RNG position re-derives the
+        identical share, pool, and chain randomness.  The secrets here
+        (β, the share's secret exponent) exist only inside the sealed
+        record body.
+        """
+        state = super().snapshot_state()
+        share = self._key_share
+        pool = self._pool
+        state.update(
+            role="participant",
+            active_ids=list(self.active_ids),
+            position=self._position,
+            beta=self.beta_unsigned,
+            rank=self.rank,
+            share=(share.party_id, share.secret, share.public) if share else None,
+            pool_cursor=pool.cursor if pool is not None else None,
+        )
+        return state
 
     # -- helpers ---------------------------------------------------------------
     @property
@@ -540,6 +595,7 @@ class ParticipantParty(Party):
         self.set_phase(PHASE_KEYING)
         distkey = DistributedKey(group)
         share = distkey.make_share(self.party_id, self.rng)
+        self._key_share = share
         distkey.register_public(self.party_id, share.public)
         publics = yield from self._run_keying_zkps(distkey, share)
 
@@ -552,6 +608,7 @@ class ParticipantParty(Party):
             pool = RandomnessPool(
                 group, joint_key, self.rng, size=config.precompute
             )
+        self._pool = pool
 
         # Step 6: publish bitwise encryption of β under the joint key.
         self.set_phase(PHASE_COMPARISON)

@@ -97,6 +97,30 @@ class RandomnessPool:
     def remaining(self) -> int:
         return len(self._pairs)
 
+    @property
+    def cursor(self) -> int:
+        """How many pairs this pool has served — its replayable position.
+
+        The checkpoint layer persists this cursor (never the pairs
+        themselves: they are secret exponents) so a rebuilt pool, fed by
+        the same restored RNG stream, can :meth:`fast_forward` to the
+        exact same position.
+        """
+        return self.served
+
+    def fast_forward(self, count: int) -> None:
+        """Advance the pool by ``count`` served pairs, discarding them.
+
+        Used on checkpoint restore: the twin party regenerates the pool
+        from the restored RNG and skips what the first life already
+        consumed, so every subsequent :meth:`take` returns the same pair
+        the uninterrupted run would have seen.
+        """
+        if count < 0:
+            raise ValueError("fast_forward count must be non-negative")
+        for _ in range(count):
+            self.take()
+
     # -- online phase -----------------------------------------------------------
     def take(self) -> RandomPair:
         """Pop one pair; generate through the tables if the pool ran dry."""

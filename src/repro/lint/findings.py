@@ -58,6 +58,17 @@ RULES: Dict[str, Rule] = {
             ),
         ),
         Rule(
+            id="R-TAINT-CKPT",
+            layer="taint",
+            title="secret value written to a checkpoint store unsealed",
+            rationale=(
+                "Checkpoint files survive the process and the run;"
+                " record bodies must pass through seal_state"
+                " (encrypt-then-MAC) before any store write, so durable"
+                " state never holds plaintext secrets."
+            ),
+        ),
+        Rule(
             id="R-TAINT-REPR",
             layer="taint",
             title="secret value exposed through __repr__/__str__",

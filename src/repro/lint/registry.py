@@ -96,6 +96,8 @@ SANITIZERS: FrozenSet[str] = frozenset(
         "decrypt",  # honest decryption output is protocol-visible
         "decrypt_is_zero",
         "decrypt_small",
+        # encrypt-then-MAC sealing of checkpoint record bodies
+        "seal_state",
         # structure-only reads
         "len",
         "bit_length",
@@ -125,6 +127,14 @@ TRANSCRIPT_CONSTRUCTORS: FrozenSet[str] = frozenset(
 WIRE_MODULE = "repro.runtime.wire"
 WIRE_RECEIVERS = re.compile(r"codec|wire", re.IGNORECASE)
 
+#: The durable-state module: ``write_*``/``append_*``/``persist_*``
+#: method calls on checkpoint/store-ish receivers (and those names
+#: imported from the module) are disk sinks — everything reaching them
+#: must first pass through the ``seal_state`` sanitizer.
+CHECKPOINT_MODULE = "repro.runtime.checkpoint"
+CHECKPOINT_RECEIVERS = re.compile(r"checkpoint|ckpt|store", re.IGNORECASE)
+CHECKPOINT_WRITE_PREFIXES = ("write_", "append_", "persist_")
+
 #: decrypt-family primitives R-GUARD tracks.
 SENSITIVE_CALLS: FrozenSet[str] = frozenset(
     {
@@ -153,9 +163,12 @@ VALIDATORS: FrozenSet[str] = frozenset(
     }
 )
 
-#: Modules allowed to touch ``random``/``secrets`` directly.
+#: Modules allowed to touch ``random``/``secrets`` directly.  The
+#: checkpoint module draws its master key from ``os.urandom`` — key
+#: material must NOT come from the (replayable) protocol RNG streams,
+#: and it never influences a transcript.
 RNG_ALLOWED_MODULES: FrozenSet[str] = frozenset(
-    {"repro.math.rng", "repro.crypto.precompute"}
+    {"repro.math.rng", "repro.crypto.precompute", "repro.runtime.checkpoint"}
 )
 
 #: Module prefixes where float arithmetic is forbidden.

@@ -17,6 +17,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Set
 from repro.lint.findings import Finding
 from repro.lint.parsing import ParsedModule, call_name, chain_names, qualname_index
 from repro.lint.registry import (
+    CHECKPOINT_MODULE,
+    CHECKPOINT_RECEIVERS,
+    CHECKPOINT_WRITE_PREFIXES,
     LOG_METHODS,
     LOGGER_BASE,
     TRANSCRIPT_BASES,
@@ -227,6 +230,22 @@ def _is_wire_sink(node: ast.Call, wire_imports: Set[str]) -> bool:
     return False
 
 
+def _is_checkpoint_sink(node: ast.Call, ckpt_imports: Set[str]) -> bool:
+    """A durable-store write: ``store.write_snapshot(...)``-style method
+    calls on checkpoint-ish receivers, or ``write_*``/``append_*``/
+    ``persist_*`` names imported from the checkpoint module."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in ckpt_imports
+    if isinstance(func, ast.Attribute) and func.attr.startswith(
+        CHECKPOINT_WRITE_PREFIXES
+    ):
+        return any(
+            CHECKPOINT_RECEIVERS.search(name) for name in chain_names(func.value)
+        )
+    return False
+
+
 def _is_super_exception_init(node: ast.Call, in_exception_class: bool) -> bool:
     """``super().__init__(...)`` inside an Exception subclass — the
     arguments become the raised message, so treat them as an EXC sink."""
@@ -254,6 +273,19 @@ def wire_import_names(parsed: ParsedModule) -> Set[str]:
     return names
 
 
+def checkpoint_import_names(parsed: ParsedModule) -> Set[str]:
+    """Writer names imported from the checkpoint module — only those
+    with store-write prefixes; importing ``seal_state`` or the manager
+    class does not make every use a sink."""
+    names: Set[str] = set()
+    for node in ast.walk(parsed.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == CHECKPOINT_MODULE:
+            for alias in node.names:
+                if alias.name.startswith(CHECKPOINT_WRITE_PREFIXES):
+                    names.add(alias.asname or alias.name)
+    return names
+
+
 def scan_sinks(
     scope: ast.AST,
     parsed: ParsedModule,
@@ -262,6 +294,7 @@ def scan_sinks(
     index: Optional[SummaryIndex],
     in_exception_class: bool = False,
     repr_scope: bool = False,
+    ckpt_imports: Optional[Set[str]] = None,
 ) -> None:
     """Invoke ``on_hit`` for every sink expression in ``scope``.
 
@@ -281,6 +314,13 @@ def scan_sinks(
                 )
             if _is_wire_sink(node, wire_imports):
                 on_hit("R-TAINT-WIRE", node, _call_exprs(node), "wire encode call")
+            if _is_checkpoint_sink(node, ckpt_imports or set()):
+                on_hit(
+                    "R-TAINT-CKPT",
+                    node,
+                    _call_exprs(node),
+                    "checkpoint store write (unsealed)",
+                )
             if _is_super_exception_init(node, in_exception_class):
                 on_hit(
                     "R-TAINT-EXC",
@@ -385,6 +425,7 @@ def collect_param_sinks(
         index=None,
         in_exception_class=in_exc_class,
         repr_scope=func.name in _REPR_METHODS,
+        ckpt_imports=checkpoint_import_names(parsed),
     )
     return result
 
@@ -469,6 +510,7 @@ def check_module(
     secret_names |= parsed.annotated_secret_names
     sanitizers = set(registry.sanitizers)
     wire_imports = wire_import_names(parsed)
+    ckpt_imports = checkpoint_import_names(parsed)
     quals = qualname_index(parsed.tree)
 
     def emit(rule: str, node: ast.AST, message: str, symbol: str) -> None:
@@ -508,6 +550,7 @@ def check_module(
             index,
             in_exception_class=in_exc_class,
             repr_scope=repr_scope,
+            ckpt_imports=ckpt_imports,
         )
 
     # Function scopes (nested functions are rescanned with their own env;

@@ -105,6 +105,20 @@ class SeededRNG(RNG):
     def seed(self) -> int:
         return self._seed
 
+    def getstate(self):
+        """The generator's full position (opaque, picklable).
+
+        The checkpoint layer snapshots this at phase boundaries;
+        :class:`SystemRNG` deliberately has no counterpart — a CSPRNG
+        stream position cannot (and must not) be replayed, so
+        checkpoint rejoin degrades to plain-crash handling there.
+        """
+        return self._random.getstate()
+
+    def setstate(self, state) -> None:
+        """Restore a position captured by :meth:`getstate`."""
+        self._random.setstate(state)
+
     def randbits(self, k: int) -> int:
         if k < 0:
             raise ValueError("bit count must be non-negative")

@@ -42,6 +42,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.groups.base import Group
 from repro.runtime.channels import Mailbox, Message, NextRound, Recv, WireTransport
+from repro.runtime.checkpoint import CheckpointError
 from repro.runtime.errors import DeadlockError, PartyCrashed, ProtocolError
 from repro.runtime.party import Party
 from repro.runtime.transcript import Transcript
@@ -56,6 +57,16 @@ class LostMessage:
     healed: bool = False   # a retransmit made it into a mailbox
 
 
+@dataclass
+class _ReplayState:
+    """A rejoining party mid-replay: the journaled sends still to check
+    off, and the first life's metrics object — swapped back in at the
+    death point so replayed work is never double-counted."""
+
+    sends: Any  # Deque[(dst, tag)] from the party's send journal
+    carried_metrics: Any
+
+
 class Engine:
     """Runs a set of parties to completion over a simulated network."""
 
@@ -67,6 +78,7 @@ class Engine:
         faults: Optional[Any] = None,
         supervisor: Optional[Any] = None,
         wire: Optional[WireTransport] = None,
+        checkpoints: Optional[Any] = None,
     ):
         # A repro.runtime.parallel.WorkerPool (or None).  The engine only
         # holds it; parties decide which stages to fan out through it.
@@ -75,6 +87,10 @@ class Engine:
         self.supervisor = supervisor
         # Measured-bytes wire path (or None for legacy declared sizes).
         self.wire = wire
+        # A repro.runtime.checkpoint.CheckpointManager (or None): durable
+        # per-party journals + snapshots, and the kill-and-rejoin path.
+        self.checkpoints = checkpoints
+        self._replay: Dict[int, _ReplayState] = {}
         self.parties: Dict[int, Party] = {}
         self.transcript = Transcript()
         self.round = 0
@@ -110,6 +126,8 @@ class Engine:
         self.parties[party.party_id] = party
         self._mailboxes[party.party_id] = Mailbox(owner=party.party_id)
         self._finished[party.party_id] = False
+        if self.checkpoints is not None:
+            self.checkpoints.register_party(party)
 
     def add_parties(self, parties: Iterable[Party]) -> None:
         for party in parties:
@@ -171,10 +189,38 @@ class Engine:
             raise ProtocolError(f"party {src} sent to unknown party {dst}")
         if dst == src:
             raise ProtocolError(f"party {src} sent a message to itself")
+        replay = self._replay.get(src)
+        if replay is not None:
+            if replay.sends:
+                expected = replay.sends.popleft()
+                if expected != (dst, tag):
+                    raise CheckpointError(
+                        f"replay divergence: party {src} sent "
+                        f"({dst}, {tag!r}) but its journal says {expected}"
+                    )
+                return  # reached the wire before the death; suppress
+            # Send journal exhausted: this is the send the first life
+            # died on.  Go live and fall through to re-issue it for real.
+            self._finish_replay(src)
         message = Message(
             src=src, dst=dst, tag=tag, payload=payload,
             size_bits=size_bits, round_sent=self.round,
         )
+        if self.faults is not None:
+            lookahead = getattr(self.faults, "crash_verdict", None)
+            if lookahead is not None and lookahead(message):
+                # A crash kills the sender before any bytes reach the
+                # wire: commit the fault (match counter + event log)
+                # without preparing or journaling the send, so the
+                # transport's digest/interning state never sees it and a
+                # rejoined twin re-encodes it exactly once.
+                verdict = self.faults.on_send(message, self.round)
+                raise PartyCrashed(
+                    src, phase=self.faults.phase_of(tag),
+                    restart=getattr(verdict, "restart", False),
+                )
+        if self.checkpoints is not None:
+            self.checkpoints.journal_send(message)
         if self.wire is not None:
             # Encode + transcode atomically at submit time so both ends'
             # interning tables advance in lockstep even if the fault
@@ -183,9 +229,12 @@ class Engine:
         if self.faults is not None:
             verdict = self.faults.on_send(message, self.round)
             if verdict.crashed:
-                # Unwind the sender's stack like a real process death; the
-                # engine catches this in _advance and marks the party dead.
-                raise PartyCrashed(src, phase=self.faults.phase_of(tag))
+                # Injectors without a crash_verdict lookahead (the lossy
+                # link models) still unwind the sender here, as before.
+                raise PartyCrashed(
+                    src, phase=self.faults.phase_of(tag),
+                    restart=getattr(verdict, "restart", False),
+                )
             if self.wire is not None:
                 # Under injection every logical message frames alone:
                 # retransmits and duplicates need standalone envelopes,
@@ -282,6 +331,8 @@ class Engine:
         """
         delivered = self._flush_outbox()
         self.round += 1
+        if self.checkpoints is not None:
+            self.checkpoints.on_round(self.round)
         delivered += self._deliver_due()
         progressed = delivered > 0
         # Resume parties that yielded the previous round (streaming
@@ -352,6 +403,10 @@ class Engine:
             observe = getattr(self.supervisor, "observe_wait", None)
             if observe is not None:
                 observe(self.round - self.waiting_since(party_id))
+        if self.checkpoints is not None and party_id not in self._replay:
+            # Journal at the consumption point: exactly what a rejoin
+            # replay must feed the rebuilt generator, in order.
+            self.checkpoints.journal_receive(party_id, message, self.round)
         self._advance(party_id, message=message)
         return True
 
@@ -370,7 +425,7 @@ class Engine:
             self._waiting.pop(party_id, None)
             return
         except PartyCrashed as crash:
-            self._mark_crashed(party_id, crash.phase)
+            self._handle_crash(party_id, crash)
             return
         finally:
             self._detach_counters()
@@ -389,6 +444,156 @@ class Engine:
     def _mark_crashed(self, party_id: int, phase: Optional[str]) -> None:
         self._crashed[party_id] = phase
         self._waiting.pop(party_id, None)
+
+    # -- kill-and-rejoin ---------------------------------------------------------
+    def _handle_crash(self, party_id: int, crash: PartyCrashed) -> None:
+        """A party died at a send: rejoin it from its checkpoint when the
+        fault allows a restart and durable state exists, else mark it
+        crashed (blame and exclusion, the pre-checkpoint semantics)."""
+        if (
+            crash.restart
+            and self.checkpoints is not None
+            and self._rejoin(party_id, crash)
+        ):
+            return
+        self._mark_crashed(party_id, crash.phase)
+
+    def _rejoin(self, party_id: int, crash: PartyCrashed) -> bool:
+        """Kill-and-rejoin: rebuild the party from durable state and
+        replay it to its death point, synchronously, inside the crash
+        handler — no engine round passes, so every other party's view
+        (and the round structure) matches an uninterrupted run exactly.
+
+        Returns False when no usable checkpoint exists; the caller then
+        degrades to plain-crash handling.
+        """
+        old_party = self.parties[party_id]
+        try:
+            plan = self.checkpoints.rejoin_plan(party_id)
+        except CheckpointError:
+            return False
+        party = plan.party
+        party._engine = self
+        self._generators[party_id].close()
+        self.parties[party_id] = party
+        generator = party.protocol()
+        self._generators[party_id] = generator
+        self._replay[party_id] = _ReplayState(
+            sends=plan.sends, carried_metrics=old_party.metrics
+        )
+        self._waiting.pop(party_id, None)
+        self._paused.pop(party_id, None)
+        if self.supervisor is not None:
+            note = getattr(self.supervisor, "note_rejoin", None)
+            if note is not None:
+                note(party_id, self.round)
+        self.checkpoints.note_rejoin(party_id, self.round)
+        try:
+            self._drive_replay(party_id, generator, plan)
+        except PartyCrashed as again:
+            # The re-issued (or a later live) send died too — e.g. a
+            # kill_restart spec with count=2.  Every retry consumes one
+            # spec match so recursion terminates; metrics were already
+            # swapped to the carried object at the go-live transition.
+            self._replay.pop(party_id, None)
+            self._handle_crash(party_id, again)
+        except CheckpointError:
+            # The journal does not match a deterministic re-execution:
+            # restore the first life's party object (its metrics are the
+            # true record) and degrade to plain-crash handling.
+            self._replay.pop(party_id, None)
+            generator.close()
+            self.parties[party_id] = old_party
+            self._mark_crashed(party_id, crash.phase)
+        return True
+
+    def _drive_replay(self, party_id: int, generator: Any, plan: Any) -> None:
+        """Step a rebuilt generator through its journal: feed journaled
+        receives, skip the round pauses the first life already waited
+        out, and leave the party parked exactly where a live party would
+        be.  The go-live transition happens mid-step inside submit (the
+        first send past the journal), via _finish_replay."""
+        party = self.parties[party_id]
+        received = plan.received
+        index = 0
+        feed: Optional[Message] = None
+        first = True
+        while True:
+            self._attach_counters(party)
+            try:
+                if first:
+                    effect = next(generator)
+                    first = False
+                else:
+                    effect = generator.send(feed)
+            except StopIteration:
+                if party_id in self._replay:
+                    raise CheckpointError(
+                        f"party {party_id} finished mid-replay; its journal "
+                        "does not match a deterministic re-execution"
+                    )
+                self._finished[party_id] = True
+                self._waiting.pop(party_id, None)
+                return
+            finally:
+                self._detach_counters()
+            feed = None
+            replaying = party_id in self._replay
+            if isinstance(effect, NextRound):
+                if replaying:
+                    continue  # the first life already waited this out
+                self._waiting.pop(party_id, None)
+                self._paused[party_id] = self.round
+                return
+            if not isinstance(effect, Recv):
+                raise ProtocolError(
+                    f"party {party_id} yielded {effect!r}; parties may only "
+                    "yield Recv or NextRound"
+                )
+            if replaying:
+                if index >= len(received):
+                    raise CheckpointError(
+                        f"party {party_id} blocked on {effect!r} mid-replay "
+                        "with no journaled message left"
+                    )
+                message = received[index]
+                if not effect.matches(message):
+                    raise CheckpointError(
+                        f"replay divergence: party {party_id} wants "
+                        f"{effect!r} but its journal delivers "
+                        f"({message.src}, {message.tag!r})"
+                    )
+                index += 1
+                # accounted=True: the first life already credited this
+                # receive to the carried metrics.
+                feed = replace(message, accounted=True)
+                continue
+            self._waiting[party_id] = effect
+            self._waiting_since[party_id] = self.round
+            return
+
+    def _finish_replay(self, party_id: int) -> None:
+        """Death-point transition, called from submit mid-step: from here
+        the rebuilt party runs live.  The replayed prefix re-ran against
+        the twin's scratch metrics; discard those and carry the first
+        life's accounting forward (it covers that prefix exactly once),
+        re-attaching counters so ops later in this same step land on the
+        carried object."""
+        state = self._replay.pop(party_id)
+        party = self.parties[party_id]
+        party.metrics = state.carried_metrics
+        self._attach_counters(party)
+        if self.checkpoints is not None:
+            self.checkpoints.finish_replay(party_id)
+
+    def note_phase(self, party: Party) -> None:
+        """Phase-boundary hook from Party.set_phase: durable snapshot.
+
+        Replaying parties are skipped — their first life already
+        snapshotted these boundaries."""
+        if self.checkpoints is None or party.party_id in self._replay:
+            return
+        self.checkpoints.snapshot_party(party, self.round)
 
     def _attach_counters(self, party: Party) -> None:
         for group in self._metered_groups:

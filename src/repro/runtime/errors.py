@@ -90,9 +90,14 @@ class PartyCrashed(Exception):
     engine; protocol code must not catch it.
     """
 
-    def __init__(self, party_id: int, phase: Optional[str] = None):
+    def __init__(self, party_id: int, phase: Optional[str] = None,
+                 restart: bool = False):
         self.party_id = party_id
         self.phase = phase
+        # kill_restart faults set this: the process died but left its
+        # durable checkpoint behind, so the engine should attempt a
+        # rejoin before falling back to marking the party crashed.
+        self.restart = restart
         super().__init__(f"party {party_id} crashed"
                          + (f" in phase {phase!r}" if phase else ""))
 

@@ -17,6 +17,11 @@ engine's outbox and perturbs matching messages according to a list of
 ``corrupt``  the payload is replaced by a deterministically corrupted
              copy (see :func:`corrupt_payload`); receivers are expected
              to *validate and abort with blame*
+``kill_restart`` the sending party dies at the send point like ``crash``,
+             but the verdict is flagged restartable: an engine with a
+             checkpoint manager rebuilds the party from its durable
+             state and replays it back to the death point instead of
+             marking it crashed
 =========== =================================================================
 
 Determinism: specs are matched in list order against a per-spec match
@@ -46,7 +51,7 @@ class FaultSpec:
     agrees.  The first ``after`` matches pass unharmed; the next
     ``count`` matches are affected (``stall`` affects all of them)."""
 
-    kind: str                      # crash | drop | stall | delay | duplicate | corrupt
+    kind: str                      # crash | drop | stall | delay | duplicate | corrupt | kill_restart
     party: int                     # the faulty party (and the blame target)
     phase: Optional[str] = None    # named protocol phase (see PHASE_BY_TAG)
     tag: Optional[str] = None      # exact message tag
@@ -55,7 +60,8 @@ class FaultSpec:
     after: int = 0                 # matches skipped before the fault arms
     delay_rounds: int = 3          # for kind == "delay"
 
-    KINDS = ("crash", "drop", "stall", "delay", "duplicate", "corrupt")
+    KINDS = ("crash", "drop", "stall", "delay", "duplicate", "corrupt",
+             "kill_restart")
 
     def __post_init__(self):
         if self.kind not in self.KINDS:
@@ -81,6 +87,9 @@ class SendVerdict:
 
     crashed: bool = False
     lost: bool = False
+    #: crashed via ``kill_restart``: the party may rejoin from its
+    #: checkpoint instead of being marked dead.
+    restart: bool = False
     deliveries: List[Delivery] = field(default_factory=list)
 
 
@@ -120,6 +129,22 @@ class FaultInjector:
         return None
 
     # -- engine hook ----------------------------------------------------------
+    def crash_verdict(self, message: Message) -> bool:
+        """Commit-free lookahead: would :meth:`on_send` kill the sender?
+
+        The engine asks *before* handing the message to the wire codec —
+        a dying process never gets bytes onto the wire, so the
+        transport's digest and interning tables must not advance for a
+        crashed send.  Match counters are restored afterwards, so the
+        real :meth:`on_send` that follows commits exactly one match.
+        """
+        saved = list(self._matches)
+        try:
+            spec = self._active_spec(message)
+        finally:
+            self._matches = saved
+        return spec is not None and spec.kind in ("crash", "kill_restart")
+
     def on_send(self, message: Message, round: int) -> SendVerdict:
         """Decide the fate of one submitted (or retransmitted) message."""
         spec = self._active_spec(message)
@@ -128,6 +153,8 @@ class FaultInjector:
         self.events.append(FaultEvent(round=round, spec=spec, message=message))
         if spec.kind == "crash":
             return SendVerdict(crashed=True)
+        if spec.kind == "kill_restart":
+            return SendVerdict(crashed=True, restart=True)
         if spec.kind in ("drop", "stall"):
             return SendVerdict(lost=True)
         if spec.kind == "delay":

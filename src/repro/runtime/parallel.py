@@ -203,6 +203,18 @@ class WorkerPool:
         self.workers = workers
         self._executor: Optional[ProcessPoolExecutor] = None
         self._broken = False
+        self._drain_hooks: List[Callable[[], None]] = []
+
+    def register_drain(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` once when this pool is shut down at end of run.
+
+        The checkpoint layer registers a hook that persists every
+        party's precompute-pool cursor, so an orderly shutdown leaves
+        the pools' positions durable.  Hooks do NOT fire on the internal
+        broken-pool teardown paths — those happen mid-run, when the
+        protocol state is not at a boundary worth persisting.
+        """
+        self._drain_hooks.append(hook)
 
     @property
     def parallel(self) -> bool:
@@ -248,7 +260,7 @@ class WorkerPool:
         # inline"; no worker ran, so there is no blamed abort to swallow
         except Exception:
             self._broken = True
-            self.shutdown()
+            self._stop_executor()
             return [fn(job) for job in jobs]
         try:
             executor = self._ensure_executor()
@@ -259,16 +271,23 @@ class WorkerPool:
         # object; OSError/BrokenProcessPool cover spawn and worker death.
         except (OSError, PicklingError, AttributeError, TypeError, BrokenProcessPool):
             self._broken = True
-            self.shutdown()
+            self._stop_executor()
             return [fn(job) for job in jobs]
         except BaseException:
             # Any other failure (a job raising ProtocolAbort, an injected
             # fault, KeyboardInterrupt) must not leak worker processes:
             # tear the pool down before propagating.
-            self.shutdown()
+            self._stop_executor()
             raise
 
     def shutdown(self) -> None:
+        """Orderly end-of-run teardown: drain hooks once, then workers."""
+        hooks, self._drain_hooks = self._drain_hooks, []
+        for hook in hooks:
+            hook()
+        self._stop_executor()
+
+    def _stop_executor(self) -> None:
         # wait=True: callers only shut down between batches, when workers
         # are idle, so the join is cheap — and leaving the executor's
         # management thread winding down asynchronously deadlocks with
@@ -280,7 +299,7 @@ class WorkerPool:
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
         try:
-            self.shutdown()
+            self._stop_executor()
         # repro-lint: ignore[R-EXCEPT] -- nothing to re-raise into during
         # interpreter teardown; swallowing is the point of this guard
         except Exception:

@@ -37,8 +37,32 @@ class Party:
         self.phase: str = "init"
 
     def set_phase(self, phase: str) -> None:
-        """Record which named protocol phase this party is executing."""
+        """Record which named protocol phase this party is executing.
+
+        Phase entry is also the durable-state hook: an engine with a
+        checkpoint manager snapshots this party at every boundary, so a
+        party killed mid-phase can be rebuilt from its last boundary and
+        replayed forward from its journal.
+        """
         self.phase = phase
+        note = getattr(self._engine, "note_phase", None)
+        if note is not None:
+            note(self)
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Durable state captured at phase boundaries (picklable).
+
+        Concrete parties extend this with their protocol state (key
+        shares, recovered betas, shuffle-chain position...).  ``rng_state``
+        is ``None`` for non-replayable sources (:class:`SystemRNG`), in
+        which case checkpoint rejoin degrades to plain-crash handling.
+        """
+        getstate = getattr(self.rng, "getstate", None)
+        return {
+            "role": "party",
+            "party": self.party_id,
+            "rng_state": getstate() if callable(getstate) else None,
+        }
 
     # -- to be implemented by concrete parties -------------------------------
     def protocol(self) -> Generator[Recv, Message, None]:

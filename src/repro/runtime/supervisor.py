@@ -71,6 +71,12 @@ class Supervisor:
         self.deadline_factor = deadline_factor
         self.retransmits = 0
         self.timeouts = 0
+        self.rejoins = 0
+        # party_id -> round it last rejoined in.  Bookkeeping only: a
+        # rejoined party never enters the engine's crashed set, so the
+        # blame logic below needs no rejoin-awareness — it simply never
+        # sees the party as dead.
+        self.rejoined: Dict[int, int] = {}
         # EWMA of how many rounds satisfied receives actually waited,
         # fed by the engine on every delivery (see Engine._try_satisfy).
         self.latency_ewma: Optional[float] = None
@@ -103,6 +109,15 @@ class Supervisor:
         return max(
             self.timeout_rounds, math.ceil(self.latency_ewma * self.deadline_factor)
         )
+
+    def note_rejoin(self, party_id: int, round: int) -> None:
+        """Record that a killed party was rebuilt from its checkpoint.
+
+        Distinguishes "rejoining" from "blamed" in postmortems: the
+        party appears here rather than in the engine's crashed set.
+        """
+        self.rejoins += 1
+        self.rejoined[party_id] = round
 
     # -- engine hook ----------------------------------------------------------
     def on_quiescent(self, engine: "Engine") -> bool:

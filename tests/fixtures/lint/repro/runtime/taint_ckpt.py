@@ -1,0 +1,5 @@
+"""Fixture: secret written to a checkpoint store unsealed (R-TAINT-CKPT)."""
+
+
+def leak_checkpoint(store, secret_exponent):
+    store.write_snapshot(0, 1, 0, b"header", secret_exponent)

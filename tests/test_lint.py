@@ -33,6 +33,7 @@ SEEDED_VIOLATIONS = [
     ("R-TAINT-EXC", "repro/core/taint_exc.py", 5),
     ("R-TAINT-TRANSCRIPT", "repro/runtime/taint_transcript.py", 5),
     ("R-TAINT-WIRE", "repro/runtime/taint_wire.py", 7),
+    ("R-TAINT-CKPT", "repro/runtime/taint_ckpt.py", 5),
     ("R-TAINT-REPR", "repro/crypto/taint_repr.py", 9),
     ("R-RNG", "repro/core/bad_rng.py", 3),
     ("R-RNG", "repro/math/backend_rng.py", 7),

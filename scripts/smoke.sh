@@ -20,6 +20,9 @@ trap 'rm -rf "$CKPT_DIR"' EXIT
 PYTHONPATH=src python -m repro demo -n 5 --checkpoint-dir "$CKPT_DIR"
 PYTHONPATH=src python -m repro demo -n 5 --checkpoint-dir "$CKPT_DIR" --resume
 
+echo "== hierarchical sharding: n=64 phase 2 in shards of 16 =="
+PYTHONPATH=src python -m repro demo -n 64 --shard-size 16
+
 echo "== protocol lint (taint + invariants) =="
 PYTHONPATH=src python -m repro.lint --strict
 

@@ -11,15 +11,22 @@
   security definitions (IND-CPA, gain hiding, identity unlinkability) as
   statistical experiments, including the concrete attacks that succeed
   when the shuffle or the rerandomization is ablated.
+* :mod:`repro.analysis.symbolic` — the sympy-backed
+  :class:`CrossoverModel` over the hierarchical (sharded) closed forms,
+  predicting the flat-vs-sharded crossover point.
 """
 
 from repro.analysis.complexity import (
     framework_participant_cost,
     framework_round_count,
     initiator_cost,
+    sharded_aggregation_bits,
+    sharded_participant_bits,
+    sharded_participant_cost,
     ss_framework_participant_cost,
     ss_framework_round_count,
 )
+from repro.analysis.symbolic import CrossoverModel
 from repro.analysis.costmodel import CostModel, calibrate_dl, calibrate_ecc, calibrate_field
 from repro.analysis.counting import CountingGroup
 from repro.analysis.leakage import (
@@ -63,8 +70,12 @@ __all__ = [
     "estimate_advantage",
     "framework_participant_cost",
     "framework_round_count",
+    "CrossoverModel",
     "ind_cpa_game",
     "initiator_cost",
+    "sharded_aggregation_bits",
+    "sharded_participant_bits",
+    "sharded_participant_cost",
     "ss_framework_participant_cost",
     "ss_framework_round_count",
     "tau_dictionary_attack",

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.sharding.partition import shard_sizes
 from repro.sharing.comparison import nishide_ohta_cost
 from repro.sorting.networks import batcher_odd_even
 
@@ -179,3 +180,157 @@ def ss_framework_participant_bits(n: int, l: int, field_bits: int) -> float:
     """Per-participant bits: each multiplication reshards to n-1 peers."""
     mult_invocations = ss_sort_comparison_count(n) * nishide_ohta_cost(l)
     return mult_invocations * (n - 1) * field_bits
+
+
+# ---------------------------------------------------------------------------
+# The hierarchical (sharded) composition
+# ---------------------------------------------------------------------------
+#
+# Phase 2 runs inside shards of ≤ s members, so every n in the flat
+# per-participant formulas collapses to the (largest) shard size — the
+# quadratic shuffle-chain terms become constants in n.  The price is one
+# champion-aggregation round over the secret-sharing substrate, whose
+# cost is quantified here in the substrate's own units (field
+# multiplication invocations / field-element messages); it is polynomial
+# in the *candidate count* c = Σ min(k, sᵢ) ≈ k·n/s, not in n·l·λ, and
+# is negligible next to the shard-level group work at practical sizes.
+
+def sharded_participant_cost(
+    n: int, shard_size: int, l: int, lambda_bits: int,
+    naive_suffix: bool = False,
+) -> CostBreakdown:
+    """Group multiplications one participant spends under sharding.
+
+    The flat formula evaluated at the largest shard's size: phase 2 is
+    the *unmodified* paper protocol among the shard's members, so a
+    member of an s-party shard pays exactly the flat n = s cost.  The
+    aggregation round is excluded — candidates pay it in field
+    multiplications, not group multiplications
+    (:func:`aggregation_invocation_count`).
+    """
+    largest = max(shard_sizes(n, shard_size))
+    return framework_participant_cost(
+        largest, l, lambda_bits, naive_suffix=naive_suffix
+    )
+
+
+def sharded_participant_bits(
+    n: int, shard_size: int, l: int, ciphertext_bits: int
+) -> int:
+    """Per-participant phase-2 bits under sharding (largest shard).
+
+    The flat ``O(l·S_c·n²)`` chain-forwarding term at n = shard size:
+    constant in the global n.
+    """
+    largest = max(shard_sizes(n, shard_size))
+    return framework_participant_bits(largest, l, ciphertext_bits)
+
+
+def aggregation_candidates(n: int, shard_size: int, k: int) -> int:
+    """Size of the champion set: every shard contributes min(k, sᵢ)."""
+    return sum(min(k, s) for s in shard_sizes(n, shard_size))
+
+
+def aggregation_field_bits(l: int) -> int:
+    """Bit length of the aggregation field (prime just below 2^(l+2)).
+
+    Bertrand guarantees a prime in (2^(l+1), 2^(l+2)), so the largest
+    prime below 2^(l+2) always has exactly l+2 bits.
+    """
+    return l + 2
+
+
+def lsb_comparison_invocations(field_bits: int) -> int:
+    """Field-multiplication invocations of one half-range comparison.
+
+    One :func:`~repro.sharing.comparison.less_than` = one LSB gadget
+    over a w-bit field: w bit generations (1 mult each), the w-mult
+    rejection test on the masked randomness, a ~w-mult public wrap
+    test, and one XOR — ``3w + 1`` expected invocations.  The
+    aggregation prime sits just below a power of two, so the rejection
+    sampling accepts with probability ≈ 1 and the expectation is tight
+    (measured counts land within one wrap-test parity mult per
+    comparison).
+    """
+    return 3 * field_bits + 1
+
+
+def lsb_comparison_messages(field_bits: int, parties: int) -> int:
+    """Field-element messages one comparison moves among ``parties``.
+
+    Every multiplication and opening reshards/reveals point to point
+    (``c(c−1)`` messages); a comparison performs the ``3w + 1``
+    multiplications above plus ``w + 2`` openings — ``(4w + 3)·c(c−1)``
+    — and deals ``w`` random sharings of one contribution per party
+    (``w·c`` shares of ``c−1`` messages each).
+    """
+    pairwise = parties * (parties - 1)
+    invocations = lsb_comparison_invocations(field_bits) + (field_bits + 2)
+    dealing = field_bits * parties * (parties - 1)
+    return invocations * pairwise + dealing
+
+
+def aggregation_probe_estimate(candidates: int) -> int:
+    """Expected threshold-search probes: ``⌈log₂ c⌉ + 2``.
+
+    The binary search over ``[0, 2^l)`` stops once θ lands in the gap
+    between the k-th and (k+1)-th candidate β.  For c candidates spread
+    over the range the gap is ≈ range/(c+1), so ~``log₂ c`` halvings
+    plus a small constant isolate it; the worst case (ties straddling
+    the k-th place) is ``l`` probes followed by the ranking fallback.
+    """
+    return max(1, math.ceil(math.log2(max(2, candidates)))) + 2
+
+
+def aggregation_invocation_count(
+    n: int, shard_size: int, k: int, l: int
+) -> float:
+    """Expected field-multiplication invocations of champion aggregation.
+
+    Threshold probes (c comparisons each) plus the winners-only Batcher
+    network (one comparison + two conditional-swap multiplications per
+    comparator).  Probe count is the expectation of
+    :func:`aggregation_probe_estimate`; everything else is exact on the
+    success path.
+    """
+    c = aggregation_candidates(n, shard_size, k)
+    k_eff = min(k, c)
+    if c <= 1:
+        return 0.0
+    w = aggregation_field_bits(l)
+    lsb = lsb_comparison_invocations(w)
+    probe_mults = aggregation_probe_estimate(c) * c * lsb
+    comparators = (
+        batcher_odd_even(k_eff).comparator_count if k_eff > 1 else 0
+    )
+    network_mults = comparators * (lsb + 2)
+    return float(probe_mults + network_mults)
+
+
+def sharded_aggregation_bits(
+    n: int, shard_size: int, k: int, l: int
+) -> float:
+    """Expected field-element bits the champion aggregation moves.
+
+    Input shares, per-probe comparison + count-opening traffic, the
+    member reveal of the successful probe's cached indicator bits, and
+    the winners-only index-lane network — all multiplied by the
+    ``l + 2``-bit field-element width.
+    """
+    c = aggregation_candidates(n, shard_size, k)
+    k_eff = min(k, c)
+    if c <= 1:
+        return 0.0
+    w = aggregation_field_bits(l)
+    pairwise = c * (c - 1)
+    probes = aggregation_probe_estimate(c)
+    messages = c * (c - 1)                                # input shares
+    messages += probes * (c * lsb_comparison_messages(w, c) + pairwise)
+    messages += c * pairwise                              # member reveal
+    comparators = (
+        batcher_odd_even(k_eff).comparator_count if k_eff > 1 else 0
+    )
+    messages += 2 * k_eff * (c - 1)                       # lane shares
+    messages += comparators * (lsb_comparison_messages(w, c) + 2 * pairwise)
+    messages += k_eff * pairwise                          # index-lane opens
+    return float(messages * w)

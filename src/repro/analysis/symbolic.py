@@ -1,0 +1,212 @@
+"""Symbolic flat-vs-sharded crossover model (sympy).
+
+Wraps the closed forms of :mod:`repro.analysis.complexity` into sympy
+expressions with **only the participant count n symbolic** — the shard
+size s, gain bit length l, exponent width λ, selection size k and
+ciphertext width are fixed at construction, so every shard-local and
+per-candidate constant (the Batcher comparator count over k winners, the
+LSB gadget's 3w+1 invocations, the probe estimate's additive +2) is
+resolved numerically and the symbolic expressions evaluate to *exactly*
+the numeric closed forms whenever s divides n.
+
+The model answers the question the benches measure: from which n onward
+does the sharded composition beat the flat protocol, and by how much?
+
+* **Group multiplications** — flat phase 2 is Θ(l·n²·λ) per participant
+  (the shuffle chain), so the total is cubic in n; sharded phase 2 is
+  the same formula frozen at n = s, so the total is *linear* in n.  The
+  champion aggregation costs field multiplications in an (l+2)-bit
+  field — a different (and vastly cheaper) unit the model reports
+  separately rather than folding into group-multiplication counts.
+* **Wire bits** — flat is Θ(l·S_c·n³) total; sharded is linear in n
+  plus the aggregation's field-element traffic, which grows like
+  ``Θ̃((k·n/s)³)`` in the candidate count.  One-level sharding therefore
+  wins by a constant-in-n factor only until the aggregation's cubic
+  term catches up (far beyond practical sizes for small k/s ratios —
+  :meth:`CrossoverModel.aggregation_dominates_beyond` locates the
+  scale); recursing the composition on the candidate set would push
+  this out indefinitely and is left as future work.
+
+Exactness caveats, all documented per method: the shard terms assume
+every shard has exactly s members (true when s | n; otherwise balanced
+partitioning makes some shards one member larger), the candidate count
+uses c = k·n/s (exact when s | n and k ≤ s), and the probe count is the
+expectation ⌈log₂ c⌉ + 2 of a data-dependent binary search.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import sympy
+
+from repro.analysis.complexity import (
+    aggregation_field_bits,
+    framework_participant_bits,
+    framework_participant_cost,
+    lsb_comparison_invocations,
+    lsb_comparison_messages,
+)
+from repro.sorting.networks import batcher_odd_even
+
+__all__ = ["CrossoverModel"]
+
+#: Metrics :meth:`CrossoverModel.crossover` understands.
+METRICS = ("multiplications", "bits")
+
+
+class CrossoverModel:
+    """Flat-vs-sharded cost expressions in the single symbol ``n``."""
+
+    def __init__(
+        self,
+        shard_size: int,
+        l: int,
+        lambda_bits: int,
+        k: int,
+        ciphertext_bits: int,
+        naive_suffix: bool = False,
+    ):
+        if shard_size < 2:
+            raise ValueError("shard_size must be at least 2")
+        if not 1 <= k <= shard_size:
+            raise ValueError(
+                "the symbolic candidate count k·n/s needs k <= shard_size"
+            )
+        self.shard_size = shard_size
+        self.l = l
+        self.lambda_bits = lambda_bits
+        self.k = k
+        self.ciphertext_bits = ciphertext_bits
+        self.n = n = sympy.Symbol("n", positive=True)
+
+        # Flat: the closed forms are polynomial in n, so passing the
+        # symbol straight through complexity.py keeps the two layers
+        # identical by construction.
+        self.flat_multiplications = (
+            n * framework_participant_cost(
+                n, l, lambda_bits, naive_suffix=naive_suffix
+            ).total
+        )
+        self.flat_bits = n * framework_participant_bits(n, l, ciphertext_bits)
+
+        # Sharded: per-participant work is the flat formula frozen at
+        # n = shard_size — a numeric constant (exact when s | n).
+        per_shard_mults = framework_participant_cost(
+            shard_size, l, lambda_bits, naive_suffix=naive_suffix
+        ).total
+        per_shard_bits = framework_participant_bits(
+            shard_size, l, ciphertext_bits
+        )
+        self.sharded_multiplications = n * per_shard_mults
+
+        # Champion aggregation, symbolic in the candidate count
+        # c = k·n/s.  Mirrors complexity.sharded_aggregation_bits term
+        # by term, with the probe estimate's ceil(log2 c) as a sympy
+        # ceiling so integer substitution reproduces math.ceil exactly.
+        c = k * n / shard_size
+        w = aggregation_field_bits(l)
+        pairwise = c * (c - 1)
+        probes = sympy.ceiling(sympy.log(c, 2)) + 2
+        comparison_messages = lsb_comparison_messages(w, c)
+        comparators = batcher_odd_even(k).comparator_count if k > 1 else 0
+        messages = (
+            pairwise                                        # input shares
+            + probes * (c * comparison_messages + pairwise)
+            + c * pairwise                                  # member reveal
+            + 2 * k * (c - 1)                               # lane shares
+            + comparators * (comparison_messages + 2 * pairwise)
+            + k * pairwise                                  # index opens
+        )
+        self.aggregation_bits = messages * w
+        self.aggregation_multiplications = (
+            probes * c * lsb_comparison_invocations(w)
+            + comparators * (lsb_comparison_invocations(w) + 2)
+        )
+        self.sharded_bits = n * per_shard_bits + self.aggregation_bits
+
+    # -- evaluation ------------------------------------------------------
+
+    def _expression(self, metric: str, sharded: bool):
+        if metric == "multiplications":
+            return (
+                self.sharded_multiplications if sharded
+                else self.flat_multiplications
+            )
+        if metric == "bits":
+            return self.sharded_bits if sharded else self.flat_bits
+        raise ValueError(f"unknown metric {metric!r}; expected one of {METRICS}")
+
+    def evaluate(self, metric: str, n: int, sharded: bool) -> float:
+        """Exact substitution (no float round-trip) of one cost at n."""
+        value = self._expression(metric, sharded).subs(self.n, sympy.Integer(n))
+        return float(sympy.N(value))
+
+    def speedup(self, metric: str, n: int) -> float:
+        """Model-predicted flat/sharded ratio at n (> 1 means sharding wins)."""
+        sharded = self.evaluate(metric, n, sharded=True)
+        if sharded == 0:
+            return math.inf
+        return self.evaluate(metric, n, sharded=False) / sharded
+
+    # -- crossovers ------------------------------------------------------
+
+    def crossover(self, metric: str, n_max: int = 4096) -> Optional[int]:
+        """Smallest n > shard_size where the sharded cost drops below flat.
+
+        Scans integers (the expressions are cheap lambdified floats);
+        returns ``None`` if sharding never wins below ``n_max``.
+        """
+        flat = sympy.lambdify(self.n, self._expression(metric, False), "math")
+        shard = sympy.lambdify(self.n, self._expression(metric, True), "math")
+        for n in range(self.shard_size + 1, n_max + 1):
+            if shard(n) < flat(n):
+                return n
+        return None
+
+    def aggregation_dominates_beyond(self, n_max: int = 1 << 22) -> Optional[int]:
+        """Scale at which the aggregation outweighs the shard-level bits.
+
+        The candidate-count term grows like ``Θ̃(c³)``, so one-level
+        sharding stops being bit-cheaper than its own shards somewhere;
+        geometric scan for the first n (ceiling'd to a multiple of s)
+        where aggregation bits exceed the shard-level bits.  ``None``
+        means not within ``n_max`` — recursion is not yet worthwhile.
+        """
+        shard_level = sympy.lambdify(
+            self.n, self.n * framework_participant_bits(
+                self.shard_size, self.l, self.ciphertext_bits
+            ), "math",
+        )
+        aggregation = sympy.lambdify(self.n, self.aggregation_bits, "math")
+        n = 2 * self.shard_size
+        while n <= n_max:
+            if aggregation(n) > shard_level(n):
+                return n
+            n = -(-(n * 2) // self.shard_size) * self.shard_size
+        return None
+
+    def summary(self, n: int) -> Dict[str, float]:
+        """All model outputs at one n — what the bench writes to JSON."""
+        return {
+            "n": n,
+            "shard_size": self.shard_size,
+            "k": self.k,
+            "flat_multiplications": self.evaluate("multiplications", n, False),
+            "sharded_multiplications": self.evaluate("multiplications", n, True),
+            "flat_bits": self.evaluate("bits", n, False),
+            "sharded_bits": self.evaluate("bits", n, True),
+            "aggregation_bits": float(
+                sympy.N(self.aggregation_bits.subs(self.n, sympy.Integer(n)))
+            ),
+            "aggregation_multiplications": float(
+                sympy.N(
+                    self.aggregation_multiplications.subs(
+                        self.n, sympy.Integer(n)
+                    )
+                )
+            ),
+            "multiplication_speedup": self.speedup("multiplications", n),
+            "bit_speedup": self.speedup("bits", n),
+        }

@@ -42,6 +42,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="fold proof checks into one multi-exponentiation")
     demo.add_argument("--bit-proofs", action="store_true",
                       help="publish per-bit validity proofs (malicious model)")
+    demo.add_argument("--shard-size", type=int, default=0, metavar="S",
+                      help="hierarchical mode: run phase 2 in shards of ~S "
+                           "members plus a champion-aggregation round "
+                           "(0 = flat protocol)")
     demo.add_argument("--streaming", action="store_true",
                       help="pipeline the shuffle chain in chunks")
     demo.add_argument("--chunk-sets", type=int, default=1, metavar="C",
@@ -56,6 +60,9 @@ def _build_parser() -> argparse.ArgumentParser:
     netsim = sub.add_parser("netsim", help="replay a run over the paper network")
     netsim.add_argument("-n", "--participants", type=int, default=6)
     netsim.add_argument("--seed", type=int, default=1)
+    netsim.add_argument("--shard-size", type=int, default=0, metavar="S",
+                        help="hierarchical mode: shard phase 2 into groups "
+                             "of ~S members (0 = flat protocol)")
     _add_wire_flags(netsim)
     _add_backend_flag(netsim)
     _add_checkpoint_flags(netsim)
@@ -181,6 +188,7 @@ def cmd_demo(args, out) -> int:
         coalesce=args.coalesce,
         backend=args.backend,
         checkpoint_dir=args.checkpoint_dir,
+        shard_size=args.shard_size,
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)
@@ -197,7 +205,15 @@ def cmd_demo(args, out) -> int:
     print(f"group: {config.group.name}   n={args.participants}  k={args.top}  "
           f"l={config.beta_bits} bits  zkp={args.zkp}  backend={ran_backend}"
           + (f"  [{' '.join(flags)}]" if flags else ""), file=out)
-    print("ranks:", dict(sorted(result.ranks.items())), file=out)
+    if getattr(result, "shard_sizes", None):
+        print(f"shards: {result.shard_sizes} "
+              f"(candidates: {result.candidates}, "
+              f"aggregation: {result.aggregation_bits / 8e6:.2f} MB over "
+              f"{result.aggregation_rounds} SS rounds)", file=out)
+        print("ranks (exact for top-k, lower bounds below):",
+              dict(sorted(result.ranks.items())), file=out)
+    else:
+        print("ranks:", dict(sorted(result.ranks.items())), file=out)
     print("selected:", result.selected_ids(),
           f"(verified: {result.initiator_output.verified})", file=out)
     print(f"rounds: {result.rounds}   messages: {len(result.transcript)}   "
@@ -275,6 +291,7 @@ def cmd_netsim(args, out) -> int:
         num_participants=args.participants, k=2, rho_bits=8,
         wire=args.wire, wire_codec=args.wire_codec, coalesce=args.coalesce,
         backend=args.backend, checkpoint_dir=args.checkpoint_dir,
+        shard_size=args.shard_size,
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)

@@ -92,6 +92,12 @@ class FrameworkResult:
             m.ops.equivalent_multiplications for m in self.participant_metrics()
         )
 
+    def total_participant_multiplications(self) -> int:
+        """Whole-cohort group work: the benchmark's flat-vs-sharded metric."""
+        return sum(
+            m.ops.equivalent_multiplications for m in self.participant_metrics()
+        )
+
 
 class GroupRankingFramework:
     """Build, run and check a privacy-preserving group ranking instance."""
@@ -118,6 +124,7 @@ class GroupRankingFramework:
         faults: Union[FaultInjector, Sequence[FaultSpec], None] = None,
         *,
         resume: bool = False,
+        known_betas: Optional[Dict[int, int]] = None,
     ) -> FrameworkResult:
         """Run the framework, optionally under an injected fault plan.
 
@@ -132,13 +139,34 @@ class GroupRankingFramework:
         has one the new attempt re-enters at phase 2 — the crashed
         process's phase-1 work is not redone.
 
+        ``known_betas`` (every active participant's masked gain, all
+        drawn under one ρ) skips phase 1 entirely and runs phase 2
+        onward — the hierarchical composition uses this to hand each
+        shard its members' β, and benchmarks use it to meter phase 2 in
+        isolation.
+
+        With ``0 < config.shard_size < n`` the run is dispatched to the
+        hierarchical composition (:mod:`repro.sharding.hierarchy`):
+        phase 1 once globally, phase 2 inside concurrent shards, a
+        secret-shared champion-aggregation round, then the global
+        submission phase.  The result is then a
+        :class:`~repro.sharding.hierarchy.HierarchicalResult`.
+
         The whole run (every retry attempt included) executes under
         ``config.backend``; the previous process-wide backend is
         restored on exit.  Backends are transcript-equivalent, so this
         scoping affects speed only.
         """
-        with backend.use_backend(self.config.backend):
-            return self._run_with_recovery(faults, resume)
+        config = self.config
+        if 0 < config.shard_size < config.num_participants:
+            from repro.sharding.hierarchy import run_hierarchical
+
+            with backend.use_backend(config.backend):
+                return run_hierarchical(
+                    self, faults, resume=resume, known_betas=known_betas
+                )
+        with backend.use_backend(config.backend):
+            return self._run_with_recovery(faults, resume, known_betas)
 
     def _make_checkpoints(self):
         """A checkpoint manager when the config asks for one."""
@@ -154,17 +182,18 @@ class GroupRankingFramework:
         self,
         faults: Union[FaultInjector, Sequence[FaultSpec], None],
         resume: bool = False,
+        seed_betas: Optional[Dict[int, int]] = None,
     ) -> FrameworkResult:
         config = self.config
         injector = self._make_injector(faults)
         active = list(config.participant_ids)
         excluded: List[int] = []
-        known_betas: Dict[int, int] = {}
+        known_betas: Dict[int, int] = dict(seed_betas) if seed_betas else {}
         attempt = 0
         manager = self._make_checkpoints()
         # Exposed for tests/operators: rejoin bookkeeping lives here.
         self.last_checkpoints = manager
-        if resume:
+        if resume and not known_betas:
             if manager is None:
                 raise ValueError("resume=True requires config.checkpoint_dir")
             known_betas, attempt = manager.resume_state(active)
@@ -369,7 +398,14 @@ class GroupRankingFramework:
         adjacent ranks depending on the masking draw, so ties accept a
         range.  After a recovery run, ranks are checked among the
         survivors (``result.ranks``'s key set) only.
+
+        Hierarchical results carry exact ranks for top-k winners only
+        (everyone else holds a lower bound), so the sharded branch
+        checks winners against the in-the-clear reference and only the
+        bound's validity for the rest.
         """
+        if getattr(result, "shard_sizes", None):
+            return self._check_hierarchical(result)
         problems: List[str] = []
         gains = {
             j: g for j, g in self.expected_partial_gains().items() if j in result.ranks
@@ -389,6 +425,59 @@ class GroupRankingFramework:
             problems.append(
                 f"initiator selected {sorted(result.selected_ids())}, "
                 f"ranks imply {sorted(expected_selected)}"
+            )
+        if not result.initiator_output.verified:
+            problems.append(
+                f"initiator flagged anomalies: {result.initiator_output.anomalies}"
+            )
+        return problems
+
+    def _check_hierarchical(self, result: FrameworkResult) -> List[str]:
+        """Sharded-run counterpart of :meth:`check_result`.
+
+        Winners (rank ≤ k) must sit inside their in-the-clear tie range
+        and must all be gain-eligible for the top k; non-winners carry a
+        rank *lower bound*, which must exceed k and never undercut the
+        true rank.  Under a gain tie that straddles the k-th place the
+        aggregation sort breaks the tie arbitrarily, so the selected set
+        is checked for eligibility and size, not exact identity.
+        """
+        problems: List[str] = []
+        k = self.config.k
+        gains = {
+            j: g for j, g in self.expected_partial_gains().items() if j in result.ranks
+        }
+        winners = {j: r for j, r in result.ranks.items() if r <= k}
+        for j, rank in result.ranks.items():
+            strictly_better = sum(1 for g in gains.values() if g > gains[j])
+            ties = sum(1 for g in gains.values() if g == gains[j])  # includes self
+            if j in winners:
+                if not strictly_better + 1 <= rank <= strictly_better + ties:
+                    problems.append(
+                        f"P{j}: winner rank {rank} outside "
+                        f"[{strictly_better + 1}, {strictly_better + ties}]"
+                    )
+                if strictly_better >= k:
+                    problems.append(
+                        f"P{j}: selected as a winner but {strictly_better} "
+                        f"parties have strictly higher gain (k={k})"
+                    )
+            elif rank <= k:
+                problems.append(f"P{j}: non-winner bound {rank} not above k={k}")
+            elif rank > strictly_better + ties:
+                problems.append(
+                    f"P{j}: rank bound {rank} exceeds worst possible rank "
+                    f"{strictly_better + ties}"
+                )
+        if len(winners) < min(k, len(result.ranks)):
+            problems.append(
+                f"only {len(winners)} winners for k={k} among "
+                f"{len(result.ranks)} ranked parties"
+            )
+        if set(result.selected_ids()) != set(winners):
+            problems.append(
+                f"initiator selected {sorted(result.selected_ids())}, "
+                f"winner ranks imply {sorted(winners)}"
             )
         if not result.initiator_output.verified:
             problems.append(

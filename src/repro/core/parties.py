@@ -69,6 +69,11 @@ TAG_TAU_SETS = "tau-sets"
 TAG_CHAIN = "chain"
 TAG_FINAL_SET = "final-set"
 TAG_SUBMISSION = "submission"
+# Synthetic transcript tag for the hierarchical composition's
+# champion-aggregation round (repro.sharding): the secret-shared
+# field-element traffic between shard champions, folded into the
+# merged transcript as ordered-pair entries.
+TAG_AGGREGATE = "shard-aggregate"
 
 # Named protocol phases, used for blame reports and fault targeting.
 PHASE_GAIN = "gain"
@@ -76,6 +81,7 @@ PHASE_KEYING = "keying"
 PHASE_COMPARISON = "comparison"
 PHASE_CHAIN = "chain"
 PHASE_SUBMISSION = "submission"
+PHASE_AGGREGATE = "aggregate"
 
 PHASE_BY_TAG: Dict[str, str] = {
     TAG_DP_REQUEST: PHASE_GAIN,
@@ -90,6 +96,7 @@ PHASE_BY_TAG: Dict[str, str] = {
     TAG_CHAIN: PHASE_CHAIN,
     TAG_FINAL_SET: PHASE_CHAIN,
     TAG_SUBMISSION: PHASE_SUBMISSION,
+    TAG_AGGREGATE: PHASE_AGGREGATE,
 }
 
 
@@ -129,6 +136,16 @@ class FrameworkConfig:
       back to per-proof checks, so aborts blame the same party the
       unbatched protocol would; transcripts and ranks are identical
       either way.
+    * ``shard_size`` — ``0`` (default) runs the paper's flat protocol;
+      any value ≥ 2 switches :meth:`GroupRankingFramework.run` to the
+      hierarchical composition (:mod:`repro.sharding`): phase 2 runs
+      inside shards of at most this many participants, shard champions
+      are ranked in a secret-shared aggregation round, and only global
+      top-k winners learn (and submit) exact ranks.
+    * ``collect_submissions`` — internal switch used by shard-local
+      sub-runs: when off, phase 3 still runs its decline round (so the
+      round structure is unchanged) but nobody submits values and the
+      initiator's minimum-submission anomaly check is waived.
     * ``streaming`` — pipeline the step-8 chain: the head emits the
       vector in chunks of ``stream_chunk_sets`` comparison sets, pausing
       a round between chunks, so hop ``i+1`` decrypt–rerandomizes chunk
@@ -210,6 +227,8 @@ class FrameworkConfig:
     backend: str = "auto"           # arithmetic backend: "auto"/"python"/"gmpy2"
     checkpoint_dir: Optional[str] = None   # durable state directory (None = off)
     checkpoint_every: int = 0       # extra journal fsync cadence, in rounds
+    shard_size: int = 0             # 0 = flat run; ≥2 = hierarchical shards
+    collect_submissions: bool = True  # off inside shard-local sub-runs
 
     def __post_init__(self):
         if self.zkp_mode not in ("interactive", "fiat-shamir"):
@@ -238,6 +257,13 @@ class FrameworkConfig:
             raise ValueError("max_retries must be non-negative")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
+        if self.shard_size < 0:
+            raise ValueError("shard_size must be non-negative")
+        if self.shard_size == 1:
+            raise ValueError(
+                "shard_size must be 0 (flat) or at least 2 (a shard's "
+                "comparison phase needs two parties)"
+            )
         from repro.core.gain import beta_bit_length
         from repro.math.primes import next_prime
 
@@ -331,11 +357,17 @@ class InitiatorParty(Party):
         return state
 
     def protocol(self):
+        yield from self._phase_gain_service()
+        yield from self._phase_keying_verification()
+        yield from self._phase_collect_submissions()
+
+    # -- Phase 1 -----------------------------------------------------------------
+    def _phase_gain_service(self):
+        """Steps 1 and 3: answer each participant's dot-product request."""
         config = self.config
         participants = self.active_ids
         dot = config.dot_protocol()
 
-        # ---- Phase 1: secure gain computation (steps 1, 3) ----
         self.set_phase(PHASE_GAIN)
         if self.run_gain_phase:
             rho = max(
@@ -368,7 +400,11 @@ class InitiatorParty(Party):
                     message.src, TAG_DP_RESPONSE, response, size_bits=response_bits
                 )
 
-        # ---- Phase 2 (verifier role only): check every participant's ZKP ----
+    # -- Phase 2 (verifier role only) --------------------------------------------
+    def _phase_keying_verification(self):
+        """Check every participant's key-knowledge proof."""
+        config = self.config
+        participants = self.active_ids
         self.set_phase(PHASE_KEYING)
         publics: Dict[int, Element] = {}
         if config.verify_zkp and config.zkp_mode == "fiat-shamir":
@@ -409,7 +445,11 @@ class InitiatorParty(Party):
                 )
             proof_batch.verify_and_register()
 
-        # ---- Phase 3: collect submissions, re-verify, select top k ----
+    # -- Phase 3 -----------------------------------------------------------------
+    def _phase_collect_submissions(self):
+        """Collect submissions, re-verify, select the top k."""
+        config = self.config
+        participants = self.active_ids
         self.set_phase(PHASE_SUBMISSION)
         output = InitiatorOutput()
         gains: Dict[int, int] = {}
@@ -437,7 +477,11 @@ class InitiatorParty(Party):
         """
         config = self.config
         active = len(self.active_ids)
-        if len(output.selected) < config.k and len(output.selected) < active:
+        if (
+            config.collect_submissions
+            and len(output.selected) < config.k
+            and len(output.selected) < active
+        ):
             output.anomalies.append(
                 f"expected at least {min(config.k, active)} submissions, "
                 f"got {len(output.selected)}"
@@ -1012,7 +1056,7 @@ class ParticipantParty(Party):
         self.set_phase(PHASE_SUBMISSION)
         config = self.config
         rank = self._claimed_rank(rank)
-        if rank <= config.k:
+        if rank <= config.k and config.collect_submissions:
             payload = Submission(rank=rank, values=self.secret_input.values)
             size = config.schema.dimension * config.schema.value_bits + 32
         else:

@@ -59,6 +59,13 @@ SCOPED_SECRET_NAMES: Dict[str, FrozenSet[str]] = {
     "repro.runtime": frozenset(
         {"permutation", "rerandomizers", "rerandomizer_pairs"}
     ),
+    # The hierarchy moves β values (gain-masked, but order-revealing)
+    # between levels: shard hand-offs and the champion aggregation must
+    # never log or transcript-annotate them in the clear.
+    "repro.sharding": frozenset(
+        {"permutation", "rerandomizers", "betas", "known_betas",
+         "candidate_betas"}
+    ),
 }
 
 #: Call names whose result is safe even with secret arguments.

@@ -109,9 +109,45 @@ class MixHopJob:
     )  # repro: secret
 
 
+@dataclass(frozen=True)
+class ShardJob:
+    """One shard's entire phase-2 sub-run (hierarchical composition).
+
+    Unlike the fine-grained jobs above, the worker here runs a complete
+    shard-local framework (keying, comparison, chain) over the members'
+    already-recovered β values.  Determinism still holds: the shard's
+    RNG is pre-forked by the orchestrator under a per-shard label, so
+    pool and inline execution produce identical results, and the
+    returned :class:`~repro.core.framework.FrameworkResult` carries the
+    shard's own metered counters.
+    """
+
+    config: object                       # shard-local FrameworkConfig
+    initiator_input: object = field(repr=False)  # repro: secret
+    participant_inputs: Tuple[object, ...] = field(repr=False)  # repro: secret
+    rng: object = field(repr=False)
+    known_betas: Tuple[Tuple[int, int], ...] = field(repr=False)  # repro: secret
+    fault_specs: Tuple[object, ...] = ()
+
+
 # ---------------------------------------------------------------------------
 # Worker-side evaluators
 # ---------------------------------------------------------------------------
+
+def evaluate_shard_job(job: ShardJob):
+    """Run one shard's phase-2-only framework to completion."""
+    from repro.core.framework import GroupRankingFramework
+
+    framework = GroupRankingFramework(
+        job.config,
+        job.initiator_input,
+        list(job.participant_inputs),
+        rng=job.rng,
+    )
+    return framework.run(
+        list(job.fault_specs) or None, known_betas=dict(job.known_betas)
+    )
+
 
 def evaluate_tau_job(job: TauJob) -> Tuple[List[Ciphertext], OperationCounter]:
     from repro.core.comparison import HomomorphicComparator

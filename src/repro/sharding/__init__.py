@@ -1,0 +1,27 @@
+"""Hierarchical (sharded tournament) composition of the ranking protocol.
+
+Phase 2 of the paper's protocol is O(n²) comparison circuits plus an
+n-hop shuffle chain — fine at the paper's n=16, fatal at large n.  This
+package composes the protocol with itself:
+
+* :mod:`repro.sharding.partition` — deterministic split of the active
+  set into shards of at most ``config.shard_size`` participants;
+* :mod:`repro.sharding.parties` — the level-restricted party roles
+  (phase-1-only service, submission-only initiator/participant) built
+  from the refactored phase generators in :mod:`repro.core.parties`;
+* :mod:`repro.sharding.aggregate` — the champion-aggregation round: a
+  Tueno-style star topology where shard champions rank each other over
+  the secret-sharing substrate (``sorting/topk.py`` + a Batcher network
+  on the survivors);
+* :mod:`repro.sharding.hierarchy` — the orchestrator gluing the levels
+  together and merging transcripts, metrics, and wire accounting into
+  one :class:`~repro.sharding.hierarchy.HierarchicalResult`.
+
+Entry point: ``GroupRankingFramework.run`` dispatches here whenever
+``0 < config.shard_size < config.num_participants``.
+"""
+
+from repro.sharding.hierarchy import HierarchicalResult, run_hierarchical
+from repro.sharding.partition import plan_shards
+
+__all__ = ["HierarchicalResult", "plan_shards", "run_hierarchical"]

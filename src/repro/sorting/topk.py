@@ -19,7 +19,7 @@ guaranteed to terminate with a correct result every time"; the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.sharing.arithmetic import SSContext, SSMetrics, SharedValue
 from repro.sharing.comparison import less_than
@@ -58,10 +58,10 @@ def probabilistic_top_k(
     probes = 0
     while low < high:
         theta = (low + high) // 2
-        count = _count_at_least(context, shared, theta)
+        count, indicators = _count_at_least(context, shared, theta)
         probes += 1
         if count == k:
-            members = _open_members(context, shared, theta)
+            members = _open_members(context, indicators)
             return TopKResult(
                 succeeded=True, members=members, threshold=theta,
                 probes=probes, metrics=context.metrics,
@@ -78,24 +78,30 @@ def probabilistic_top_k(
 
 def _count_at_least(
     context: SSContext, shared: Sequence[SharedValue], theta: int
-) -> int:
-    """Open ``Σ_i [v_i ≥ θ]`` — the count, not the individual bits."""
+) -> Tuple[int, List[SharedValue]]:
+    """Open ``Σ_i [v_i ≥ θ]`` — the count, not the individual bits.
+
+    Also returns the shared indicator bits themselves, so the member
+    reveal after a successful probe opens these instead of re-running
+    one comparison circuit per party.
+    """
     theta_shared = context.constant(theta)
     total = context.constant(0)
+    indicators: List[SharedValue] = []
     for value in shared:
         below = less_than(context, value, theta_shared)   # [v < θ]
-        total = total + (1 - below)
-    return context.open(total)
+        indicators.append(1 - below)
+        total = total + indicators[-1]
+    return context.open(total), indicators
 
 
 def _open_members(
-    context: SSContext, shared: Sequence[SharedValue], theta: int
+    context: SSContext, indicators: Sequence[SharedValue]
 ) -> List[int]:
-    """Open each indicator bit once the threshold isolates exactly k."""
-    theta_shared = context.constant(theta)
+    """Open the successful probe's cached indicator bits (one opening,
+    zero comparisons, per party)."""
     members: List[int] = []
-    for party_index, value in enumerate(shared, start=1):
-        below = less_than(context, value, theta_shared)
-        if context.open(1 - below) == 1:
+    for party_index, indicator in enumerate(indicators, start=1):
+        if context.open(indicator) == 1:
             members.append(party_index)
     return members

@@ -91,6 +91,18 @@ class TestNetworks:
         with pytest.raises(ValueError):
             SortingNetwork(name="bad", size=4, comparators=((0, 4),))
 
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 9, 12])
+    def test_non_power_of_two_pruning(self, n):
+        """Padding-argument networks: every gate stays on real lanes and
+        the pruned gate count is strictly below the padded network's."""
+        import math
+
+        padded = batcher_odd_even(1 << math.ceil(math.log2(n)))
+        network = batcher_odd_even(n)
+        assert all(0 <= i < j < n for i, j in network.comparators)
+        assert network.comparator_count < padded.comparator_count
+        assert verify_zero_one(network)
+
 
 class TestSSSort:
     def test_sorted_values_and_ranks(self):
@@ -164,3 +176,43 @@ class TestTopK:
             probabilistic_top_k(context, [1, 2, 3], k=0, value_bound=16)
         with pytest.raises(ValueError):
             probabilistic_top_k(context, [1, 2, 3], k=2, value_bound=PRIME)
+
+    def test_ties_inside_top_k_succeed(self):
+        """A tie strictly above the k-th place is harmless: any θ in the
+        gap below it still counts exactly k parties."""
+        context = SSContext(parties=4, prime=PRIME, rng=SeededRNG(35))
+        result = probabilistic_top_k(context, [9, 9, 3, 1], k=2, value_bound=16)
+        assert result.succeeded
+        assert sorted(result.members) == [1, 2]
+
+    def test_value_bound_at_comparison_precondition(self):
+        """value_bound == p//2 is the largest legal bound; values at
+        bound-1 must still be found."""
+        bound = PRIME // 2
+        context = SSContext(parties=3, prime=PRIME, rng=SeededRNG(36))
+        result = probabilistic_top_k(
+            context, [bound - 1, 4, bound - 2], k=2, value_bound=bound
+        )
+        assert result.succeeded
+        assert sorted(result.members) == [1, 3]
+
+    def test_member_reveal_reuses_probe_indicators(self, monkeypatch):
+        """The reveal opens the final probe's cached bits — the total
+        comparison count is probes × n exactly, with no extra circuit
+        per member (the O(n) re-probe the caching removes)."""
+        import repro.sorting.topk as topk_module
+
+        calls = [0]
+        real_less_than = topk_module.less_than
+
+        def counting_less_than(context, a, b):
+            calls[0] += 1
+            return real_less_than(context, a, b)
+
+        monkeypatch.setattr(topk_module, "less_than", counting_less_than)
+        context = SSContext(parties=6, prime=PRIME, rng=SeededRNG(37))
+        values = [10, 50, 30, 90, 20, 70]
+        result = probabilistic_top_k(context, values, k=3, value_bound=128)
+        assert result.succeeded
+        assert sorted(result.members) == [2, 4, 6]
+        assert calls[0] == result.probes * len(values)

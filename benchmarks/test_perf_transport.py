@@ -1,0 +1,152 @@
+"""Wall-clock benchmark of the socket transport vs the serial engine.
+
+The in-process engine executes parties one at a time inside a single
+interpreter: its wall-clock is the *sum* of all parties' compute.  The
+socket transport runs one OS process per party, so independent compute
+(exponentiations for different destinations, ZKP verification of
+different provers) overlaps across cores and with socket IO.  On a
+multi-core box the distributed run must finish at least
+``MIN_SPEEDUP``× faster; on a 1-2 core machine the transport *loses*
+(context switches cost, parallelism pays nothing), so the assertion is
+gated on ``os.cpu_count() >= MIN_CORES`` and the committed JSON records
+whatever the measuring machine honestly saw.
+
+Also validates the network simulator against reality: replaying the
+distributed run's transcript over loopback-parameterised links must
+predict a communication time *below* the measured wall-clock (the wall
+clock includes all compute), while the paper's 2 Mbps / 50 ms WAN links
+must predict communication alone far above the loopback prediction —
+the simulator orders environments correctly.
+
+Emits ``results/BENCH_transport.json``.  With ``REPRO_BENCH_ENFORCE=1``
+the measured speedup is compared against the committed number when both
+the committed artifact and the current runner are multi-core.  Marked
+``perf``: not part of tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.harness import RESULTS_DIR, write_result
+from repro.core.framework import FrameworkConfig, GroupRankingFramework
+from repro.core.gain import AttributeSchema, InitiatorInput
+from repro.groups.dl import DLGroup
+from repro.math.rng import SeededRNG
+from repro.netsim import LinkConfig, paper_topology, replay_transcript
+from repro.runtime.transport.coordinator import run_distributed
+from repro.runtime.transport.frames import TransportSettings
+from tests.conftest import make_participants
+
+pytestmark = pytest.mark.perf
+
+N = 16
+MIN_CORES = 4          # below this, one process per party cannot win
+MIN_SPEEDUP = 2.0
+REGRESSION_TOLERANCE = 0.25
+
+#: Loopback link model for the simulator-vs-reality check: effectively
+#: unconstrained bandwidth and a measured-order loopback one-way delay.
+LOOPBACK_LINK = LinkConfig(bandwidth_bps=10_000_000_000.0, latency_s=20e-6)
+
+
+def _build():
+    schema = AttributeSchema(
+        names=("age", "pressure", "friends", "income"),
+        num_equal=2, value_bits=6, weight_bits=4,
+    )
+    initiator = InitiatorInput.create(
+        schema, criterion=[35, 20, 0, 0], weights=[3, 5, 2, 7]
+    )
+    config = FrameworkConfig(
+        group=DLGroup.random(48, rng=SeededRNG(101)),
+        schema=schema, num_participants=N, k=2, rho_bits=6,
+        wire="measured",
+    )
+    return GroupRankingFramework(
+        config, initiator, make_participants(schema, N, seed=19),
+        rng=SeededRNG(7),
+    )
+
+
+def test_transport_speedup():
+    cores = os.cpu_count() or 1
+
+    t0 = time.perf_counter()
+    serial = _build().run()
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    distributed = run_distributed(
+        _build(), settings=TransportSettings(timeout_s=300.0)
+    )
+    tcp_s = time.perf_counter() - t0
+
+    # Speed without equivalence is meaningless: same ranks, same
+    # per-channel payload bytes, same total payload.
+    assert distributed.ranks == serial.ranks
+    assert (distributed.wire_stats.canonical_digest
+            == serial.wire_stats.canonical_digest)
+    assert (distributed.wire_stats.payload_bits
+            == serial.wire_stats.payload_bits)
+
+    speedup = serial_s / tcp_s
+
+    # Simulator-vs-reality: communication alone, as predicted over
+    # loopback-class links, must sit below the measured wall-clock.
+    topology = paper_topology(SeededRNG(7))
+    topology.place_parties(list(range(N + 1)), SeededRNG(8))
+    loopback = replay_transcript(
+        distributed.transcript, topology, LOOPBACK_LINK
+    )
+    wan = replay_transcript(distributed.transcript, topology, LinkConfig())
+    assert loopback.total_time_s < tcp_s, (
+        f"simulator predicts {loopback.total_time_s:.2f}s of pure "
+        f"communication, above the {tcp_s:.2f}s measured wall-clock"
+    )
+    assert wan.total_time_s > 10.0 * loopback.total_time_s, (
+        "2 Mbps / 50 ms WAN links must dominate loopback predictions"
+    )
+
+    payload = {
+        "bench": "socket_transport",
+        "cpu_count": cores,
+        "participants": N,
+        "serial_inproc_s": round(serial_s, 3),
+        "distributed_tcp_s": round(tcp_s, 3),
+        "speedup": round(speedup, 3),
+        "transcript_equivalent": True,
+        "netsim": {
+            "loopback_predicted_comm_s": round(loopback.total_time_s, 4),
+            "wan_predicted_comm_s": round(wan.total_time_s, 3),
+            "measured_wall_s": round(tcp_s, 3),
+        },
+    }
+
+    committed_path = RESULTS_DIR / "BENCH_transport.json"
+    committed = None
+    if committed_path.exists():
+        committed = json.loads(committed_path.read_text())
+    write_result("BENCH_transport", json.dumps(payload, indent=2),
+                 suffix="json")
+
+    if cores >= MIN_CORES:
+        assert speedup >= MIN_SPEEDUP, payload
+
+    # Nightly gate: only meaningful when the committed baseline and the
+    # current runner both had the cores to show a real speedup.
+    if (
+        os.environ.get("REPRO_BENCH_ENFORCE", "") == "1"
+        and committed is not None
+        and committed.get("cpu_count", 1) >= MIN_CORES
+        and cores >= MIN_CORES
+    ):
+        floor = committed["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+        assert speedup >= floor, (
+            f"transport speedup regressed: {speedup:.2f}x vs committed "
+            f"{committed['speedup']:.2f}x (floor {floor:.2f}x)"
+        )

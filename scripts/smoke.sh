@@ -23,6 +23,12 @@ PYTHONPATH=src python -m repro demo -n 5 --checkpoint-dir "$CKPT_DIR" --resume
 echo "== hierarchical sharding: n=64 phase 2 in shards of 16 =="
 PYTHONPATH=src python -m repro demo -n 64 --shard-size 16
 
+echo "== crossover model picks the shard size =="
+PYTHONPATH=src python -m repro demo -n 24 --shard-size auto
+
+echo "== socket transport: one process per party over loopback TCP =="
+PYTHONPATH=src python -m repro demo -n 5 --transport tcp --listen 127.0.0.1:0
+
 echo "== protocol lint (taint + invariants) =="
 PYTHONPATH=src python -m repro.lint --strict
 

@@ -26,7 +26,7 @@ from repro.analysis.complexity import (
     ss_framework_participant_cost,
     ss_framework_round_count,
 )
-from repro.analysis.symbolic import CrossoverModel
+from repro.analysis.symbolic import CrossoverModel, suggest_shard_size
 from repro.analysis.costmodel import CostModel, calibrate_dl, calibrate_ecc, calibrate_field
 from repro.analysis.counting import CountingGroup
 from repro.analysis.leakage import (
@@ -71,6 +71,7 @@ __all__ = [
     "framework_participant_cost",
     "framework_round_count",
     "CrossoverModel",
+    "suggest_shard_size",
     "ind_cpa_game",
     "initiator_cost",
     "sharded_aggregation_bits",

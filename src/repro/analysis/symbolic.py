@@ -50,7 +50,7 @@ from repro.analysis.complexity import (
 )
 from repro.sorting.networks import batcher_odd_even
 
-__all__ = ["CrossoverModel"]
+__all__ = ["CrossoverModel", "suggest_shard_size"]
 
 #: Metrics :meth:`CrossoverModel.crossover` understands.
 METRICS = ("multiplications", "bits")
@@ -187,6 +187,11 @@ class CrossoverModel:
             n = -(-(n * 2) // self.shard_size) * self.shard_size
         return None
 
+    def sharded_total(self, metric: str, n: int) -> float:
+        """Total sharded cost at n — what :func:`suggest_shard_size`
+        minimises over candidate shard sizes."""
+        return self.evaluate(metric, n, sharded=True)
+
     def summary(self, n: int) -> Dict[str, float]:
         """All model outputs at one n — what the bench writes to JSON."""
         return {
@@ -210,3 +215,50 @@ class CrossoverModel:
             "multiplication_speedup": self.speedup("multiplications", n),
             "bit_speedup": self.speedup("bits", n),
         }
+
+
+def suggest_shard_size(
+    n: int,
+    l: int,
+    *,
+    k: int = 2,
+    lambda_bits: int = 160,
+    ciphertext_bits: int = 2 * 161,
+    metric: str = "multiplications",
+    naive_suffix: bool = False,
+    s_max: int = 128,
+) -> int:
+    """Model-optimal shard size for an (n, l) deployment, or 0 for flat.
+
+    Sweeps candidate shard sizes s ∈ [max(2, k), min(n-1, s_max)],
+    evaluates the sharded total cost at n under the crossover model, and
+    returns the cheapest s — or **0** (the flat protocol) when no
+    candidate beats flat, so the result can be assigned directly to
+    ``FrameworkConfig.shard_size``.  This is the ``--shard-size auto``
+    backend: per-shard work grows ~s² per participant while the champion
+    aggregation grows like (k·n/s)³, so the optimum is interior and the
+    bounded sweep finds it exactly within the model's assumptions
+    (balanced shards, k ≤ s; see the module docstring's caveats).
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    if metric not in METRICS:
+        raise ValueError(f"unknown metric {metric!r}; expected one of {METRICS}")
+    lo = max(2, k)
+    hi = min(n - 1, s_max)
+    if lo > hi:
+        return 0
+    flat_model = CrossoverModel(
+        lo, l, lambda_bits, k, ciphertext_bits, naive_suffix=naive_suffix
+    )
+    flat_cost = flat_model.evaluate(metric, n, sharded=False)
+    best_s = 0
+    best_cost = flat_cost
+    for s in range(lo, hi + 1):
+        model = CrossoverModel(
+            s, l, lambda_bits, k, ciphertext_bits, naive_suffix=naive_suffix
+        )
+        cost = model.sharded_total(metric, n)
+        if cost < best_cost:
+            best_s, best_cost = s, cost
+    return best_s

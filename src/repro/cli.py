@@ -42,10 +42,20 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="fold proof checks into one multi-exponentiation")
     demo.add_argument("--bit-proofs", action="store_true",
                       help="publish per-bit validity proofs (malicious model)")
-    demo.add_argument("--shard-size", type=int, default=0, metavar="S",
+    demo.add_argument("--shard-size", default="0", metavar="S",
                       help="hierarchical mode: run phase 2 in shards of ~S "
                            "members plus a champion-aggregation round "
-                           "(0 = flat protocol)")
+                           "(0 = flat protocol; 'auto' picks the "
+                           "crossover-model optimum for this n and l)")
+    demo.add_argument("--transport", choices=["inproc", "tcp"],
+                      default="inproc",
+                      help="inproc runs the lockstep engine in this process; "
+                           "tcp spawns one OS process per party over asyncio "
+                           "loopback sockets (same values and op counts, "
+                           "real wall-clock overlap)")
+    demo.add_argument("--listen", default=None, metavar="HOST:PORT",
+                      help="with --transport tcp: coordinator bind address "
+                           "(default 127.0.0.1 with an ephemeral port)")
     demo.add_argument("--streaming", action="store_true",
                       help="pipeline the shuffle chain in chunks")
     demo.add_argument("--chunk-sets", type=int, default=1, metavar="C",
@@ -60,9 +70,10 @@ def _build_parser() -> argparse.ArgumentParser:
     netsim = sub.add_parser("netsim", help="replay a run over the paper network")
     netsim.add_argument("-n", "--participants", type=int, default=6)
     netsim.add_argument("--seed", type=int, default=1)
-    netsim.add_argument("--shard-size", type=int, default=0, metavar="S",
+    netsim.add_argument("--shard-size", default="0", metavar="S",
                         help="hierarchical mode: shard phase 2 into groups "
-                             "of ~S members (0 = flat protocol)")
+                             "of ~S members (0 = flat protocol, 'auto' = "
+                             "crossover-model optimum)")
     _add_wire_flags(netsim)
     _add_backend_flag(netsim)
     _add_checkpoint_flags(netsim)
@@ -70,6 +81,19 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("curves", help="verify and list bundled group parameters")
 
     sub.add_parser("report", help="print all recorded benchmark results")
+
+    serve = sub.add_parser(
+        "serve-party",
+        help="host one protocol party for a tcp-transport run (spawned by "
+             "the coordinator; exits when the run ends)",
+    )
+    serve.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="coordinator address to dial")
+    serve.add_argument("--party-id", type=int, required=True,
+                       help="party to host (0 = initiator)")
+    serve.add_argument("--incarnation", type=int, default=0,
+                       help="rejoin generation (0 = first life; set by the "
+                            "coordinator on kill-and-rejoin respawns)")
 
     plan = sub.add_parser("plan", help="estimate a deployment's cost at scale")
     plan.add_argument("-n", "--participants", type=int, default=25)
@@ -133,7 +157,29 @@ def _print_wire_stats(result, out) -> None:
           f"mode={stats.mode}   {stats.wire_messages} wire messages / "
           f"{stats.logical_messages} logical   "
           f"{stats.wire_bytes / 1e6:.3f} MB on the wire", file=out)
-    print(f"wire digest: {stats.digest[:16]}…", file=out)
+    # The canonical digest hashes per-channel payload streams, so it is
+    # identical between in-process and tcp-transport runs.
+    print(f"wire digest: {stats.canonical_digest[:16]}…", file=out)
+
+
+def _resolve_shard_size(value, n: int, k: int, schema, rho_bits: int,
+                        group) -> int:
+    """Parse a ``--shard-size`` value; ``auto`` asks the crossover model."""
+    text = str(value).strip().lower()
+    if text != "auto":
+        return int(text)
+    from repro.analysis.symbolic import suggest_shard_size
+    from repro.core.gain import beta_bit_length
+
+    l = beta_bit_length(
+        schema.dimension, schema.value_bits, schema.weight_bits, rho_bits,
+        mode="safe",
+    )
+    return suggest_shard_size(
+        n, l, k=k,
+        lambda_bits=group.order.bit_length(),
+        ciphertext_bits=2 * group.element_bits,
+    )
 
 
 def _make_group(name: str):
@@ -172,8 +218,16 @@ def cmd_demo(args, out) -> int:
     schema, initiator, participants = _synthetic_instance(
         args.participants, args.attributes, args.seed
     )
+    group = _make_group(args.group)
+    shard_size = _resolve_shard_size(
+        args.shard_size, args.participants, args.top, schema, 8, group
+    )
+    if str(args.shard_size).strip().lower() == "auto":
+        print(f"shard-size auto: crossover model suggests "
+              f"{shard_size or 'flat (0)'} for n={args.participants}",
+              file=out)
     config = FrameworkConfig(
-        group=_make_group(args.group),
+        group=group,
         schema=schema,
         num_participants=args.participants,
         k=args.top,
@@ -188,12 +242,18 @@ def cmd_demo(args, out) -> int:
         coalesce=args.coalesce,
         backend=args.backend,
         checkpoint_dir=args.checkpoint_dir,
-        shard_size=args.shard_size,
+        shard_size=shard_size,
+        transport=args.transport,
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)
     )
-    result = framework.run(resume=args.resume)
+    try:
+        result = _run_framework(framework, args)
+    except KeyboardInterrupt:
+        print("interrupted — parties checkpointed and sockets closed",
+              file=out)
+        return 130
     flags = [name for name, on in (
         ("batch-verify", args.batch_verify), ("bit-proofs", args.bit_proofs),
         ("streaming", args.streaming),
@@ -224,6 +284,35 @@ def cmd_demo(args, out) -> int:
     problems = framework.check_result(result)
     print("consistency:", "OK" if not problems else problems, file=out)
     return 0 if not problems else 1
+
+
+def _run_framework(framework, args):
+    """Run honoring the demo's transport flags (``--listen`` needs the
+    coordinator entrypoint directly; everything else goes through
+    ``framework.run``)."""
+    listen = getattr(args, "listen", None)
+    if getattr(args, "transport", "inproc") == "tcp" and listen:
+        from repro.runtime.transport import TransportSettings
+        from repro.runtime.transport.coordinator import run_distributed
+
+        host, sep, port = listen.rpartition(":")
+        if not sep:
+            raise SystemExit(f"--listen expects HOST:PORT, got {listen!r}")
+        settings = TransportSettings(
+            host=host or "127.0.0.1", port=int(port or 0)
+        )
+        return run_distributed(
+            framework, resume=args.resume, settings=settings
+        )
+    return framework.run(resume=args.resume)
+
+
+def cmd_serve_party(args, out) -> int:
+    from repro.runtime.transport import serve_party
+
+    return serve_party(
+        args.connect, args.party_id, incarnation=args.incarnation
+    )
 
 
 def cmd_games(args, out) -> int:
@@ -286,12 +375,15 @@ def cmd_netsim(args, out) -> int:
     schema, initiator, participants = _synthetic_instance(
         args.participants, 4, args.seed
     )
+    group = make_test_group()
     config = FrameworkConfig(
-        group=make_test_group(), schema=schema,
+        group=group, schema=schema,
         num_participants=args.participants, k=2, rho_bits=8,
         wire=args.wire, wire_codec=args.wire_codec, coalesce=args.coalesce,
         backend=args.backend, checkpoint_dir=args.checkpoint_dir,
-        shard_size=args.shard_size,
+        shard_size=_resolve_shard_size(
+            args.shard_size, args.participants, 2, schema, 8, group
+        ),
     )
     framework = GroupRankingFramework(
         config, initiator, participants, rng=SeededRNG(args.seed)
@@ -367,6 +459,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "curves": cmd_curves,
         "report": cmd_report,
         "plan": cmd_plan,
+        "serve-party": cmd_serve_party,
     }
     return handlers[args.command](args, out)
 

@@ -158,6 +158,14 @@ class GroupRankingFramework:
         scoping affects speed only.
         """
         config = self.config
+        if config.transport == "tcp":
+            from repro.runtime.transport import run_distributed
+
+            # Party processes pick their own backend from the config;
+            # the coordinator itself does no group arithmetic.
+            return run_distributed(
+                self, faults, resume=resume, known_betas=known_betas
+            )
         if 0 < config.shard_size < config.num_participants:
             from repro.sharding.hierarchy import run_hierarchical
 

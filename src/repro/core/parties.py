@@ -229,6 +229,11 @@ class FrameworkConfig:
     checkpoint_every: int = 0       # extra journal fsync cadence, in rounds
     shard_size: int = 0             # 0 = flat run; ≥2 = hierarchical shards
     collect_submissions: bool = True  # off inside shard-local sub-runs
+    #: ``"inproc"`` (default) runs the lockstep engine in this process;
+    #: ``"tcp"`` spawns each party as its own OS process talking asyncio
+    #: loopback sockets (:mod:`repro.runtime.transport`) — same values,
+    #: op counts and per-channel wire bytes, real wall-clock overlap.
+    transport: str = "inproc"
 
     def __post_init__(self):
         if self.zkp_mode not in ("interactive", "fiat-shamir"):
@@ -264,6 +269,19 @@ class FrameworkConfig:
                 "shard_size must be 0 (flat) or at least 2 (a shard's "
                 "comparison phase needs two parties)"
             )
+        if self.transport not in ("inproc", "tcp"):
+            raise ValueError("transport must be 'inproc' or 'tcp'")
+        if self.transport == "tcp":
+            if 0 < self.shard_size < self.num_participants:
+                raise ValueError(
+                    "transport='tcp' does not compose with the sharded "
+                    "hierarchy yet; use shard_size=0"
+                )
+            if self.workers > 1:
+                raise ValueError(
+                    "transport='tcp' already runs one process per party; "
+                    "workers must be 1"
+                )
         from repro.core.gain import beta_bit_length
         from repro.math.primes import next_prime
 

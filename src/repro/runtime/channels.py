@@ -37,6 +37,11 @@ class WireInfo:
     declared_bits: int     # the sender's declared size (for conformance)
     finalized: bool = False
     wire_messages: int = 0  # wire messages actually attributed to this entry
+    # The encoded payload bytes themselves, captured only when the
+    # transport was built with ``keep_bytes=True`` (the socket transport
+    # ships exactly these bytes, so what crosses TCP is byte-identical
+    # to what the in-process accounting metered).
+    encoded: Optional[bytes] = None
 
 
 @dataclass(frozen=True)
@@ -158,10 +163,29 @@ class WireStats:
     logical_messages: int
     encode_fallbacks: int
     conformance_checks: int
+    # Per-directed-channel payload digests ("src>dst" -> sha256 hex).
+    # Unlike ``digest`` (global submit order — a scheduling artifact),
+    # each channel digest depends only on that channel's own byte
+    # stream, so it is comparable between the lockstep engine and the
+    # socket transport, where global submit interleaving differs.
+    channel_digests: Dict[str, str] = field(default_factory=dict)
 
     @property
     def wire_bytes(self) -> int:
         return self.wire_bits // 8
+
+    @property
+    def canonical_digest(self) -> str:
+        """Scheduling-independent run digest: per-channel digests hashed
+        in channel order.  Falls back to the submit-order digest when no
+        per-channel digests were collected (legacy stats objects)."""
+        if not self.channel_digests:
+            return self.digest
+        feed = "|".join(
+            f"{channel}={value}"
+            for channel, value in sorted(self.channel_digests.items())
+        )
+        return hashlib.sha256(feed.encode()).hexdigest()
 
 
 class WireTransport:
@@ -189,6 +213,7 @@ class WireTransport:
         mode: str = "measured",
         conformance_band: Tuple[float, float] = (0.2, 3.0),
         conformance_slack_bits: int = 512,
+        keep_bytes: bool = False,
     ):
         # Imported here, not at module level: this module is loaded by
         # ``repro.runtime.__init__`` while the crypto package (which the
@@ -206,9 +231,11 @@ class WireTransport:
         self.mode = mode
         self.conformance_band = conformance_band
         self.conformance_slack_bits = conformance_slack_bits
+        self.keep_bytes = keep_bytes
         self._channels: Dict[Tuple[int, int], Any] = {}
         self._tag_ids: Dict[Tuple[int, int], Dict[str, int]] = {}
         self._digest = hashlib.sha256()
+        self._channel_digests: Dict[Tuple[int, int], Any] = {}
         self.wire_messages = 0
         self.wire_bits = 0
         self.payload_bits = 0
@@ -257,6 +284,10 @@ class WireTransport:
             return replace(message, wire=info)
 
         self._digest.update(encoded)
+        channel_digest = self._channel_digests.get(channel)
+        if channel_digest is None:
+            channel_digest = self._channel_digests[channel] = hashlib.sha256()
+        channel_digest.update(encoded)
         if self.mode == "conformance":
             self._check_conformance(message.tag, message.payload,
                                     message.size_bits)
@@ -270,6 +301,7 @@ class WireTransport:
             encoded_len=len(encoded),
             tag_id=tag_id,
             declared_bits=message.size_bits,
+            encoded=encoded if self.keep_bytes else None,
         )
         return replace(message, payload=payload, wire=info)
 
@@ -355,11 +387,33 @@ class WireTransport:
             return V1_BATCH_HEADER_BYTES
         return len(self._fmt.encode_varint(round_sent)) + V2_BATCH_COUNT_BYTES
 
+    # -- reconnect epochs ----------------------------------------------------
+    def reset_channel(self, src: int, dst: int) -> None:
+        """Drop one directed channel's codec state (interning tables and
+        tag dictionary) so the next message starts a fresh, self-
+        contained stream.
+
+        The socket transport calls this when the peer at the other end
+        of the channel reconnects: its decoder tables died with the old
+        connection, so the encoder must not reference ids interned on
+        the previous stream.  The channel's digest accumulator is kept —
+        it spans the whole run, re-encodings included.
+        """
+        self._channels.pop((src, dst), None)
+        self._tag_ids.pop((src, dst), None)
+
     # -- results -------------------------------------------------------------
     @property
     def digest(self) -> str:
         """SHA-256 over encoded payloads in submit order (envelope-free)."""
         return self._digest.hexdigest()
+
+    def channel_digests(self) -> Dict[str, str]:
+        """Per-directed-channel payload digests, keyed ``"src>dst"``."""
+        return {
+            f"{src}>{dst}": digest.hexdigest()
+            for (src, dst), digest in self._channel_digests.items()
+        }
 
     def stats(self) -> WireStats:
         return WireStats(
@@ -375,4 +429,5 @@ class WireTransport:
             logical_messages=self.logical_messages,
             encode_fallbacks=self.encode_fallbacks,
             conformance_checks=self.conformance_checks,
+            channel_digests=self.channel_digests(),
         )

@@ -366,6 +366,35 @@ class CheckpointManager:
         self._tx.clear()
         self._round = 0
 
+    def resume_attempt(self, attempt: int, party_factory: Callable[..., Any],
+                       party_ids: List[int]) -> None:
+        """Re-bind an attempt from a *new process* (the socket
+        transport's kill-and-rejoin path).
+
+        Unlike :meth:`start_attempt` — which begins a fresh attempt with
+        zeroed counters — this fast-forwards the per-party sequence,
+        receive and send counters from the durable journal, so records
+        appended by the rejoined process continue the existing sequences
+        instead of reusing seal nonces or overwriting snapshot files.
+        """
+        self.attempt = attempt
+        self._factory = party_factory
+        for pid in party_ids:
+            seq = rx = tx = 0
+            for header, _ in self._decoded_journal(pid):
+                seq = max(seq, int(header.get("seq", -1)) + 1)
+                self._round = max(self._round, int(header.get("round", 0)))
+                kind = header.get("kind")
+                if kind == "recv":
+                    rx += 1
+                elif kind == "send":
+                    tx += 1
+            for header, _ in self._decoded_snapshots(pid):
+                seq = max(seq, int(header.get("seq", -1)) + 1)
+            self._seq[pid] = seq
+            self._rx[pid] = rx
+            self._tx[pid] = tx
+
     def register_party(self, party: Any) -> None:
         """Pin a freshly constructed party's RNG start in an init record
         so a pre-snapshot kill can still be replayed from round zero."""
@@ -592,6 +621,21 @@ class CheckpointManager:
             party=party, entry=entry, received=received, sends=sends,
             round=entry_round, watermark=watermark,
         )
+
+    def consumed_watermarks(self, party_id: int) -> Dict[str, int]:
+        """Messages this party's journal shows consumed, per ``"src:tag"``.
+
+        The socket transport's rejoin handshake ships these counts to
+        the surviving peers, which then resend only the suffix of each
+        stream the dead process never consumed (everything it *had*
+        consumed is replayed locally from the journal instead).
+        """
+        counts: Dict[str, int] = {}
+        for header, _ in self._decoded_journal(party_id):
+            if header.get("kind") == "recv":
+                key = f"{header['src']}:{header['tag']}"
+                counts[key] = counts.get(key, 0) + 1
+        return counts
 
     def note_rejoin(self, party_id: int, round: int) -> None:
         self.rejoined[party_id] = round

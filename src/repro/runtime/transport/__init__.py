@@ -1,0 +1,30 @@
+"""Loopback TCP deployment transport for the framework.
+
+Each party runs in its own OS process (``repro serve-party``) and talks
+to a coordinator over asyncio TCP sockets speaking the existing v2 wire
+framing; see :mod:`.frames` for the frame protocol, :mod:`.host` for
+the party-side driver and :mod:`.coordinator` for the router,
+supervision, recovery and result assembly.
+
+Submodules are imported lazily — the transport pulls in
+:mod:`repro.core`, which must stay importable without this package.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.transport.frames import TransportError, TransportSettings
+
+__all__ = ["TransportError", "TransportSettings", "run_distributed",
+           "serve_party"]
+
+
+def run_distributed(framework, faults=None, **kwargs):
+    from repro.runtime.transport.coordinator import run_distributed as impl
+
+    return impl(framework, faults, **kwargs)
+
+
+def serve_party(connect, party_id, incarnation=0, token=None):
+    from repro.runtime.transport.host import serve_party as impl
+
+    return impl(connect, party_id, incarnation=incarnation, token=token)

@@ -1,12 +1,42 @@
 #!/usr/bin/env sh
 # Protocol-aware static analysis gate: secret-flow taint linter plus
-# crypto invariant rules (see docs/SECURITY.md, "Static guarantees").
-# Usage: sh scripts/lint.sh [extra repro.lint args]
+# crypto invariant, protocol-conformance, and async-discipline rules
+# (see docs/SECURITY.md, "Static guarantees").
+#
+# Usage: sh scripts/lint.sh [--changed] [extra repro.lint args]
 #
 # --strict also fails on stale baseline entries, so lint-baseline.json
 # can only ever shrink.  Pass --write-baseline (after review!) to accept
 # current findings.
+#
+# --changed lints only the src/repro .py files that differ from
+# origin/main (falling back to main, then to the full tree) — a fast
+# pre-push path.  Note the whole-program layers (R-PROTO send/handle
+# pairing, baseline staleness) need the full tree to be authoritative;
+# CI always runs the full gate.
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "$1" = "--changed" ]; then
+    shift
+    base=""
+    for candidate in origin/main main; do
+        if git rev-parse --verify --quiet "$candidate" >/dev/null; then
+            base=$(git merge-base HEAD "$candidate")
+            break
+        fi
+    done
+    if [ -z "$base" ]; then
+        echo "lint.sh: no origin/main or main ref; linting full tree" >&2
+        exec env PYTHONPATH=src python -m repro.lint --strict "$@"
+    fi
+    changed=$(git diff --name-only --diff-filter=d "$base" -- 'src/repro/*.py' 'src/repro/**/*.py')
+    if [ -z "$changed" ]; then
+        echo "lint.sh: no src/repro changes vs $base; nothing to lint"
+        exit 0
+    fi
+    # shellcheck disable=SC2086 -- word-splitting the file list is intended
+    exec env PYTHONPATH=src python -m repro.lint --no-baseline "$@" $changed
+fi
 
 PYTHONPATH=src python -m repro.lint --strict "$@"

@@ -1,0 +1,331 @@
+"""Layer 3: asyncio discipline for the socket transport.
+
+* **R-ASYNC** — inside an ``async def`` in the scoped modules
+  (``repro.runtime.transport``, ``repro.runtime.parallel``):
+
+  - no thread-blocking calls on the event loop — ``time.sleep``, sync
+    socket/file IO, or anything that resolves (through the call
+    summaries' blocking fixpoint) to a modexp-heavy
+    ``Group.exp``/``powmod`` path or fsync'd checkpoint IO.  Wrapping
+    the call in ``loop.run_in_executor`` / ``asyncio.to_thread`` is the
+    sanctioned escape hatch and exempts the whole argument subtree;
+  - no coroutine called and dropped (a bare ``coro()`` statement never
+    runs — the classic missing ``await``);
+  - no ``create_task``/``ensure_future`` whose result is discarded (a
+    Task nobody holds is garbage-collected mid-flight and its exception
+    dies silently; keep the handle or attach a done-callback).
+
+* **R-SHARED** — instance state of a transport class written from more
+  than one task-spawning site must funnel through a single writer
+  method.  Task roots are the ``self.<method>`` references handed to
+  ``create_task`` / ``call_later`` / ``add_signal_handler`` /
+  ``start_server`` (plus the implicit main task); an attribute assigned
+  in two different methods that belong to two different roots is a
+  last-writer-wins race the single-threaded event loop does not
+  serialize across awaits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.parsing import ParsedModule, call_name, chain_names, qualname_index
+from repro.lint.registry import (
+    ASYNC_SCOPE_PREFIXES,
+    EXECUTOR_WRAPPERS,
+    TASK_ROOT_REGISTRARS,
+    TASK_SPAWNERS,
+)
+from repro.lint.summaries import SummaryIndex, is_direct_blocking
+
+#: The implicit task every method unreachable from a spawn site runs in.
+MAIN_ROOT = "<main>"
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in ASYNC_SCOPE_PREFIXES
+    )
+
+
+def check_module(parsed: ParsedModule, index: SummaryIndex) -> List[Finding]:
+    if not _in_scope(parsed.module):
+        return []
+    findings: List[Finding] = []
+    quals = qualname_index(parsed.tree)
+
+    def symbol_for(node: ast.AST) -> str:
+        best = "<module>"
+        best_span = None
+        lineno = getattr(node, "lineno", 0)
+        for candidate, qual in quals.items():
+            start = getattr(candidate, "lineno", 0)
+            end = getattr(candidate, "end_lineno", start)
+            if start <= lineno <= end:
+                span = end - start
+                if best_span is None or span < best_span:
+                    best, best_span = qual, span
+        return best
+
+    def emit(rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        findings.append(
+            Finding(
+                rule=rule,
+                path=parsed.rel_path,
+                line=lineno,
+                col=getattr(node, "col_offset", 0) + 1,
+                symbol=symbol_for(node),
+                message=message,
+                snippet=parsed.snippet(lineno),
+                end_line=getattr(node, "end_lineno", lineno),
+            )
+        )
+
+    _check_async(parsed, index, quals, emit)
+    _check_shared(parsed, emit)
+    return findings
+
+
+# -- R-ASYNC -----------------------------------------------------------------
+
+
+def _check_async(
+    parsed: ParsedModule,
+    index: SummaryIndex,
+    quals: Dict[ast.AST, str],
+    emit: Callable[[str, ast.AST, str], None],
+) -> None:
+    for node in quals:
+        if isinstance(node, ast.AsyncFunctionDef):
+            _check_async_body(node, index, emit)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_dropped_calls(node, index, emit)
+
+
+def _check_async_body(
+    func: ast.AsyncFunctionDef,
+    index: SummaryIndex,
+    emit: Callable[[str, ast.AST, str], None],
+) -> None:
+    """Flag blocking calls reachable on the event loop from ``func``."""
+    executor_args = _executor_argument_nodes(func)
+    for call in ast.walk(func):
+        if not isinstance(call, ast.Call) or call in executor_args:
+            continue
+        if _inside_nested_function(func, call):
+            continue
+        name = call_name(call)
+        if is_direct_blocking(call):
+            emit(
+                "R-ASYNC",
+                call,
+                f"blocking call {name or '<dynamic>'}() on the event loop; "
+                "move it behind loop.run_in_executor",
+            )
+        elif name and index.all_blocking(name):
+            emit(
+                "R-ASYNC",
+                call,
+                f"{name}() resolves to a thread-blocking implementation "
+                "(sync IO or modexp-heavy path); move it behind "
+                "loop.run_in_executor",
+            )
+
+
+def _executor_argument_nodes(func: ast.AST) -> Set[ast.AST]:
+    """Every node inside the argument list of an executor wrapper call —
+    those run off-loop, so blocking there is the point, not a bug."""
+    exempt: Set[ast.AST] = set()
+    for call in ast.walk(func):
+        if isinstance(call, ast.Call) and call_name(call) in EXECUTOR_WRAPPERS:
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                exempt.update(ast.walk(arg))
+    return exempt
+
+
+def _inside_nested_function(outer: ast.AST, node: ast.AST) -> bool:
+    """True when ``node`` sits in a def/lambda nested inside ``outer``
+    (its body runs on whatever schedule the nested callable gets, not
+    on ``outer``'s await chain)."""
+    nested_spans: List[Tuple[int, int]] = []
+    for child in ast.walk(outer):
+        if child is outer:
+            continue
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            start = getattr(child, "lineno", 0)
+            end = getattr(child, "end_lineno", start)
+            nested_spans.append((start, end))
+    lineno = getattr(node, "lineno", 0)
+    return any(start <= lineno <= end for start, end in nested_spans)
+
+
+def _check_dropped_calls(
+    func: ast.AST,
+    index: SummaryIndex,
+    emit: Callable[[str, ast.AST, str], None],
+) -> None:
+    """Bare expression statements that discard a coroutine or a Task."""
+    for stmt in ast.walk(func):
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+            continue
+        call = stmt.value
+        name = call_name(call)
+        if name in TASK_SPAWNERS:
+            emit(
+                "R-ASYNC",
+                call,
+                f"{name}() result dropped; keep the Task (or attach an "
+                "exception-consuming done-callback) so failures surface",
+            )
+        elif name and index.all_async(name):
+            emit(
+                "R-ASYNC",
+                call,
+                f"coroutine {name}() is never awaited; the call builds a "
+                "coroutine object and discards it",
+            )
+
+
+# -- R-SHARED ----------------------------------------------------------------
+
+
+def _check_shared(
+    parsed: ParsedModule, emit: Callable[[str, ast.AST, str], None]
+) -> None:
+    for node in ast.walk(parsed.tree):
+        if isinstance(node, ast.ClassDef):
+            _check_class_shared(node, emit)
+
+
+def _method_map(cls: ast.ClassDef) -> Dict[str, ast.AST]:
+    return {
+        child.name: child
+        for child in cls.body
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _self_method_refs(call: ast.Call, methods: Dict[str, ast.AST]) -> Set[str]:
+    """Method names referenced as ``self.<m>`` (called or passed) in the
+    arguments of a task-root registrar call."""
+    refs: Set[str] = set()
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for inner in ast.walk(arg):
+            if (
+                isinstance(inner, ast.Attribute)
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id == "self"
+                and inner.attr in methods
+            ):
+                refs.add(inner.attr)
+    return refs
+
+
+def _written_self_attrs(method: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """(attribute name, node) for every ``self.x = ...`` /
+    ``self.x[...] = ...`` / ``self.x += ...`` in the method body."""
+    writes: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(method):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            attr = _self_attr_of(target)
+            if attr is not None:
+                writes.append((attr, node))
+    return writes
+
+
+def _self_attr_of(target: ast.AST) -> Optional[str]:
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    return None
+
+
+def _check_class_shared(
+    cls: ast.ClassDef, emit: Callable[[str, ast.AST, str], None]
+) -> None:
+    methods = _method_map(cls)
+    if not methods:
+        return
+
+    # Task roots: self.<method> references registered as tasks/callbacks.
+    roots: Set[str] = set()
+    for method in methods.values():
+        for call in ast.walk(method):
+            if (
+                isinstance(call, ast.Call)
+                and call_name(call) in TASK_ROOT_REGISTRARS
+            ):
+                roots.update(_self_method_refs(call, methods))
+    if not roots:
+        return  # no concurrency inside this class
+
+    # Intra-class call graph: m -> every self.<x>() it invokes.
+    edges: Dict[str, Set[str]] = {}
+    for name, method in methods.items():
+        callees: Set[str] = set()
+        for call in ast.walk(method):
+            if isinstance(call, ast.Call):
+                callee = call_name(call)
+                if callee in methods and "self" in chain_names(call.func):
+                    callees.add(callee)
+        edges[name] = callees
+
+    def reachable(start: str) -> Set[str]:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for nxt in edges.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    roots_covering: Dict[str, Set[str]] = {name: set() for name in methods}
+    for root in roots:
+        for method in reachable(root):
+            roots_covering[method].add(root)
+    for name in methods:
+        if not roots_covering[name]:
+            roots_covering[name] = {MAIN_ROOT}
+
+    # Attribute -> (writer method, write node); __init__ construction
+    # writes are pre-concurrency and do not count.
+    writers: Dict[str, List[Tuple[str, ast.AST]]] = {}
+    for name, method in methods.items():
+        if name == "__init__":
+            continue
+        for attr, node in _written_self_attrs(method):
+            writers.setdefault(attr, []).append((name, node))
+
+    for attr, sites in sorted(writers.items()):
+        writer_methods = {name for name, _ in sites}
+        if len(writer_methods) < 2:
+            continue  # single writer method: the funnel pattern
+        covering = set()
+        for name in writer_methods:
+            covering.update(roots_covering[name])
+        if len(covering) < 2:
+            continue  # every writer runs in the same task context
+        for name, node in sites:
+            emit(
+                "R-SHARED",
+                node,
+                f"self.{attr} is written in {sorted(writer_methods)} "
+                f"across task roots {sorted(covering)}; funnel the write "
+                "through one method",
+            )

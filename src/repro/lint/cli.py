@@ -10,11 +10,15 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.lint.baseline import Baseline, DEFAULT_BASELINE_NAME
 from repro.lint.findings import RULES
 from repro.lint.runner import LintReport, lint_paths
+
+#: Schema marker for ``--format json`` output; bump on any change to the
+#: payload shape so downstream tooling can detect format drift.
+JSON_OUTPUT_VERSION = 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,6 +54,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="accept current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline file minus stale fingerprints "
+            "(violations that no longer occur) and exit 0"
+        ),
     )
     parser.add_argument(
         "--format",
@@ -94,6 +106,7 @@ def _render_text(report: LintReport, strict: bool, out) -> None:
 
 def _render_json(report: LintReport, out) -> None:
     payload = {
+        "version": JSON_OUTPUT_VERSION,
         "files_scanned": report.files_scanned,
         "findings": [finding.to_json() for finding in report.fresh],
         "baselined": [finding.to_json() for finding in report.baselined],
@@ -116,6 +129,13 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             print(f"{rule.id:20s} [{rule.layer}] {rule.title}", file=out)
             print(f"{'':20s} {rule.rationale}", file=out)
         return 0
+
+    if args.write_baseline and args.prune_baseline:
+        print(
+            "error: --write-baseline and --prune-baseline are exclusive",
+            file=sys.stderr,
+        )
+        return 2
 
     root = Path(args.root).resolve() if args.root else Path.cwd()
     paths = [Path(p) for p in args.paths]
@@ -155,6 +175,37 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         for error in report.parse_errors:
             print(f"error: {error}", file=sys.stderr)
         return 2
+
+    if args.prune_baseline:
+        if baseline is None:
+            print("no baseline file; nothing to prune", file=out)
+            return 0
+        # Shrink every entry to the occurrences this run actually
+        # consumed: fully stale fingerprints drop out, over-budgeted
+        # entries (count > live occurrences) shrink to the live count.
+        consumed: Dict[str, int] = {}
+        for finding in report.baselined:
+            consumed[finding.fingerprint] = (
+                consumed.get(finding.fingerprint, 0) + 1
+            )
+        pruned = 0
+        for fingerprint in list(baseline.entries):
+            used = consumed.get(fingerprint, 0)
+            entry = baseline.entries[fingerprint]
+            if used == 0:
+                del baseline.entries[fingerprint]
+                pruned += 1
+            elif used < entry.count:
+                entry.count = used
+                pruned += 1
+        baseline.save(baseline_path)
+        print(
+            f"pruned {pruned} stale baseline entr"
+            f"{'y' if pruned == 1 else 'ies'}; "
+            f"{len(baseline.entries)} kept in {baseline_path}",
+            file=out,
+        )
+        return 0
 
     if args.write_baseline:
         new_baseline = Baseline.from_findings(report.fresh)

@@ -127,6 +127,52 @@ RULES: Dict[str, Rule] = {
                 " on unvalidated data."
             ),
         ),
+        Rule(
+            id="R-PROTO",
+            layer="protocol",
+            title="implemented message graph drifts from the declared spec",
+            rationale=(
+                "A tag or frame kind sent but never handled (or handled"
+                " but never sent), sent under the wrong phase, or absent"
+                " from the spec means the parties no longer follow the"
+                " paper's phase-ordered message flow — a correctness and"
+                " privacy bug class, not just dead code."
+            ),
+        ),
+        Rule(
+            id="R-CODEC",
+            layer="protocol",
+            title="wire-codec encode/decode asymmetry",
+            rationale=(
+                "A value encoded with no decode path (or a registry entry"
+                " the v2 codec cannot cover) is a silent interop break"
+                " between the lockstep engine and the socket transport;"
+                " both ends must agree byte-for-byte for the transcript"
+                " equivalence guarantee to hold."
+            ),
+        ),
+        Rule(
+            id="R-ASYNC",
+            layer="async",
+            title="event-loop blocking or dropped coroutine/task",
+            rationale=(
+                "A blocking call (sleep, sync IO, modexp-heavy crypto)"
+                " inside async def stalls PINGs and deadlines for every"
+                " party on the loop; an unawaited coroutine or dropped"
+                " Task silently never runs or eats its own exception."
+            ),
+        ),
+        Rule(
+            id="R-SHARED",
+            layer="async",
+            title="coordinator/host state written from multiple task roots",
+            rationale=(
+                "The event loop serializes callbacks, not logical writes:"
+                " two tasks assigning the same instance attribute race"
+                " last-writer-wins across awaits; shared flags must"
+                " funnel through a single writer method."
+            ),
+        ),
     ]
 }
 

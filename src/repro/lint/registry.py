@@ -191,6 +191,102 @@ FLOAT_FORBIDDEN_MODULES: FrozenSet[str] = frozenset(
 #: Module whose worker-job evaluators must not touch an RNG.
 POOL_MODULE = "repro.runtime.parallel"
 
+#: Module prefixes the protocol state-machine layer (R-PROTO) extracts
+#: ``send``/``broadcast``/``recv`` message tags from.  Baseline
+#: protocols (``repro.sharing``, ``repro.baselines``) build tags
+#: dynamically and model different papers — they are deliberately out
+#: of scope.
+PROTOCOL_MODULE_PREFIXES = ("repro.core", "repro.sharding")
+
+#: Module prefix of the socket transport; frame-kind extraction and the
+#: async-discipline rules (R-ASYNC, R-SHARED) apply here.
+TRANSPORT_MODULE_PREFIX = "repro.runtime.transport"
+
+#: Dotted-name suffix identifying frame-constant modules: every
+#: module-level ``UPPER = <int literal>`` in a ``*.frames`` module is a
+#: wire frame kind.
+FRAMES_MODULE_SUFFIX = ".frames"
+
+#: Modules whose ``async def`` bodies the R-ASYNC / R-SHARED rules
+#: check: the transport prefix plus the worker-pool module.
+ASYNC_SCOPE_PREFIXES = (TRANSPORT_MODULE_PREFIX, POOL_MODULE)
+
+#: Call names that block the calling thread directly (sleep, sync
+#: socket/file IO).  Inside ``async def`` they stall the event loop —
+#: liveness PINGs stop being answered and deadlines fire spuriously.
+BLOCKING_CALLS: FrozenSet[str] = frozenset(
+    {
+        "sleep",  # only with a time.* receiver; asyncio.sleep is fine
+        "open",
+        "fsync",
+        "replace",  # os.replace — the atomic-rename half of fsync'd writes
+        "read_bytes",
+        "write_bytes",
+        "read_text",
+        "write_text",
+        "create_connection",
+        "getaddrinfo",
+        "run",  # subprocess.run (receiver-checked)
+        "check_call",
+        "check_output",
+    }
+)
+
+#: Blocking call names that need a module-ish receiver chain to count
+#: (``time.sleep`` blocks; ``asyncio.sleep`` / ``supervisor.run`` do
+#: not).  name -> receiver chain member that must be present.
+BLOCKING_RECEIVERS: Dict[str, str] = {
+    "sleep": "time",
+    "replace": "os",  # dataclasses.replace is pure; os.replace blocks
+    "run": "subprocess",
+    "check_call": "subprocess",
+    "check_output": "subprocess",
+    "create_connection": "socket",
+    "getaddrinfo": "socket",
+}
+
+#: Modexp-heavy primitives: any function whose body reaches one of
+#: these (resolved through the call summaries) is compute-bound enough
+#: to starve the event loop.
+HEAVY_CALLS: FrozenSet[str] = frozenset(
+    {
+        "powmod",
+        "mulmod",
+        "invert",
+        "jacobi",
+        "exp",
+        "exp_generator",
+        "multi_exp",
+        "small_exp",
+        "seal_state",
+        "open_state",
+    }
+)
+
+#: Wrappers that move a call off the event loop; calls inside their
+#: argument lists are exempt from the blocking check.
+EXECUTOR_WRAPPERS: FrozenSet[str] = frozenset({"run_in_executor", "to_thread"})
+
+#: Task-spawning calls whose result must not be dropped on the floor
+#: (a Task GC'd without anyone consuming its exception dies silently).
+TASK_SPAWNERS: FrozenSet[str] = frozenset({"create_task", "ensure_future"})
+
+#: Calls that register a ``self.<method>`` reference to run as its own
+#: task/callback context.  Each registered method is a *task root* for
+#: the R-SHARED single-writer analysis.
+TASK_ROOT_REGISTRARS: FrozenSet[str] = frozenset(
+    {
+        "create_task",
+        "ensure_future",
+        "call_later",
+        "call_soon",
+        "call_soon_threadsafe",
+        "add_signal_handler",
+        "start_server",
+        "run_in_executor",
+    }
+)
+
 #: RNG types/methods a worker body must not reference.
 POOL_RNG_NAMES: FrozenSet[str] = frozenset({"SystemRNG", "SeededRNG", "Random"})
 POOL_RNG_METHODS: FrozenSet[str] = frozenset(

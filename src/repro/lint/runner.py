@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
-from repro.lint import invariants, taint
+from repro.lint import asyncrules, invariants, protocol, taint
 from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.findings import Finding
 from repro.lint.parsing import ParsedModule, parse_module
@@ -79,6 +79,8 @@ def lint_paths(
     for parsed in modules:
         raw.extend(taint.check_module(parsed, index, registry))
         raw.extend(invariants.check_module(parsed, index))
+        raw.extend(asyncrules.check_module(parsed, index))
+    raw.extend(protocol.check_modules(modules))
     findings = _dedupe(raw)
 
     by_path = {parsed.rel_path: parsed for parsed in modules}

@@ -11,6 +11,11 @@ For every function in the linted set we record:
   performs a membership/structure validation before its sensitive work
   (directly, or by delegating only to guarded implementations; computed
   as a small fixpoint).
+* ``blocking`` — whether the body reaches a thread-blocking operation
+  (sync file/socket IO, ``time.sleep``, or a modexp-heavy primitive),
+  directly or through callees; resolved as a least fixpoint so the
+  R-ASYNC rule can flag e.g. a checkpoint replay awaited on the event
+  loop without whole-program analysis.
 """
 
 from __future__ import annotations
@@ -19,8 +24,14 @@ import ast
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Set
 
-from repro.lint.parsing import ParsedModule, call_name, qualname_index
-from repro.lint.registry import SENSITIVE_CALLS, VALIDATORS
+from repro.lint.parsing import ParsedModule, call_name, chain_names, qualname_index
+from repro.lint.registry import (
+    BLOCKING_CALLS,
+    BLOCKING_RECEIVERS,
+    HEAVY_CALLS,
+    SENSITIVE_CALLS,
+    VALIDATORS,
+)
 
 
 @dataclass
@@ -36,6 +47,12 @@ class FunctionSummary:
     sensitive_calls: List[ast.Call] = field(default_factory=list)
     #: resolved by fixpoint; meaningful for decrypt-family names.
     guarded: bool = False
+    #: bare names of every call in the body (blocking propagation).
+    calls: Set[str] = field(default_factory=set)
+    #: the function is declared ``async def``.
+    is_async: bool = False
+    #: reaches a blocking operation; resolved by least fixpoint.
+    blocking: bool = False
 
 
 @dataclass
@@ -59,6 +76,23 @@ class SummaryIndex:
         summaries = self.lookup(name)
         return bool(summaries) and all(s.guarded for s in summaries)
 
+    def all_blocking(self, name: str) -> bool:
+        """True iff implementations of ``name`` exist and all block.
+
+        Bare-name resolution merges unrelated implementations (e.g.
+        every ``close``), so "all" keeps the collision noise down: a
+        name is blocking only when *every* definition of it is — the
+        conservative direction for a lint that must stay quiet on
+        intentionally loop-bound code.
+        """
+        summaries = self.lookup(name)
+        return bool(summaries) and all(s.blocking for s in summaries)
+
+    def all_async(self, name: str) -> bool:
+        """True iff implementations of ``name`` exist and all are async."""
+        summaries = self.lookup(name)
+        return bool(summaries) and all(s.is_async for s in summaries)
+
 
 def _function_params(node) -> List[str]:  # ast.FunctionDef | ast.AsyncFunctionDef
     args = node.args
@@ -68,6 +102,20 @@ def _function_params(node) -> List[str]:  # ast.FunctionDef | ast.AsyncFunctionD
     if args.kwarg:
         params.append(args.kwarg.arg)
     return params
+
+
+def is_direct_blocking(call: ast.Call) -> bool:
+    """The call itself blocks the thread: sync IO, ``time.sleep``, or a
+    modexp-heavy primitive (``Group.exp``/``powmod``-family)."""
+    name = call_name(call)
+    if name in HEAVY_CALLS:
+        return True
+    if name not in BLOCKING_CALLS:
+        return False
+    required = BLOCKING_RECEIVERS.get(name)
+    if required is None:
+        return True
+    return required in chain_names(call.func)
 
 
 def build_summaries(modules: Iterable[ParsedModule]) -> SummaryIndex:
@@ -84,17 +132,23 @@ def build_summaries(modules: Iterable[ParsedModule]) -> SummaryIndex:
                 qualname=qual,
                 name=node.name,
                 params=_function_params(node),
+                is_async=isinstance(node, ast.AsyncFunctionDef),
             )
             for inner in ast.walk(node):
                 if isinstance(inner, ast.Call):
                     name = call_name(inner)
+                    if name:
+                        summary.calls.add(name)
                     if name in VALIDATORS:
                         summary.validator_lines.append(inner.lineno)
                     elif name in SENSITIVE_CALLS:
                         summary.sensitive_calls.append(inner)
+                    if not summary.blocking and is_direct_blocking(inner):
+                        summary.blocking = True
             summary.param_sinks = collect_param_sinks(parsed, node)
             index.by_name.setdefault(node.name, []).append(summary)
     _resolve_guarded(index)
+    _resolve_blocking(index)
     return index
 
 
@@ -150,6 +204,25 @@ def _resolve_guarded(index: SummaryIndex) -> None:
             )
             if not ok:
                 summary.guarded = False
+                changed = True
+        if not changed:
+            break
+
+
+def _resolve_blocking(index: SummaryIndex) -> None:
+    """Least fixpoint: a function blocks if its body does (seeded in
+    :func:`build_summaries`) or if it calls a name whose implementations
+    *all* block.  Starting from "does not block" and only ever flipping
+    upward keeps delegator cycles (``a`` calls ``b`` calls ``a``)
+    non-blocking unless something real anchors them."""
+    everything = [s for group in index.by_name.values() for s in group]
+    while True:
+        changed = False
+        for summary in everything:
+            if summary.blocking:
+                continue
+            if any(index.all_blocking(name) for name in summary.calls):
+                summary.blocking = True
                 changed = True
         if not changed:
             break

@@ -54,13 +54,15 @@ class PartyTimeout(ProtocolError):
 
     Raised by the :class:`~repro.runtime.supervisor.Supervisor` instead
     of letting the engine deadlock.  ``blamed`` is the party that failed
-    to deliver; ``waiting`` maps each still-blocked party to the receive
-    effect it was waiting on, for diagnosability.
+    to deliver — ``None`` when no single culprit is identifiable (e.g. a
+    wildcard wait expired with nobody crashed or reported lost);
+    ``waiting`` maps each still-blocked party to the receive effect it
+    was waiting on, for diagnosability.
     """
 
     def __init__(
         self,
-        blamed: int,
+        blamed: Optional[int],
         *,
         phase: Optional[str] = None,
         round: Optional[int] = None,

@@ -79,7 +79,8 @@ class _AttemptFailed(Exception):
 class _Connection:
     """One party's socket, plus its routing task."""
 
-    def __init__(self, pid: int, reader, writer, incarnation: int):
+    def __init__(self, pid: int, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, incarnation: int):
         self.pid = pid
         self.reader = reader
         self.writer = writer
@@ -133,7 +134,11 @@ class Coordinator:
         if resume and not known:
             if manager is None:
                 raise ValueError("resume=True requires config.checkpoint_dir")
-            known, attempt = manager.resume_state(active)
+            # Journal replay is sync disk IO; keep the fresh event loop
+            # responsive (party processes may already be connecting).
+            known, attempt = await asyncio.get_running_loop().run_in_executor(
+                None, manager.resume_state, active
+            )
         rejoins = 0
         try:
             while True:
@@ -358,10 +363,17 @@ class _Attempt:
             await self._teardown(server)
 
     def _on_signal(self, name: str) -> None:
-        self._interrupted = name
+        self._interrupt(name)
+
+    def _interrupt(self, reason: str) -> None:
+        """Single writer of ``_interrupted`` (signal handler and BYE
+        routing both land here); the first cause wins, since a party's
+        BYE usually races our own SIGINT callback for the same Ctrl-C."""
+        if self._interrupted is None:
+            self._interrupted = reason
         self._done.set()
 
-    async def _teardown(self, server) -> None:
+    async def _teardown(self, server: asyncio.AbstractServer) -> None:
         await self._broadcast_json(frames.SHUTDOWN, {})
         for connection in self.connections.values():
             if connection.task is not None:
@@ -403,7 +415,8 @@ class _Attempt:
 
     # -- handshake ----------------------------------------------------------
 
-    async def _on_connection(self, reader, writer) -> None:
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
         try:
             ftype, body = await asyncio.wait_for(
                 frames.read_frame(reader), timeout=self.settings.timeout_s
@@ -625,9 +638,7 @@ class _Attempt:
         # hits the whole foreground process group, so this usually races
         # our own SIGINT callback).  That is an interruption of the run,
         # not the party's fault — it checkpointed and closed cleanly.
-        if self._interrupted is None:
-            self._interrupted = info.get("reason", "signal")
-        self._done.set()
+        self._interrupt(info.get("reason", "signal"))
 
     def _fail(self, failure: Exception) -> None:
         if self._failure is None:

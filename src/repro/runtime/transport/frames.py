@@ -25,6 +25,7 @@ own), and never touch disk.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import pickle
 import struct
@@ -89,7 +90,7 @@ def decode_json(body: bytes) -> Dict[str, Any]:
     return payload
 
 
-async def read_frame(reader) -> Tuple[int, bytes]:
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bytes]:
     """Read one frame; raises ``asyncio.IncompleteReadError`` at EOF."""
     header = await reader.readexactly(_HEADER.size)
     length, ftype = _HEADER.unpack(header)

@@ -152,7 +152,8 @@ class OrderedMailbox:
 class PartyHost:
     """Drives one party's generator against the coordinator socket."""
 
-    def __init__(self, spec: PartySpec, reader, writer):
+    def __init__(self, spec: PartySpec, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
         self.spec = spec
         self.config = spec.config
         self.pid = spec.party_id
@@ -209,10 +210,16 @@ class PartyHost:
         self._abort_received = False
         self._connection_lost = False
         self._shutdown = False
+        # Messages that arrive while checkpoint resume/replay runs in
+        # the executor, before ``self.party`` exists: buffered here and
+        # flushed (in arrival order) once the party is constructed, so
+        # receive metrics count every message exactly once.
+        self._predelivered: List[Message] = []
 
     # -- party construction (mirrors GroupRankingFramework.build_party) ----
 
-    def _factory(self, party_id: int, known_beta: Optional[int] = None):
+    def _factory(self, party_id: int,
+                 known_beta: Optional[int] = None) -> Any:
         rng = pickle.loads(self._rng_blob)
         if party_id == INITIATOR_ID:
             return InitiatorParty(
@@ -425,9 +432,19 @@ class PartyHost:
     def _deliver(self, message: Message) -> None:
         _debug(self.pid, f"deliver {message.src}->{message.dst} "
                          f"{message.tag} r={message.round_sent}")
+        if self.party is None:
+            # Checkpoint resume is still off in the executor; park the
+            # message until _drive constructs the party and flushes.
+            self._predelivered.append(message)
+            return
         self.party.metrics.record_receive(message.size_bits)
         self.mailbox.deliver(message)
         self._wake.set()
+
+    def _flush_predelivered(self) -> None:
+        pending, self._predelivered = self._predelivered, []
+        for message in pending:
+            self._deliver(message)
 
     def _on_peer_rejoined(self, info: Dict[str, Any]) -> None:
         peer = int(info["party"])
@@ -469,7 +486,7 @@ class PartyHost:
         if self.manager is not None:
             self.manager.finish_replay(self.pid)
 
-    def _drive_replay(self, plan) -> Tuple[str, Any]:
+    def _drive_replay(self, plan: Any) -> Tuple[str, Any]:
         """Replay the journal through the rebuilt generator
         (:meth:`Engine._drive_replay`'s discipline): feed journaled
         receives in order, skip round pauses the first life waited out,
@@ -528,7 +545,7 @@ class PartyHost:
             # Coordinator teardown mid-protocol (its process was told to
             # stop): exit exactly like a direct signal — final snapshot,
             # BYE, clean close.
-            self._stop_reason = "shutdown"
+            self._request_stop("shutdown")
         if self._stop_reason is not None:
             raise _GracefulExit()
 
@@ -592,6 +609,13 @@ class PartyHost:
             except Exception:
                 pass
 
+    async def _offload(self, func: Any, *args: Any) -> Any:
+        """Run a thread-blocking checkpoint call off the event loop so
+        the reader task keeps answering PINGs and taking deliveries."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, func, *args
+        )
+
     async def _drive(self) -> int:
         spec = self.spec
         plan = None
@@ -603,27 +627,43 @@ class PartyHost:
                 })
                 await self._drain()
                 return 1
-            self.manager.resume_attempt(spec.attempt, self._factory, [self.pid])
+            await self._offload(
+                self.manager.resume_attempt, spec.attempt, self._factory,
+                [self.pid],
+            )
         elif self.manager is not None:
-            self.manager.start_attempt(spec.attempt, self._factory)
+            await self._offload(
+                self.manager.start_attempt, spec.attempt, self._factory
+            )
         try:
             if spec.incarnation > 0:
-                plan = self.manager.rejoin_plan(self.pid)
+                assert self.manager is not None  # guarded above
+                plan = await self._offload(self.manager.rejoin_plan, self.pid)
                 self.party = plan.party
                 self._round = plan.watermark
+                # Flush before the next await: later arrivals must not
+                # jump ahead of buffered ones in a (src, tag) stream.
+                self._flush_predelivered()
             else:
                 self.party = self._factory(self.pid)
+                self._flush_predelivered()
                 if self.manager is not None:
-                    self.manager.register_party(self.party)
+                    await self._offload(
+                        self.manager.register_party, self.party
+                    )
             self.party._engine = self
             self.gen = self.party.protocol()
             if plan is not None:
                 self._replaying = True
                 self._replay_sends = plan.sends
                 state, effect = self._drive_replay(plan)
+                assert self.manager is not None  # rejoin implies a manager
+                watermarks = await self._offload(
+                    self.manager.consumed_watermarks, self.pid
+                )
                 self._send_json(frames.READY, {
                     "party": self.pid, "incarnation": spec.incarnation,
-                    "watermarks": self.manager.consumed_watermarks(self.pid),
+                    "watermarks": watermarks,
                 })
                 await self._drain()
                 if state == "finished":
@@ -644,8 +684,9 @@ class PartyHost:
                         message = await self._wait_for(effect)
                         self._advance_round()
                     if self.manager is not None:
-                        self.manager.journal_receive(
-                            self.pid, message, self._round
+                        await self._offload(
+                            self.manager.journal_receive,
+                            self.pid, message, self._round,
                         )
                     effect, done = self._step_once(message)
                 else:
@@ -735,7 +776,9 @@ class PartyHost:
                 and not self._replaying):
             # Final durable checkpoint: a later --resume or rejoin picks
             # up from this boundary instead of losing the phase.
-            self.manager.snapshot_party(self.party, self._round)
+            await self._offload(
+                self.manager.snapshot_party, self.party, self._round
+            )
         self._send_json(frames.BYE, {
             "party": self.pid, "reason": self._stop_reason or "signal",
         })
@@ -745,21 +788,31 @@ class PartyHost:
     # -- plumbing -----------------------------------------------------------
 
     def _request_stop(self, reason: str) -> None:
-        self._stop_reason = reason
+        """Single writer of ``_stop_reason`` (signal handlers and the
+        shutdown-frame path both land here); the first reason wins so a
+        SIGTERM racing a SHUTDOWN frame cannot rewrite the exit cause."""
+        if self._stop_reason is None:
+            self._stop_reason = reason
+        self._wake.set()
+
+    def _lose_connection(self) -> None:
+        """Single writer of ``_connection_lost`` for every failure path
+        (send, drain, reader EOF/decode), so the flag cannot race across
+        task contexts; always wakes the main task."""
+        self._connection_lost = True
         self._wake.set()
 
     def _send_json(self, ftype: int, payload: Dict[str, Any]) -> None:
         try:
             self.writer.write(frames.pack_json(ftype, payload))
         except (ConnectionError, RuntimeError):
-            self._connection_lost = True
+            self._lose_connection()
 
     async def _drain(self) -> None:
         try:
             await self.writer.drain()
         except (ConnectionError, RuntimeError):
-            self._connection_lost = True
-            self._wake.set()
+            self._lose_connection()
 
     async def _read_loop(self) -> None:
         try:
@@ -768,8 +821,7 @@ class PartyHost:
                 _debug(self.pid, f"frame type={ftype} len={len(body)}")
                 self._handle_frame(ftype, body)
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
-            self._connection_lost = True
-            self._wake.set()
+            self._lose_connection()
         except asyncio.CancelledError:
             raise
         # repro-lint: ignore[R-EXCEPT] -- not swallowed: surfaced on
@@ -782,8 +834,7 @@ class PartyHost:
             import traceback
 
             traceback.print_exc()
-            self._connection_lost = True
-            self._wake.set()
+            self._lose_connection()
 
 
 # ---------------------------------------------------------------------------

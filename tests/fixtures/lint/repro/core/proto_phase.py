@@ -1,0 +1,18 @@
+"""Fixture: message kind sent in a forbidden phase (R-PROTO).
+
+``submission`` frames belong to the submission phase; emitting one
+while the party is still in the gain phase breaks the declared
+transition order.  The matching ``recv`` keeps the send/handle pairing
+itself satisfied so only the phase rule fires.
+"""
+
+from repro.core.parties import PHASE_GAIN, TAG_SUBMISSION
+
+
+class EagerSubmitter:
+    def rush(self, masked):
+        self.set_phase(PHASE_GAIN)
+        yield from self.send(0, TAG_SUBMISSION, masked)
+
+    def collect(self):
+        return (yield from self.recv(None, TAG_SUBMISSION))

@@ -1,0 +1,13 @@
+"""Fixture: message kind sent but never handled (R-PROTO).
+
+The chain hand-off is transmitted here, but no ``recv`` for
+``TAG_CHAIN`` exists anywhere in this tree — a receiver-side handler
+was deleted, so the send can only ever time out.
+"""
+
+from repro.core.parties import TAG_CHAIN
+
+
+class LonelySender:
+    def hand_off(self, successor, chain):
+        yield from self.send(successor, TAG_CHAIN, chain)

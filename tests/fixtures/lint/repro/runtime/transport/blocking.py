@@ -1,0 +1,12 @@
+"""Fixture: thread-blocking call inside ``async def`` (R-ASYNC).
+
+``time.sleep`` parks the whole event loop — liveness PINGs stop being
+answered while this coroutine "waits".
+"""
+
+import time
+
+
+async def lazy_flush(payload):
+    time.sleep(0.01)
+    return payload

@@ -1,0 +1,11 @@
+"""Fixture: spawned Task dropped on the floor (R-ASYNC).
+
+Nothing retains or awaits the Task, so a crash inside it is silently
+garbage-collected instead of surfacing.
+"""
+
+import asyncio
+
+
+async def fire_and_forget(note):
+    asyncio.create_task(note())

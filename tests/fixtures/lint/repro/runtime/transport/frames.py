@@ -1,0 +1,23 @@
+"""Fixture: frame kind packed but never dispatched (R-PROTO).
+
+Mirrors the real frame catalogue's shape — module-level int constants —
+but the ``PING`` frame is only ever packed; no dispatch compare exists
+in this tree, so liveness probes would go unanswered.
+"""
+
+MSG = 4
+ABORT = 13
+SHUTDOWN = 14
+PING = 17
+
+
+def probe(writer):
+    writer.write(pack_frame(PING, b""))
+
+
+def dispatch(ftype, body):
+    if ftype == MSG:
+        return body
+    if ftype == ABORT:
+        raise RuntimeError("aborted")
+    return None

@@ -1,0 +1,21 @@
+"""Fixture: scratch host copy with one dispatch branch deleted (R-PROTO).
+
+Demonstrates the acceptance scenario for the conformance checker:
+start from a host that handles MSG / ABORT / SHUTDOWN, delete the
+SHUTDOWN branch, and the spec-vs-implementation diff fires at the
+now-orphaned send site.
+"""
+
+
+class ScratchHost:
+    def _handle_frame(self, ftype, body):
+        if ftype == frames.MSG:
+            self.mailbox.append(body)
+        elif ftype == frames.ABORT:
+            self.aborted = True
+        # the SHUTDOWN branch a complete host carries was deleted here
+
+    def _farewell(self):
+        self._send_json(frames.MSG, b"")
+        self._send_json(frames.ABORT, b"")
+        self._send_json(frames.SHUTDOWN, b"")

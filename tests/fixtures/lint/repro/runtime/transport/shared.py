@@ -1,0 +1,24 @@
+"""Fixture: instance state written from two task contexts (R-SHARED).
+
+``mood`` is assigned by both spawned tasks with no single-writer
+funnel, so the observed value depends on scheduling order.
+"""
+
+import asyncio
+
+
+class SplitBrain:
+    def __init__(self):
+        self.mood = None
+        self._reader_task = None
+        self._ticker_task = None
+
+    def start(self):
+        self._reader_task = asyncio.create_task(self._reader())
+        self._ticker_task = asyncio.create_task(self._ticker())
+
+    async def _reader(self):
+        self.mood = "reading"
+
+    async def _ticker(self):
+        self.mood = "ticking"

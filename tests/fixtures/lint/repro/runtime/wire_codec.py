@@ -1,0 +1,17 @@
+"""Fixture: wire codec with an encode-only byte tag (R-CODEC).
+
+``b"Q"`` values can be produced but never parsed back — the silent
+interoperability break the encode/decode asymmetry rule catches.
+"""
+
+
+class LopsidedCodec:
+    def encode(self, value):
+        if value is None:
+            return b"N"
+        return b"Q" + repr(value).encode("ascii")
+
+    def decode(self, data):
+        if data[:1] == b"N":
+            return None
+        raise ValueError("unknown wire tag")

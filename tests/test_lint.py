@@ -20,7 +20,7 @@ import pytest
 
 from repro.lint import lint_paths
 from repro.lint.baseline import Baseline, DEFAULT_BASELINE_NAME
-from repro.lint.cli import main
+from repro.lint.cli import JSON_OUTPUT_VERSION, main
 from repro.lint.findings import RULES, Finding
 from repro.lint.registry import default_registry
 
@@ -42,6 +42,15 @@ SEEDED_VIOLATIONS = [
     ("R-FLOAT", "repro/crypto/bad_float.py", 5),
     ("R-FLOAT", "repro/math/backend.py", 5),
     ("R-EXCEPT", "repro/runtime/bad_except.py", 7),
+    ("R-PROTO", "repro/core/proto_unhandled.py", 13),
+    ("R-PROTO", "repro/core/proto_phase.py", 15),
+    ("R-PROTO", "repro/runtime/transport/frames.py", 15),
+    ("R-PROTO", "repro/runtime/transport/host.py", 21),
+    ("R-CODEC", "repro/runtime/wire_codec.py", 12),
+    ("R-ASYNC", "repro/runtime/transport/blocking.py", 11),
+    ("R-ASYNC", "repro/runtime/transport/dropped.py", 11),
+    ("R-SHARED", "repro/runtime/transport/shared.py", 21),
+    ("R-SHARED", "repro/runtime/transport/shared.py", 24),
 ]
 
 
@@ -92,6 +101,31 @@ class TestRuleDetection:
             f.path == "repro/core/waived.py" and f.rule == "R-TAINT-LOG"
             for f in fixture_report.suppressed
         )
+
+    def test_deleted_handler_fires_proto(self, fixture_report):
+        """Acceptance demo for the conformance checker: a scratch copy
+        of the transport host with its SHUTDOWN dispatch branch deleted
+        trips R-PROTO at the now-orphaned send site."""
+        hits = [
+            f
+            for f in fixture_report.fresh
+            if f.path == "repro/runtime/transport/host.py" and f.rule == "R-PROTO"
+        ]
+        assert len(hits) == 1
+        assert "SHUTDOWN" in hits[0].message
+
+    def test_shared_state_names_both_roots(self, fixture_report):
+        """R-SHARED findings identify every competing task root so the
+        fix (a single-writer funnel) is actionable from the message."""
+        hits = [
+            f
+            for f in fixture_report.fresh
+            if f.path == "repro/runtime/transport/shared.py"
+        ]
+        assert len(hits) == 2
+        for finding in hits:
+            assert "_reader" in finding.message
+            assert "_ticker" in finding.message
 
     def test_sanitizers_keep_clean_file_clean(self, fixture_report):
         assert not any(
@@ -205,6 +239,89 @@ class TestCli:
         payload = json.loads(out.getvalue())
         rules = {f["rule"] for f in payload["findings"]}
         assert {"R-TAINT-LOG", "R-GUARD", "R-FLOAT"} <= rules
+
+    def test_json_version_field_round_trips(self):
+        out = io.StringIO()
+        main(
+            [
+                "--root",
+                str(FIXTURES),
+                "--no-baseline",
+                "--format",
+                "json",
+                str(FIXTURES / "repro" / "core" / "clean.py"),
+            ],
+            out=out,
+        )
+        payload = json.loads(out.getvalue())
+        assert payload["version"] == JSON_OUTPUT_VERSION
+
+    def test_write_and_prune_are_exclusive(self):
+        assert main(["--write-baseline", "--prune-baseline"]) == 2
+
+    def test_prune_baseline_drops_stale_keeps_live(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = io.StringIO()
+        assert (
+            main(
+                [
+                    "--root", str(FIXTURES),
+                    "--baseline", str(baseline),
+                    "--write-baseline",
+                    str(FIXTURES),
+                ],
+                out=out,
+            )
+            == 0
+        )
+        data = json.loads(baseline.read_text())
+        live = len(data["entries"])
+        assert live > 0
+        # Fabricate an entry for a violation that no longer occurs.
+        data["entries"].append(
+            {
+                "fingerprint": "f" * 16,
+                "rule": "R-RNG",
+                "path": "repro/zzz.py",
+                "symbol": "<module>",
+                "snippet": "import random",
+                "count": 1,
+                "reason": "",
+            }
+        )
+        baseline.write_text(json.dumps(data))
+        out = io.StringIO()
+        assert (
+            main(
+                [
+                    "--root", str(FIXTURES),
+                    "--baseline", str(baseline),
+                    "--prune-baseline",
+                    str(FIXTURES),
+                ],
+                out=out,
+            )
+            == 0
+        )
+        assert "pruned 1" in out.getvalue()
+        pruned = json.loads(baseline.read_text())
+        assert len(pruned["entries"]) == live
+        assert all(e["fingerprint"] != "f" * 16 for e in pruned["entries"])
+        # A second prune over the same tree is a no-op.
+        out = io.StringIO()
+        assert (
+            main(
+                [
+                    "--root", str(FIXTURES),
+                    "--baseline", str(baseline),
+                    "--prune-baseline",
+                    str(FIXTURES),
+                ],
+                out=out,
+            )
+            == 0
+        )
+        assert "pruned 0" in out.getvalue()
 
     def test_strict_fails_on_stale(self, tmp_path):
         # A baseline entry for a violation that no longer exists.
